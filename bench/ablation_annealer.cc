@@ -1,0 +1,123 @@
+// Ablations for the annealing track: (a) chain-strength sweep — the knob
+// the paper tuned per problem size; (b) Chimera (2000Q generation) vs
+// Pegasus (Advantage) embedding sizes — topology co-design for annealers.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/quantum_optimizer.h"
+#include "embedding/minor_embedding.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "topology/vendor_topologies.h"
+#include "util/strings.h"
+
+namespace qjo {
+namespace {
+
+void ChainStrengthSweep() {
+  std::printf("\n[a] chain-strength sweep (4-relation chain query)\n");
+  std::printf("%12s | %8s %8s | %12s\n", "multiplier", "valid", "optimal",
+              "chain breaks");
+  auto pegasus = MakePegasus(6);
+  if (!pegasus.ok()) return;
+  const int reads = bench::Scaled(400, 50);
+  for (double multiplier : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    Rng gen_rng(31);
+    QueryGenOptions gen;
+    gen.num_relations = 4;
+    gen.graph_type = QueryGraphType::kChain;
+    gen.min_log_card = 2.0;
+    gen.max_log_card = 4.0;
+    auto query = GenerateQuery(gen, gen_rng);
+    if (!query.ok()) return;
+    QjoConfig config;
+    config.backend = QjoBackend::kQuantumAnnealerSim;
+    config.num_thresholds = 1;
+    config.annealer_topology = *pegasus;
+    config.sqa.num_reads = reads;
+    config.embed_qubo.chain_strength_multiplier = multiplier;
+    config.seed = 41;
+    auto report = OptimizeJoinOrder(*query, config);
+    if (!report.ok()) {
+      std::printf("%12.2f | failed: %s\n", multiplier,
+                  report.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%12.2f | %8s %8s | %12s\n", multiplier,
+                FormatPercent(report->stats.valid_fraction(), 2).c_str(),
+                FormatPercent(report->stats.optimal_fraction(), 2).c_str(),
+                FormatPercent(report->mean_chain_break_fraction, 1).c_str());
+  }
+  std::printf(
+      "over-strong chains drown the problem Hamiltonian (quality falls);\n"
+      "moderately soft chains tolerate some breaks that majority-vote\n"
+      "unembedding repairs — which is why the paper tunes the strength\n"
+      "per problem size instead of using a fixed rule.\n");
+}
+
+void TopologyGenerationSweep() {
+  std::printf("\n[b] annealer topology generations: Chimera vs Pegasus\n");
+  std::printf("%10s | %-8s | %8s %9s %9s\n", "relations", "target", "logical",
+              "physical", "max-chain");
+  auto chimera = MakeChimera(16);   // 2048 qubits (2000Q scale)
+  auto pegasus = MakePegasus(8);    // 1344 qubits
+  if (!chimera.ok() || !pegasus.ok()) return;
+  for (int t : {3, 4, 5}) {
+    Rng gen_rng(900 + t);
+    QueryGenOptions gen;
+    gen.num_relations = t;
+    gen.graph_type = QueryGraphType::kChain;
+    gen.min_log_card = 2.0;
+    gen.max_log_card = 4.0;
+    auto query = GenerateQuery(gen, gen_rng);
+    if (!query.ok()) continue;
+    JoMilpOptions options;
+    options.thresholds = MakeGeometricThresholds(*query, 1);
+    auto milp = EncodeJoAsMilp(*query, options);
+    if (!milp.ok()) continue;
+    auto bilp = LowerToBilp(milp->model(), 1.0);
+    if (!bilp.ok()) continue;
+    auto encoding = ConvertBilpToQubo(*bilp, QuboConversionOptions{});
+    if (!encoding.ok()) continue;
+    for (const auto& [name, target] :
+         {std::pair<const char*, const CouplingGraph*>{"chimera",
+                                                       &*chimera},
+          {"pegasus", &*pegasus}}) {
+      Rng rng(77);
+      EmbeddingOptions eopts;
+      eopts.tries = 3;
+      auto embedding = FindMinorEmbedding(encoding->qubo.Edges(),
+                                          encoding->qubo.num_variables(),
+                                          *target, eopts, rng);
+      if (!embedding.ok()) {
+        std::printf("%10d | %-8s | %8d %9s %9s\n", t, name,
+                    encoding->qubo.num_variables(), "none", "-");
+        continue;
+      }
+      std::printf("%10d | %-8s | %8d %9d %9d\n", t, name,
+                  encoding->qubo.num_variables(),
+                  embedding->NumPhysicalQubits(),
+                  embedding->MaxChainLength());
+    }
+  }
+  std::printf(
+      "Pegasus' degree-15 connectivity needs fewer and shorter chains than\n"
+      "degree-6 Chimera — the annealer-side co-design story.\n");
+}
+
+void Run() {
+  bench::Banner("Ablation", "annealing knobs: chain strength & topology");
+  ChainStrengthSweep();
+  TopologyGenerationSweep();
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

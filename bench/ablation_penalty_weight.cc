@@ -1,0 +1,82 @@
+// Ablation: the paper's penalty-weight rule A = C/omega^2 + epsilon
+// (Sec. 3.4) versus weaker and stronger choices. Too small an A lets the
+// QUBO minimum violate BILP constraints; unnecessarily large A wastes the
+// limited coupling resolution of physical annealers (quantified here as
+// the dynamic range max|coeff|/min|coeff| the hardware must resolve).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "jo/query.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "qubo/solvers.h"
+
+namespace qjo {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation", "penalty weight A vs solution validity");
+  bench::PaperNote(
+      "the paper picks the smallest A for which the minimum-energy state "
+      "must be BILP-feasible; larger A is wasted coupler resolution "
+      "(annealers have limited parameter precision, Sec. 3.4)");
+
+  // No predicates: every order's intermediate result exceeds theta_0, so
+  // the feasible optimum costs 10 — and a weak penalty makes it cheaper
+  // to violate the leaf constraints than to pay that objective.
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  JoMilpOptions options;
+  options.thresholds = {10.0};
+  auto milp = EncodeJoAsMilp(q, options);
+  if (!milp.ok()) return;
+  auto bilp = LowerToBilp(milp->model(), 1.0);
+  if (!bilp.ok()) return;
+
+  // The paper rule for this instance: C = 10 (one cto at theta=10).
+  QuboConversionOptions paper_rule;
+  auto paper_encoding = ConvertBilpToQubo(*bilp, paper_rule);
+  if (!paper_encoding.ok()) return;
+  const double a_star = paper_encoding->penalty_weight;
+  std::printf("\npaper rule: A* = C/omega^2 + eps = %.1f\n\n", a_star);
+  std::printf("%12s | %10s | %12s | %14s\n", "A", "feasible?", "energy",
+              "dynamic range");
+  for (double factor : {0.01, 0.1, 0.5, 1.0, 10.0, 100.0}) {
+    QuboConversionOptions opts;
+    opts.penalty_weight_override = a_star * factor;
+    auto encoding = ConvertBilpToQubo(*bilp, opts);
+    if (!encoding.ok()) continue;
+    auto ground = SolveQuboBruteForce(encoding->qubo);
+    if (!ground.ok()) continue;
+    // Dynamic range: ratio of largest to smallest non-zero |coefficient|.
+    double max_abs = 0.0, min_abs = 1e300;
+    for (int i = 0; i < encoding->qubo.num_variables(); ++i) {
+      const double v = std::abs(encoding->qubo.linear(i));
+      if (v > 0) {
+        max_abs = std::max(max_abs, v);
+        min_abs = std::min(min_abs, v);
+      }
+    }
+    for (const auto& [i, j, w] : encoding->qubo.QuadraticTerms()) {
+      (void)i;
+      (void)j;
+      max_abs = std::max(max_abs, std::abs(w));
+      min_abs = std::min(min_abs, std::abs(w));
+    }
+    std::printf("%9.2f*A* | %10s | %12.2f | %14.0f\n", factor,
+                bilp->IsFeasible(ground->assignment) ? "yes" : "NO",
+                ground->energy, max_abs / min_abs);
+  }
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

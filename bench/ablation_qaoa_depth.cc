@@ -1,0 +1,108 @@
+// Ablation: QAOA repetition count p. The paper runs p=1 because deeper
+// circuits exceed NISQ coherence; this bench quantifies the trade-off —
+// higher p improves the energy of the sampled distribution but multiplies
+// transpiled depth, so under the coherence-driven noise model the
+// *effective* quality collapses.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "circuit/qaoa_builder.h"
+#include "jo/query.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "qubo/ising.h"
+#include "sim/device.h"
+#include "sim/qaoa_analytic.h"
+#include "sim/qaoa_simulator.h"
+#include "topology/vendor_topologies.h"
+#include "transpiler/transpiler.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+void Run() {
+  bench::Banner("Ablation", "QAOA depth p vs quality under noise");
+  bench::PaperNote(
+      "the paper fixes p=1: larger p exceeds machine capability (Sec. 4.1); "
+      "Farhi et al. prove quality rises with p on ideal hardware");
+
+  // 18-qubit paper instance.
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  JoMilpOptions options;
+  options.thresholds = {10.0};
+  auto milp = EncodeJoAsMilp(q, options);
+  if (!milp.ok()) return;
+  auto bilp = LowerToBilp(milp->model(), 1.0);
+  if (!bilp.ok()) return;
+  auto encoding = ConvertBilpToQubo(*bilp, QuboConversionOptions{});
+  if (!encoding.ok()) return;
+  const IsingModel ising = QuboToIsing(encoding->qubo);
+  auto sim = QaoaSimulator::Create(ising);
+  if (!sim.ok()) return;
+  const double ground = sim->MinCost();
+  const double device_cap = IbmAucklandProperties().MaxFeasibleDepth();
+
+  std::printf("\nground-state energy: %.2f; Auckland depth cap: %.0f\n\n",
+              ground, device_cap);
+  std::printf("%3s | %12s | %10s | %10s | %s\n", "p", "<H> (ideal)",
+              "depth", "fidelity", "feasible?");
+
+  Rng rng(7);
+  QaoaAngles base = OptimizeQaoaAngles(ising, 30, rng);
+  for (int p = 1; p <= 4; ++p) {
+    // Warm start: the optimised p=1 angles replicated on every layer,
+    // refined per layer with coordinate descent on the simulator.
+    QaoaParameters params;
+    for (int rep = 0; rep < p; ++rep) {
+      params.gammas.push_back(base.gamma);
+      params.betas.push_back(base.beta * (p - rep) / p);
+    }
+    double expectation = sim->Run(params);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      for (int rep = 0; rep < p; ++rep) {
+        for (double* angle : {&params.gammas[rep], &params.betas[rep]}) {
+          for (double scale : {0.6, 0.85, 1.2, 1.6}) {
+            const double saved = *angle;
+            *angle = saved * scale;
+            const double value = sim->Run(params);
+            if (value < expectation - 1e-9) {
+              expectation = value;
+            } else {
+              *angle = saved;
+            }
+          }
+        }
+      }
+    }
+
+    auto logical = BuildQaoaCircuit(ising, params);
+    if (!logical.ok()) continue;
+    TranspileOptions topts;
+    topts.gate_set = NativeGateSet::kIbm;
+    topts.seed = 100 + p;
+    auto physical = Transpile(*logical, MakeIbmFalcon27(), topts);
+    if (!physical.ok()) continue;
+    const double fidelity =
+        EstimateCircuitFidelity(physical->circuit, IbmAucklandProperties());
+    std::printf("%3d | %12.2f | %10d | %10.4f | %s\n", p, expectation,
+                physical->depth, fidelity,
+                physical->depth <= device_cap ? "yes" : "no");
+  }
+  std::printf(
+      "\nIdeal <H> improves with p, but transpiled depth scales ~linearly\n"
+      "and fidelity decays exponentially — p=1 is all the hardware affords.\n");
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

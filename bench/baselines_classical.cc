@@ -1,0 +1,94 @@
+// Classical baseline ablation (not a paper table; the paper deliberately
+// skips classical comparisons, following McGeoch's guidelines): cost
+// quality and runtime of exhaustive, DP, greedy, and iterative-improvement
+// join ordering on random queries — the oracles used to label "optimal"
+// quantum samples in Tables 2/3.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "jo/classical.h"
+#include "jo/query_generator.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run() {
+  bench::Banner("Extra", "classical join-ordering baselines");
+  const int instances = bench::Scaled(10, 3);
+
+  std::printf("\n%6s %-8s | %12s | %14s %14s | %10s %10s\n", "T", "graph",
+              "dp-time[ms]", "greedy/dp", "ii/dp", "greedy-opt%", "ii-opt%");
+  for (QueryGraphType type : {QueryGraphType::kChain, QueryGraphType::kStar,
+                              QueryGraphType::kCycle}) {
+    for (int t : {5, 8, 11, 14, 17, 20}) {
+      double dp_time = 0.0;
+      double greedy_ratio = 0.0, ii_ratio = 0.0;
+      int greedy_optimal = 0, ii_optimal = 0;
+      int completed = 0;
+      for (int i = 0; i < instances; ++i) {
+        Rng rng(1000 * t + i);
+        QueryGenOptions gen;
+        gen.num_relations = t;
+        gen.graph_type = type;
+        auto query = GenerateQuery(gen, rng);
+        if (!query.ok()) continue;
+        const auto start = std::chrono::steady_clock::now();
+        auto dp = OptimizeDp(*query);
+        dp_time += Seconds(start);
+        auto greedy = OptimizeGreedy(*query);
+        Rng ii_rng(i);
+        auto ii = OptimizeIterativeImprovement(*query, ii_rng, 10);
+        if (!dp.ok() || !greedy.ok() || !ii.ok()) continue;
+        greedy_ratio += greedy->cost / dp->cost;
+        ii_ratio += ii->cost / dp->cost;
+        if (greedy->cost <= dp->cost * (1 + 1e-9)) ++greedy_optimal;
+        if (ii->cost <= dp->cost * (1 + 1e-9)) ++ii_optimal;
+        ++completed;
+      }
+      if (completed == 0) continue;
+      std::printf("%6d %-8s | %12.2f | %14.2f %14.2f | %9.0f%% %9.0f%%\n", t,
+                  QueryGraphTypeName(type), 1000.0 * dp_time / completed,
+                  greedy_ratio / completed, ii_ratio / completed,
+                  100.0 * greedy_optimal / completed,
+                  100.0 * ii_optimal / completed);
+    }
+  }
+
+  std::printf("\n[sanity] exhaustive == DP on small instances:\n");
+  int agreements = 0, total = 0;
+  for (int i = 0; i < instances; ++i) {
+    Rng rng(31 + i);
+    QueryGenOptions gen;
+    gen.num_relations = 7;
+    gen.graph_type = QueryGraphType::kCycle;
+    auto query = GenerateQuery(gen, rng);
+    if (!query.ok()) continue;
+    auto exhaustive = OptimizeExhaustive(*query);
+    auto dp = OptimizeDp(*query);
+    if (!exhaustive.ok() || !dp.ok()) continue;
+    ++total;
+    if (std::abs(exhaustive->cost - dp->cost) <=
+        1e-9 * std::max(1.0, exhaustive->cost)) {
+      ++agreements;
+    }
+  }
+  std::printf("%d/%d instances agree\n", agreements, total);
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

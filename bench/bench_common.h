@@ -1,0 +1,49 @@
+#ifndef QJO_BENCH_BENCH_COMMON_H_
+#define QJO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace qjo::bench {
+
+/// Global effort multiplier for the reproduction benches, set via the
+/// QJO_BENCH_SCALE environment variable. 1.0 = defaults tuned to finish
+/// the whole suite in minutes on a laptop; raise towards the paper's full
+/// shot/repeat counts (e.g. QJO_BENCH_SCALE=4), lower for smoke runs.
+inline double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("QJO_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double value = std::atof(env);
+    return value > 0.0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+inline int Scaled(int base, int min_value = 1) {
+  const int value = static_cast<int>(base * Scale());
+  return value < min_value ? min_value : value;
+}
+
+/// Section banner mirroring the paper artefact being reproduced. Also
+/// switches stdout to line buffering so long-running benches stream
+/// progress when redirected to a file.
+inline void Banner(const std::string& id, const std::string& title) {
+  static const bool buffered = [] {
+    std::setvbuf(stdout, nullptr, _IOLBF, 1 << 14);
+    return true;
+  }();
+  (void)buffered;
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PaperNote(const std::string& note) {
+  std::printf("[paper] %s\n", note.c_str());
+}
+
+}  // namespace qjo::bench
+
+#endif  // QJO_BENCH_BENCH_COMMON_H_

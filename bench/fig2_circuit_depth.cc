@@ -1,0 +1,122 @@
+// Reproduces Fig. 2: QAOA circuit-depth distributions over repeated
+// stochastic transpilations of 3-relation JO instances onto IBM Q
+// topologies (left: varying discretisation precision and predicate count
+// on Auckland; right: Auckland (Falcon, 27q) vs Washington (Eagle, 127q)).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "circuit/qaoa_builder.h"
+#include "jo/query.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "sim/device.h"
+#include "topology/vendor_topologies.h"
+#include "transpiler/transpiler.h"
+#include "util/stats.h"
+
+namespace qjo {
+namespace {
+
+Query MakePaperInstance(int num_predicates) {
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {0, 2}};
+  for (int p = 0; p < num_predicates; ++p) {
+    (void)q.AddPredicate(edges[p].first, edges[p].second, 0.1);
+  }
+  return q;
+}
+
+StatusOr<QuantumCircuit> BuildInstanceCircuit(int predicates, double omega) {
+  const Query query = MakePaperInstance(predicates);
+  JoMilpOptions options;
+  options.thresholds = {10.0};
+  options.omega = omega;
+  QJO_ASSIGN_OR_RETURN(JoMilpModel milp, EncodeJoAsMilp(query, options));
+  QJO_ASSIGN_OR_RETURN(BilpModel bilp, LowerToBilp(milp.model(), omega));
+  QuboConversionOptions qopts;
+  qopts.omega = omega;
+  QJO_ASSIGN_OR_RETURN(QuboEncoding encoding, ConvertBilpToQubo(bilp, qopts));
+  return BuildQaoaCircuit(encoding.qubo, QaoaParameters{{0.1}, {0.2}});
+}
+
+Summary DepthDistribution(const QuantumCircuit& logical,
+                          const CouplingGraph& device, int transpilations) {
+  std::vector<double> depths;
+  for (int run = 0; run < transpilations; ++run) {
+    TranspileOptions options;
+    options.gate_set = NativeGateSet::kIbm;
+    options.seed = 1000 + run;
+    auto result = Transpile(logical, device, options);
+    if (result.ok()) depths.push_back(result->depth);
+  }
+  return Summarize(depths);
+}
+
+void Run() {
+  const int transpilations = bench::Scaled(20, 5);
+  bench::Banner("Figure 2", "QAOA circuit depths on IBM Q devices");
+  bench::PaperNote(
+      "precision is costlier than predicates: 0..3 decimals and 0..3 "
+      "predicates both map to 18/21/24/27 qubits, but precision blows up "
+      "depth and variance more; Washington (127q) transpiles *deeper* than "
+      "Auckland (27q) despite more qubits; depth cap d=min(T1,T2)/g_avg is "
+      "293 (Auckland) / 168 (Washington)");
+
+  const CouplingGraph auckland = MakeIbmFalcon27();
+  const CouplingGraph washington = MakeIbmEagle127();
+
+  std::printf("\n[left] IBM Q Auckland, %d transpilations per scenario\n",
+              transpilations);
+  std::printf("%-28s %6s | %7s %7s %7s %7s %7s\n", "scenario", "qubits",
+              "min", "q1", "median", "q3", "max");
+  const double omegas[] = {1.0, 0.1, 0.01, 0.001};
+  for (int i = 0; i < 4; ++i) {
+    auto circuit = BuildInstanceCircuit(0, omegas[i]);
+    if (!circuit.ok()) continue;
+    const Summary s = DepthDistribution(*circuit, auckland, transpilations);
+    std::printf("precision %d decimals %9s %6d | %7.0f %7.0f %7.0f %7.0f %7.0f\n",
+                i, "", circuit->num_qubits(), s.min, s.q1, s.median, s.q3,
+                s.max);
+  }
+  for (int p = 0; p <= 3; ++p) {
+    auto circuit = BuildInstanceCircuit(p, 1.0);
+    if (!circuit.ok()) continue;
+    const Summary s = DepthDistribution(*circuit, auckland, transpilations);
+    std::printf("%d predicates %16s %6d | %7.0f %7.0f %7.0f %7.0f %7.0f\n", p,
+                "", circuit->num_qubits(), s.min, s.q1, s.median, s.q3, s.max);
+  }
+
+  std::printf("\n[right] Auckland (Falcon r5.11) vs Washington (Eagle r1)\n");
+  std::printf("%-12s %8s | %16s | %16s | %8s\n", "predicates", "qubits",
+              "auckland median", "washington median", "ratio");
+  for (int p = 0; p <= 3; ++p) {
+    auto circuit = BuildInstanceCircuit(p, 1.0);
+    if (!circuit.ok()) continue;
+    const Summary a = DepthDistribution(*circuit, auckland, transpilations);
+    const Summary w = DepthDistribution(*circuit, washington, transpilations);
+    std::printf("%-12d %8d | %16.0f | %16.0f | %7.2fx\n", p,
+                circuit->num_qubits(), a.median, w.median, w.median / a.median);
+  }
+
+  std::printf("\n[coherence] feasible depth bound d = min(T1,T2)/g_avg\n");
+  for (const DeviceProperties& d :
+       {IbmAucklandProperties(), IbmWashingtonProperties()}) {
+    std::printf("%-16s T1=%.2fus T2=%.2fus g_avg=%.2fns -> max depth %d\n",
+                d.name.c_str(), d.t1_us, d.t2_us, d.avg_gate_time_ns,
+                d.MaxFeasibleDepth());
+  }
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

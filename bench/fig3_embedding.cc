@@ -1,0 +1,166 @@
+// Reproduces Fig. 3: physical qubits required to minor-embed JO QUBOs onto
+// the D-Wave Advantage topology (Pegasus P16). Top: scaling over the
+// number of relations for chain/star/cycle query graphs at minimum
+// approximation precision. Bottom: a fixed 8-relation instance with
+// growing threshold counts at omega = 1 / 0.01 / 0.0001.
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "embedding/minor_embedding.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "topology/vendor_topologies.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+struct EmbeddingPoint {
+  int logical = 0;
+  int physical = 0;
+  int max_chain = 0;
+};
+
+std::optional<EmbeddingPoint> EmbedInstance(const Query& query,
+                                            int num_thresholds, double omega,
+                                            const CouplingGraph& target,
+                                            uint64_t seed) {
+  JoMilpOptions options;
+  options.thresholds = MakeGeometricThresholds(query, num_thresholds);
+  options.omega = omega;
+  auto milp = EncodeJoAsMilp(query, options);
+  if (!milp.ok()) return std::nullopt;
+  auto bilp = LowerToBilp(milp->model(), omega);
+  if (!bilp.ok()) return std::nullopt;
+  QuboConversionOptions qopts;
+  qopts.omega = omega;
+  auto encoding = ConvertBilpToQubo(*bilp, qopts);
+  if (!encoding.ok()) return std::nullopt;
+
+  Rng rng(seed);
+  EmbeddingOptions eopts;
+  eopts.tries = 4;
+  auto embedding =
+      FindMinorEmbedding(encoding->qubo.Edges(),
+                         encoding->qubo.num_variables(), target, eopts, rng);
+  if (!embedding.ok()) return std::nullopt;
+  EmbeddingPoint point;
+  point.logical = encoding->qubo.num_variables();
+  point.physical = embedding->NumPhysicalQubits();
+  point.max_chain = embedding->MaxChainLength();
+  return point;
+}
+
+void Run() {
+  bench::Banner("Figure 3", "physical qubits for Pegasus (P16) embeddings");
+  bench::PaperNote(
+      "embeddings exist up to 15 relations at minimum precision; physical "
+      "qubits scale quadratically in relations (linear overhead over "
+      "logical); query graph type barely matters, cycle slightly larger; "
+      "at 8 relations: ~20 thresholds fit at omega=1, ~6 at 0.01, ~3 at "
+      "0.0001");
+
+  auto pegasus = MakePegasus(16);
+  if (!pegasus.ok()) return;
+
+  // The paper's sweep reaches 15 relations; each embedding beyond ~7
+  // relations costs minutes of CMR iterations on a single core, so the
+  // default stops at 7 (raise QJO_BENCH_SCALE to extend towards 15).
+  const int max_relations = std::min(bench::Scaled(7, 5), 15);
+  std::printf("\n[top] relations sweep, 1 threshold, omega=1 (up to %d)\n",
+              max_relations);
+  std::printf("%10s | %-8s %8s %8s %9s %9s\n", "relations", "graph",
+              "logical", "physical", "overhead", "max-chain");
+  Rng gen_rng(11);
+  for (int t = 3; t <= max_relations; ++t) {
+    for (QueryGraphType type : {QueryGraphType::kChain, QueryGraphType::kStar,
+                                QueryGraphType::kCycle}) {
+      QueryGenOptions gen;
+      gen.num_relations = t;
+      gen.graph_type = type;
+      gen.min_log_card = 2.0;
+      gen.max_log_card = 4.0;
+      auto query = GenerateQuery(gen, gen_rng);
+      if (!query.ok()) continue;
+      std::optional<EmbeddingPoint> point;
+      for (uint64_t attempt = 0; attempt < 3 && !point.has_value();
+           ++attempt) {
+        point = EmbedInstance(*query, 1, 1.0, *pegasus,
+                              100 + t + 1000 * attempt);
+      }
+      if (!point.has_value()) {
+        std::printf("%10d | %-8s no embedding found\n", t,
+                    QueryGraphTypeName(type));
+        continue;
+      }
+      std::printf("%10d | %-8s %8d %8d %8.2fx %9d\n", t,
+                  QueryGraphTypeName(type), point->logical, point->physical,
+                  static_cast<double>(point->physical) / point->logical,
+                  point->max_chain);
+    }
+  }
+
+  // The paper's bottom panel uses 8 relations; the default here uses 6
+  // (same blow-up shape, minutes instead of tens of minutes), switching to
+  // 8 at QJO_BENCH_SCALE >= 2.
+  const int bottom_relations = bench::Scale() >= 2.0 ? 8 : 6;
+  std::printf(
+      "\n[bottom] %d relations (chain), threshold/precision sweep\n",
+      bottom_relations);
+  std::printf("%10s | %-10s %8s %8s %9s\n", "thresholds", "omega", "logical",
+              "physical", "max-chain");
+  QueryGenOptions gen;
+  gen.num_relations = bottom_relations;
+  gen.graph_type = QueryGraphType::kChain;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  Rng rng8(13);
+  auto query8 = GenerateQuery(gen, rng8);
+  if (!query8.ok()) return;
+  struct Sweep {
+    double omega;
+    int r_cap;
+    std::vector<int> thresholds;
+  };
+  // Paper result: ~20 thresholds fit at omega=1, ~6 at 0.01, ~3 at 0.0001.
+  // Default caps keep the bench to minutes; scale up for the full sweep.
+  std::vector<Sweep> sweeps = {
+      {1.0, bench::Scaled(4, 2), {1, 2, 4, 8, 12, 16, 20}},
+      {0.01, bench::Scaled(2, 1), {1, 2, 4, 6, 8}},
+      {0.0001, bench::Scaled(1, 1), {1, 2, 3, 4}},
+  };
+  for (const Sweep& sweep : sweeps) {
+    for (int r : sweep.thresholds) {
+      if (r > sweep.r_cap) continue;
+      // The embedder is randomised; retry a few seeds before declaring
+      // the hardware limit reached.
+      std::optional<EmbeddingPoint> point;
+      for (uint64_t attempt = 0; attempt < 3 && !point.has_value();
+           ++attempt) {
+        point = EmbedInstance(*query8, r, sweep.omega, *pegasus,
+                              300 + r + 1000 * attempt);
+      }
+      if (!point.has_value()) {
+        std::printf("%10d | %-10g embedding NOT found (limit reached)\n", r,
+                    sweep.omega);
+        break;
+      }
+      std::printf("%10d | %-10g %8d %8d %9d\n", r, sweep.omega,
+                  point->logical, point->physical, point->max_chain);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

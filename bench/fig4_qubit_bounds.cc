@@ -1,0 +1,83 @@
+// Reproduces Fig. 4: Theorem 5.3 upper bounds on the number of logical
+// qubits for JO problems with up to 64 relations, across threshold counts
+// (approximation precision) and discretisation precisions, measured on
+// cyclic query graphs (the worst case among the paper's shapes).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "codesign/qubit_bound.h"
+#include "jo/query_generator.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+void Run() {
+  bench::Banner("Figure 4", "logical qubit upper bounds (Theorem 5.3)");
+  bench::PaperNote(
+      "bound scales quadratically in relations (dominating factor); "
+      "precision shifts it by up to ~50%; 60-relation problems need >20k "
+      "qubits; ~1000 logical qubits cover up to ~13 relations");
+
+  const std::vector<int> relation_counts = {3, 4, 6, 8, 13, 16,
+                                            24, 32, 48, 60, 64};
+  const std::vector<int> threshold_counts = {1, 2, 5, 10};
+  const std::vector<double> omegas = {1.0, 0.01, 0.0001};
+
+  for (double omega : omegas) {
+    std::printf("\nomega = %g (discretisation precision)\n", omega);
+    std::printf("%10s |", "relations");
+    for (int r : threshold_counts) std::printf(" %9s=%-2d", "R", r);
+    std::printf("\n");
+    Rng rng(21);
+    for (int t : relation_counts) {
+      QueryGenOptions gen;
+      gen.num_relations = t;
+      gen.graph_type = QueryGraphType::kCycle;
+      gen.min_log_card = 2.0;
+      gen.max_log_card = 4.0;
+      auto query = GenerateQuery(gen, rng);
+      if (!query.ok()) continue;
+      std::printf("%10d |", t);
+      for (int r : threshold_counts) {
+        auto bound = QubitUpperBound(*query, r, omega);
+        std::printf(" %12d", bound.ok() ? *bound : -1);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n[capacity] largest T whose bound fits a QPU budget "
+              "(cycle queries, R=2):\n");
+  Rng rng(22);
+  for (double omega : omegas) {
+    for (int budget : {27, 127, 1000, 5000, 20000}) {
+      int best_t = 0;
+      for (int t = 3; t <= 80; ++t) {
+        QueryGenOptions gen;
+        gen.num_relations = t;
+        gen.graph_type = QueryGraphType::kCycle;
+        gen.min_log_card = 2.0;
+        gen.max_log_card = 4.0;
+        Rng local(500 + t);
+        auto query = GenerateQuery(gen, local);
+        if (!query.ok()) break;
+        auto bound = QubitUpperBound(*query, 2, omega);
+        if (!bound.ok() || *bound > budget) break;
+        best_t = t;
+      }
+      std::printf("omega=%-7g budget=%6d qubits -> up to %2d relations\n",
+                  omega, budget, best_t);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

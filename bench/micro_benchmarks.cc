@@ -1,0 +1,148 @@
+// Google-benchmark microbenchmarks for the performance-critical substrate
+// operations: QUBO energy evaluation, state-vector gate application, QAOA
+// cost-spectrum construction, SWAP routing, SQA sweeps, and Pegasus
+// construction.
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/qaoa_builder.h"
+#include "embedding/minor_embedding.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "qubo/solvers.h"
+#include "sim/qaoa_simulator.h"
+#include "sim/sqa.h"
+#include "sim/statevector.h"
+#include "topology/vendor_topologies.h"
+#include "transpiler/transpiler.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+Qubo MakeRandomQubo(int n, double edge_probability, uint64_t seed) {
+  Rng rng(seed);
+  Qubo q(n);
+  for (int i = 0; i < n; ++i) {
+    q.AddLinear(i, rng.UniformDouble(-2, 2));
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        q.AddQuadratic(i, j, rng.UniformDouble(-2, 2));
+      }
+    }
+  }
+  return q;
+}
+
+void BM_QuboEnergy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Qubo qubo = MakeRandomQubo(n, 0.3, 1);
+  Rng rng(2);
+  std::vector<int> bits(n);
+  for (auto& b : bits) b = rng.Bernoulli(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qubo.Energy(bits));
+  }
+}
+BENCHMARK(BM_QuboEnergy)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_QuboBruteForce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Qubo qubo = MakeRandomQubo(n, 0.3, 3);
+  for (auto _ : state) {
+    auto result = SolveQuboBruteForce(qubo);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QuboBruteForce)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_StateVectorLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sv = StateVector::Create(n);
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv->Apply(Gate::Single(GateType::kRx, q, 0.3));
+  }
+  state.SetItemsProcessed(state.iterations() * n * (uint64_t{1} << n));
+}
+BENCHMARK(BM_StateVectorLayer)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_QaoaCostSpectrum(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.3, 4));
+  for (auto _ : state) {
+    auto sim = QaoaSimulator::Create(ising);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+BENCHMARK(BM_QaoaCostSpectrum)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_QaoaRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.3, 5));
+  auto sim = QaoaSimulator::Create(ising);
+  QaoaParameters params{{0.2}, {0.7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim->Run(params));
+  }
+}
+BENCHMARK(BM_QaoaRun)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_Transpile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.3, 6));
+  auto logical = BuildQaoaCircuit(ising, QaoaParameters{{0.1}, {0.2}});
+  const CouplingGraph device = MakeIbmFalcon27();
+  TranspileOptions options;
+  options.gate_set = NativeGateSet::kIbm;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    options.seed = ++seed;
+    auto result = Transpile(*logical, device, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Transpile)->Arg(12)->Arg(20)->Arg(27);
+
+void BM_SqaRead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.2, 7));
+  SqaOptions options;
+  options.num_reads = 1;
+  options.annealing_time_us = 20.0;
+  Rng rng(8);
+  for (auto _ : state) {
+    auto samples = RunSqa(ising, options, rng);
+    benchmark::DoNotOptimize(samples);
+  }
+}
+BENCHMARK(BM_SqaRead)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_PegasusConstruction(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = MakePegasus(m);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_PegasusConstruction)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_MinorEmbedding(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < k; ++i)
+    for (int j = i + 1; j < k; ++j) edges.emplace_back(i, j);
+  auto target = MakePegasus(4);
+  EmbeddingOptions options;
+  options.tries = 1;
+  Rng rng(9);
+  for (auto _ : state) {
+    auto e = FindMinorEmbedding(edges, k, *target, options, rng);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_MinorEmbedding)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace qjo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Reproduces Table 1: variable and constraint counts of the original
+// Trummer-Koch-style MILP model vs the paper's pruned model, as concrete
+// tallies over generated queries.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+void Run() {
+  bench::Banner("Table 1", "pruned vs original MILP model size");
+  bench::PaperNote(
+      "constraint rows: overlap TJ->T, pao PJ->P(J-1), cto RJ-><=R(J-1); "
+      "variable rows: pao PJ->P(J-1), cto RJ-><=R(J-1)");
+
+  std::printf(
+      "\n%5s %5s %5s | %9s %9s | %9s %9s | %11s %11s | %12s %12s\n", "T",
+      "P", "R", "vars-orig", "vars-prun", "pao-orig", "pao-prun", "cto-orig",
+      "cto-prun", "constr-orig", "constr-prun");
+
+  Rng rng(1);
+  for (int t : {3, 5, 8, 12, 16, 20}) {
+    QueryGenOptions gen;
+    gen.num_relations = t;
+    gen.graph_type = QueryGraphType::kCycle;
+    gen.min_log_card = 2.0;
+    gen.max_log_card = 4.0;
+    auto query = GenerateQuery(gen, rng);
+    if (!query.ok()) continue;
+    const int r = 3;
+    JoMilpOptions options;
+    options.thresholds = MakeGeometricThresholds(*query, r);
+
+    auto pruned = EncodeJoAsMilp(*query, options);
+    options.variant = JoModelVariant::kOriginal;
+    auto original = EncodeJoAsMilp(*query, options);
+    if (!pruned.ok() || !original.ok()) continue;
+
+    std::printf(
+        "%5d %5d %5d | %9d %9d | %9d %9d | %11d %11d | %12d %12d\n", t,
+        query->num_predicates(), r, original->model().num_variables(),
+        pruned->model().num_variables(), original->stats().pao,
+        pruned->stats().pao, original->stats().cto, pruned->stats().cto,
+        original->model().num_constraints(),
+        pruned->model().num_constraints());
+  }
+
+  std::printf(
+      "\nQubit (binary variable) impact of pruning after BILP lowering:\n");
+  std::printf("%5s | %12s %12s %9s\n", "T", "pruned-qubits", "formula-check",
+              "");
+  Rng rng2(2);
+  for (int t : {3, 5, 8, 12}) {
+    QueryGenOptions gen;
+    gen.num_relations = t;
+    gen.graph_type = QueryGraphType::kCycle;
+    auto query = GenerateQuery(gen, rng2);
+    if (!query.ok()) continue;
+    JoMilpOptions options;
+    options.thresholds = MakeGeometricThresholds(*query, 3);
+    auto milp = EncodeJoAsMilp(*query, options);
+    if (!milp.ok()) continue;
+    auto bilp = LowerToBilp(milp->model(), 1.0);
+    if (!bilp.ok()) continue;
+    std::printf("%5d | %12d (problem %d + slack %d)\n", t,
+                bilp->num_variables(), bilp->num_problem_variables,
+                bilp->num_slack_variables());
+  }
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() {
+  qjo::Run();
+  return 0;
+}

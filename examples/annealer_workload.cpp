@@ -1,0 +1,66 @@
+// Annealer scenario: minor-embed a join-ordering QUBO onto a Pegasus
+// hardware graph and solve it with simulated quantum annealing (Table 3's
+// setup), reporting embedding statistics, chain breaks, and solution
+// quality across annealing times.
+
+#include <cstdio>
+
+#include "core/quantum_optimizer.h"
+#include "jo/query_generator.h"
+#include "topology/vendor_topologies.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace qjo;
+
+  Rng rng(5);
+  QueryGenOptions gen;
+  gen.num_relations = 4;
+  gen.graph_type = QueryGraphType::kCycle;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  auto query = GenerateQuery(gen, rng);
+  if (!query.ok()) return 1;
+  std::printf("query: %s\n\n", query->ToString().c_str());
+
+  auto pegasus = MakePegasus(8);  // 1344-qubit Pegasus, Advantage-style
+  if (!pegasus.ok()) return 1;
+  std::printf("hardware: Pegasus P8, %d qubits, %d couplers\n\n",
+              pegasus->num_qubits(), pegasus->num_edges());
+
+  for (double anneal_us : {20.0, 60.0, 100.0}) {
+    QjoConfig config;
+    config.backend = QjoBackend::kQuantumAnnealerSim;
+    config.num_thresholds = 1;
+    config.annealer_topology = *pegasus;
+    config.sqa.num_reads = 500;
+    config.sqa.annealing_time_us = anneal_us;
+    config.seed = 21;
+
+    auto report = OptimizeJoinOrder(*query, config);
+    if (!report.ok()) {
+      std::printf("failed: %s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("annealing time %.0fus:\n", anneal_us);
+    std::printf(
+        "  logical %d -> physical %d qubits (max chain %d, strength %.1f)\n",
+        report->bilp_variables, report->physical_qubits,
+        report->max_chain_length, report->chain_strength);
+    std::printf("  valid %s | optimal %s | chain breaks %s\n",
+                FormatPercent(report->stats.valid_fraction()).c_str(),
+                FormatPercent(report->stats.optimal_fraction()).c_str(),
+                FormatPercent(report->mean_chain_break_fraction).c_str());
+    if (report->found_valid) {
+      std::printf("  best sampled order: %s (cost %.0f, optimum %.0f)\n\n",
+                  report->best_order.ToString(*query).c_str(),
+                  report->best_cost, report->optimal_cost);
+    } else {
+      std::printf("  no valid join order sampled\n\n");
+    }
+  }
+  std::printf(
+      "As in the paper, longer annealing barely helps: solution quality is\n"
+      "dominated by the embedding overhead and control-error noise.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Co-design scenario (Sec. 6): given a target query size, how far is a
+// QPU from running it? Sweep topology density and gate sets for an
+// extrapolated IBM heavy-hex device, check the resulting circuit depth
+// against coherence limits, and report the Theorem 5.3 qubit budget.
+
+#include <cstdio>
+
+#include "circuit/qaoa_builder.h"
+#include "codesign/qubit_bound.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "sim/device.h"
+#include "topology/density.h"
+#include "topology/vendor_topologies.h"
+#include "transpiler/transpiler.h"
+
+int main() {
+  using namespace qjo;
+
+  const int relations = 6;
+  Rng rng(3);
+  QueryGenOptions gen;
+  gen.num_relations = relations;
+  gen.graph_type = QueryGraphType::kCycle;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  auto query = GenerateQuery(gen, rng);
+  if (!query.ok()) return 1;
+
+  // Qubit budget per Theorem 5.3.
+  for (int r : {1, 2, 5}) {
+    auto bound = QubitUpperBound(*query, r, 1.0);
+    if (bound.ok()) {
+      std::printf("qubit bound (R=%d thresholds): %d logical qubits\n", r,
+                  *bound);
+    }
+  }
+
+  // Build the actual QAOA circuit.
+  JoMilpOptions options;
+  options.thresholds = MakeGeometricThresholds(*query, 2);
+  auto milp = EncodeJoAsMilp(*query, options);
+  if (!milp.ok()) return 1;
+  auto bilp = LowerToBilp(milp->model(), 1.0);
+  if (!bilp.ok()) return 1;
+  auto encoding = ConvertBilpToQubo(*bilp, QuboConversionOptions{});
+  if (!encoding.ok()) return 1;
+  auto logical = BuildQaoaCircuit(encoding->qubo, QaoaParameters{{0.1}, {0.2}});
+  if (!logical.ok()) return 1;
+  std::printf("\nQAOA circuit: %d qubits, %d gates (logical depth %d)\n\n",
+              logical->num_qubits(), logical->num_gates(), logical->Depth());
+
+  const CouplingGraph base = MakeIbmHeavyHexAtLeast(logical->num_qubits());
+  const DeviceProperties device = IbmAucklandProperties();
+  std::printf("device: extrapolated heavy-hex, %d qubits; coherence-limited "
+              "depth %d\n\n",
+              base.num_qubits(), device.MaxFeasibleDepth());
+
+  std::printf("%8s | %12s %12s | %s\n", "density", "native-depth",
+              "unrestricted", "feasible?");
+  for (double density : {0.0, 0.05, 0.1, 0.25, 0.5, 1.0}) {
+    Rng density_rng(7);
+    auto topology = ExtrapolateDensity(base, density, density_rng);
+    if (!topology.ok()) continue;
+    int depths[2] = {0, 0};
+    int index = 0;
+    for (NativeGateSet set :
+         {NativeGateSet::kIbm, NativeGateSet::kUnrestricted}) {
+      TranspileOptions topts;
+      topts.gate_set = set;
+      topts.seed = 13;
+      auto result = Transpile(*logical, *topology, topts);
+      depths[index++] = result.ok() ? result->depth : -1;
+    }
+    std::printf("%8.2f | %12d %12d | %s\n", density, depths[0], depths[1],
+                depths[0] <= device.MaxFeasibleDepth() ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nModest extra connectivity shrinks depth dramatically — the paper's\n"
+      "co-design argument: small architectural changes beat waiting for\n"
+      "exponentially better hardware.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Gate-based scenario: run the paper's Table 2 experiment for one query —
+// QAOA p=1 with classically optimised angles, transpiled onto the IBM Q
+// Auckland topology, sampled through the depth-driven depolarising noise
+// model — and compare against ideal (noiseless) sampling.
+
+#include <cstdio>
+
+#include "core/quantum_optimizer.h"
+#include "jo/query.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace qjo;
+
+  // A 3-relation chain query (two predicates): 24 logical qubits, the
+  // paper's second-largest gate-based instance.
+  Query query;
+  query.AddRelation("R0", 10);
+  query.AddRelation("R1", 10);
+  query.AddRelation("R2", 10);
+  if (!query.AddPredicate(0, 1, 0.1).ok()) return 1;
+  if (!query.AddPredicate(1, 2, 0.1).ok()) return 1;
+  std::printf("query: %s\n\n", query.ToString().c_str());
+
+  QjoConfig config;
+  config.backend = QjoBackend::kQaoaSimulator;
+  config.thresholds = {10.0};
+  config.shots = 1024;
+  config.qaoa_iterations = 20;
+  config.seed = 11;
+
+  std::printf("--- noisy execution (IBM Q Auckland model) ---\n");
+  auto noisy = OptimizeJoinOrder(query, config);
+  if (!noisy.ok()) {
+    std::printf("failed: %s\n", noisy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", noisy->Summary().c_str());
+  std::printf("optimised angles: gamma=%.4f beta=%.4f\n", noisy->gamma,
+              noisy->beta);
+  std::printf("estimated timings: t_s=%.1fms, t_qpu=%.2fs\n\n",
+              noisy->timings.sampling_ms, noisy->timings.total_s);
+
+  std::printf("--- ideal execution (no decoherence/gate errors) ---\n");
+  config.noiseless = true;
+  config.seed = 12;
+  auto ideal = OptimizeJoinOrder(query, config);
+  if (!ideal.ok()) {
+    std::printf("failed: %s\n", ideal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n\n", ideal->Summary().c_str());
+
+  std::printf(
+      "Noise turned %s of ideal valid samples into %s — the Table 2 story:\n"
+      "circuit depth %d exceeds what coherence sustains, so most shots are\n"
+      "effectively random.\n",
+      FormatPercent(ideal->stats.valid_fraction()).c_str(),
+      FormatPercent(noisy->stats.valid_fraction()).c_str(),
+      noisy->circuit_depth);
+  return 0;
+}

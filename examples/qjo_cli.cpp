@@ -1,0 +1,180 @@
+// Command-line driver for the full pipeline: generate (or describe) a
+// query, pick a backend, and print the end-to-end report.
+//
+// Usage:
+//   qjo_cli [--relations N] [--graph chain|star|cycle|clique]
+//           [--predicates P] [--backend exact|sa|qaoa|annealer]
+//           [--thresholds R] [--omega W] [--shots S] [--seed X]
+//           [--noiseless] [--verbose]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/quantum_optimizer.h"
+#include "jo/classical.h"
+#include "jo/query_generator.h"
+
+namespace qjo {
+namespace {
+
+struct CliArgs {
+  int relations = 3;
+  QueryGraphType graph = QueryGraphType::kChain;
+  int predicates = -1;  // -1: use the graph type's natural edge set
+  QjoBackend backend = QjoBackend::kExact;
+  int thresholds = 2;
+  double omega = 1.0;
+  int shots = 1024;
+  uint64_t seed = 42;
+  bool noiseless = false;
+  bool verbose = false;
+};
+
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s (try --help)\n", message);
+  return 2;
+}
+
+void PrintHelp() {
+  std::printf(
+      "qjo_cli — quantum join ordering pipeline\n\n"
+      "  --relations N     number of relations (default 3)\n"
+      "  --graph TYPE      chain|star|cycle|clique (default chain)\n"
+      "  --predicates P    override predicate count (chain-first order)\n"
+      "  --backend B       exact|sa|qaoa|annealer (default exact)\n"
+      "  --thresholds R    cardinality thresholds (default 2)\n"
+      "  --omega W         discretisation precision (default 1.0)\n"
+      "  --shots S         samples/reads for stochastic backends\n"
+      "  --seed X          RNG seed (default 42)\n"
+      "  --noiseless       disable the QAOA noise model\n"
+      "  --verbose         print the query and classical baselines\n");
+}
+
+int RunCli(const CliArgs& args) {
+  Rng rng(args.seed);
+  QueryGenOptions gen;
+  gen.num_relations = args.relations;
+  gen.graph_type = args.graph;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  auto query = args.predicates >= 0
+                   ? GenerateQueryWithPredicateCount(gen, args.predicates, rng)
+                   : GenerateQuery(gen, rng);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query generation failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  if (args.verbose) std::printf("query: %s\n\n", query->ToString().c_str());
+
+  QjoConfig config;
+  config.backend = args.backend;
+  config.num_thresholds = args.thresholds;
+  config.omega = args.omega;
+  config.shots = args.shots;
+  config.sqa.num_reads = args.shots;
+  config.noiseless = args.noiseless;
+  config.seed = args.seed;
+
+  auto report = OptimizeJoinOrder(*query, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("backend: %s\n%s\n", QjoBackendName(args.backend),
+              report->Summary().c_str());
+  if (report->found_valid) {
+    std::printf("join order: %s\n", report->best_order.ToString(*query).c_str());
+  }
+
+  if (args.verbose) {
+    auto greedy = OptimizeGreedy(*query);
+    Rng ii_rng(args.seed);
+    auto ii = OptimizeIterativeImprovement(*query, ii_rng);
+    std::printf("\nclassical baselines: dp %.3g", report->optimal_cost);
+    if (greedy.ok()) std::printf(", greedy %.3g", greedy->cost);
+    if (ii.ok()) std::printf(", iterative-improvement %.3g", ii->cost);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main(int argc, char** argv) {
+  using namespace qjo;
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") {
+      PrintHelp();
+      return 0;
+    } else if (flag == "--relations") {
+      const char* v = next();
+      if (!v) return Fail("--relations needs a value");
+      args.relations = std::atoi(v);
+    } else if (flag == "--graph") {
+      const char* v = next();
+      if (!v) return Fail("--graph needs a value");
+      if (!std::strcmp(v, "chain")) {
+        args.graph = QueryGraphType::kChain;
+      } else if (!std::strcmp(v, "star")) {
+        args.graph = QueryGraphType::kStar;
+      } else if (!std::strcmp(v, "cycle")) {
+        args.graph = QueryGraphType::kCycle;
+      } else if (!std::strcmp(v, "clique")) {
+        args.graph = QueryGraphType::kClique;
+      } else {
+        return Fail("unknown graph type");
+      }
+    } else if (flag == "--predicates") {
+      const char* v = next();
+      if (!v) return Fail("--predicates needs a value");
+      args.predicates = std::atoi(v);
+    } else if (flag == "--backend") {
+      const char* v = next();
+      if (!v) return Fail("--backend needs a value");
+      if (!std::strcmp(v, "exact")) {
+        args.backend = QjoBackend::kExact;
+      } else if (!std::strcmp(v, "sa")) {
+        args.backend = QjoBackend::kSimulatedAnnealing;
+      } else if (!std::strcmp(v, "qaoa")) {
+        args.backend = QjoBackend::kQaoaSimulator;
+      } else if (!std::strcmp(v, "annealer")) {
+        args.backend = QjoBackend::kQuantumAnnealerSim;
+      } else {
+        return Fail("unknown backend");
+      }
+    } else if (flag == "--thresholds") {
+      const char* v = next();
+      if (!v) return Fail("--thresholds needs a value");
+      args.thresholds = std::atoi(v);
+    } else if (flag == "--omega") {
+      const char* v = next();
+      if (!v) return Fail("--omega needs a value");
+      args.omega = std::atof(v);
+    } else if (flag == "--shots") {
+      const char* v = next();
+      if (!v) return Fail("--shots needs a value");
+      args.shots = std::atoi(v);
+    } else if (flag == "--seed") {
+      const char* v = next();
+      if (!v) return Fail("--seed needs a value");
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--noiseless") {
+      args.noiseless = true;
+    } else if (flag == "--verbose") {
+      args.verbose = true;
+    } else {
+      return Fail("unknown flag");
+    }
+  }
+  return RunCli(args);
+}

@@ -1,0 +1,73 @@
+#include "circuit/gate.h"
+
+#include <sstream>
+
+namespace qjo {
+
+const char* GateTypeName(GateType type) {
+  switch (type) {
+    case GateType::kH:
+      return "h";
+    case GateType::kX:
+      return "x";
+    case GateType::kSx:
+      return "sx";
+    case GateType::kRx:
+      return "rx";
+    case GateType::kRy:
+      return "ry";
+    case GateType::kRz:
+      return "rz";
+    case GateType::kCx:
+      return "cx";
+    case GateType::kCz:
+      return "cz";
+    case GateType::kSwap:
+      return "swap";
+    case GateType::kRzz:
+      return "rzz";
+    case GateType::kMs:
+      return "ms";
+  }
+  return "unknown";
+}
+
+bool IsTwoQubitGate(GateType type) {
+  switch (type) {
+    case GateType::kCx:
+    case GateType::kCz:
+    case GateType::kSwap:
+    case GateType::kRzz:
+    case GateType::kMs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsParameterised(GateType type) {
+  switch (type) {
+    case GateType::kRx:
+    case GateType::kRy:
+    case GateType::kRz:
+    case GateType::kRzz:
+    case GateType::kMs:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Gate::ToString() const {
+  std::ostringstream os;
+  os << GateTypeName(type);
+  if (IsParameterised(type)) os << "(" << parameter << ")";
+  os << " ";
+  for (size_t i = 0; i < qubits.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "q" << qubits[i];
+  }
+  return os.str();
+}
+
+}  // namespace qjo

@@ -1,0 +1,73 @@
+#include "circuit/qaoa_builder.h"
+
+#include <vector>
+
+namespace qjo {
+
+std::vector<std::tuple<int, int, double>> ScheduleCommutingTerms(
+    const std::vector<std::tuple<int, int, double>>& couplings,
+    int num_qubits) {
+  std::vector<std::tuple<int, int, double>> scheduled;
+  scheduled.reserve(couplings.size());
+  std::vector<bool> used(couplings.size(), false);
+  std::vector<bool> busy(num_qubits);
+  size_t remaining = couplings.size();
+  while (remaining > 0) {
+    std::fill(busy.begin(), busy.end(), false);
+    for (size_t e = 0; e < couplings.size(); ++e) {
+      if (used[e]) continue;
+      const auto& [a, b, w] = couplings[e];
+      if (busy[a] || busy[b]) continue;
+      busy[a] = true;
+      busy[b] = true;
+      used[e] = true;
+      scheduled.push_back(couplings[e]);
+      --remaining;
+    }
+  }
+  return scheduled;
+}
+
+StatusOr<QuantumCircuit> BuildQaoaCircuit(const IsingModel& ising,
+                                          const QaoaParameters& parameters,
+                                          const QaoaBuilderOptions& options) {
+  if (parameters.gammas.empty() ||
+      parameters.gammas.size() != parameters.betas.size()) {
+    return Status::InvalidArgument(
+        "QAOA needs matching non-empty gamma/beta vectors");
+  }
+  const int n = ising.num_spins();
+  if (n == 0) return Status::InvalidArgument("empty Hamiltonian");
+
+  const std::vector<std::tuple<int, int, double>> couplings =
+      options.schedule_cost_layer
+          ? ScheduleCommutingTerms(ising.couplings, n)
+          : ising.couplings;
+
+  QuantumCircuit circuit(n);
+  for (int q = 0; q < n; ++q) circuit.H(q);
+  for (int rep = 0; rep < parameters.p(); ++rep) {
+    const double gamma = parameters.gammas[rep];
+    const double beta = parameters.betas[rep];
+    // Cost operator exp(-i gamma H_C): with RZ(t) = exp(-i t Z/2) a field
+    // h_i contributes RZ(2 gamma h_i); a coupling J_ij contributes
+    // RZZ(2 gamma J_ij).
+    for (int q = 0; q < n; ++q) {
+      if (ising.h[q] != 0.0) circuit.Rz(q, 2.0 * gamma * ising.h[q]);
+    }
+    for (const auto& [i, j, w] : couplings) {
+      if (w != 0.0) circuit.Rzz(i, j, 2.0 * gamma * w);
+    }
+    // Mixer exp(-i beta sum X) = RX(2 beta) on every qubit.
+    for (int q = 0; q < n; ++q) circuit.Rx(q, 2.0 * beta);
+  }
+  return circuit;
+}
+
+StatusOr<QuantumCircuit> BuildQaoaCircuit(const Qubo& qubo,
+                                          const QaoaParameters& parameters,
+                                          const QaoaBuilderOptions& options) {
+  return BuildQaoaCircuit(QuboToIsing(qubo), parameters, options);
+}
+
+}  // namespace qjo

@@ -1,0 +1,55 @@
+#ifndef QJO_CIRCUIT_QAOA_BUILDER_H_
+#define QJO_CIRCUIT_QAOA_BUILDER_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// QAOA variational parameters: one (gamma, beta) pair per repetition p.
+struct QaoaParameters {
+  std::vector<double> gammas;
+  std::vector<double> betas;
+
+  int p() const { return static_cast<int>(gammas.size()); }
+};
+
+/// Circuit-generation options.
+struct QaoaBuilderOptions {
+  /// All gates of one cost layer commute, so their order is free. When
+  /// set, the RZZ terms are scheduled into greedy matching rounds (no
+  /// qubit twice per round), which compresses the logical cost-layer
+  /// depth from "however the terms happened to be ordered" towards the
+  /// graph's chromatic index. The paper's conclusion names efficient
+  /// circuit generation as an open problem; this is the zero-cost part.
+  bool schedule_cost_layer = false;
+};
+
+/// Builds the depth-2p QAOA circuit (Farhi et al.) for an Ising
+/// Hamiltonian: H^n, then p alternations of the diagonal cost operator
+/// exp(-i gamma H_C) (RZ for fields, RZZ for couplings) and the transverse
+/// mixer exp(-i beta sum X) (RX). Fails when gammas/betas sizes differ or
+/// are empty.
+StatusOr<QuantumCircuit> BuildQaoaCircuit(
+    const IsingModel& ising, const QaoaParameters& parameters,
+    const QaoaBuilderOptions& options = QaoaBuilderOptions{});
+
+/// Convenience overload: converts the QUBO to Ising first.
+StatusOr<QuantumCircuit> BuildQaoaCircuit(
+    const Qubo& qubo, const QaoaParameters& parameters,
+    const QaoaBuilderOptions& options = QaoaBuilderOptions{});
+
+/// Greedy matching-round schedule of an interaction list: returns the
+/// same couplings reordered so that consecutive "rounds" touch each qubit
+/// at most once. Exposed for testing and reuse.
+std::vector<std::tuple<int, int, double>> ScheduleCommutingTerms(
+    const std::vector<std::tuple<int, int, double>>& couplings,
+    int num_qubits);
+
+}  // namespace qjo
+
+#endif  // QJO_CIRCUIT_QAOA_BUILDER_H_

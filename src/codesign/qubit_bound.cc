@@ -1,0 +1,57 @@
+#include "codesign/qubit_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qjo {
+
+double MaxLogCardinality(const std::vector<double>& log_cardinalities,
+                         int j) {
+  std::vector<double> sorted = log_cardinalities;
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double sum = 0.0;
+  const int count = std::min<int>(j + 1, static_cast<int>(sorted.size()));
+  for (int i = 0; i < count; ++i) sum += sorted[i];
+  return sum;
+}
+
+StatusOr<int> QubitUpperBound(const QubitBoundSpec& spec) {
+  const int t = spec.num_relations;
+  const int p = spec.num_predicates;
+  const int r = spec.num_thresholds;
+  if (t < 2) return Status::InvalidArgument("need at least 2 relations");
+  if (p < 0 || r < 0) return Status::InvalidArgument("negative counts");
+  if (!(spec.omega > 0.0)) {
+    return Status::InvalidArgument("omega must be positive");
+  }
+  if (static_cast<int>(spec.log_cardinalities.size()) != t) {
+    return Status::InvalidArgument("need one log-cardinality per relation");
+  }
+  const int j = t - 1;
+  long long bound = 2LL * t * j + (3LL * p + r) * (j - 1) + t;
+  for (int join = 1; join < j; ++join) {
+    const double cj_max = MaxLogCardinality(spec.log_cardinalities, join);
+    const double ratio = cj_max / spec.omega;
+    const int bits =
+        ratio >= 1.0
+            ? static_cast<int>(std::floor(std::log2(ratio))) + 1
+            : 0;
+    bound += static_cast<long long>(r) * bits;
+  }
+  return static_cast<int>(bound);
+}
+
+StatusOr<int> QubitUpperBound(const Query& query, int num_thresholds,
+                              double omega) {
+  QubitBoundSpec spec;
+  spec.num_relations = query.num_relations();
+  spec.num_predicates = query.num_predicates();
+  spec.num_thresholds = num_thresholds;
+  spec.omega = omega;
+  for (const Relation& rel : query.relations()) {
+    spec.log_cardinalities.push_back(std::log10(rel.cardinality));
+  }
+  return QubitUpperBound(spec);
+}
+
+}  // namespace qjo

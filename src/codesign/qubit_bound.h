@@ -1,0 +1,38 @@
+#ifndef QJO_CODESIGN_QUBIT_BOUND_H_
+#define QJO_CODESIGN_QUBIT_BOUND_H_
+
+#include <vector>
+
+#include "jo/query.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Inputs of the Theorem 5.3 qubit bound.
+struct QubitBoundSpec {
+  int num_relations = 0;   ///< T
+  int num_predicates = 0;  ///< P
+  int num_thresholds = 0;  ///< R
+  double omega = 1.0;      ///< discretisation precision
+  /// log10 cardinalities of the relations, any order.
+  std::vector<double> log_cardinalities;
+};
+
+/// Theorem 5.3: an upper bound on the number of binary variables (=
+/// logical qubits) needed to encode a JO problem:
+///   n <= 2TJ + (3P+R)(J-1) + T + R * sum_{j=1}^{J-1}
+///        (floor(log2(c_jmax / omega)) + 1)
+/// where c_jmax is the Lemma 5.2 bound. Fails for T < 2 or omega <= 0.
+StatusOr<int> QubitUpperBound(const QubitBoundSpec& spec);
+
+/// Convenience: derives the spec from a concrete query.
+StatusOr<int> QubitUpperBound(const Query& query, int num_thresholds,
+                              double omega);
+
+/// Lemma 5.2 for a standalone cardinality list: max logarithmic cardinality
+/// of the outer operand of join j (sum of the j+1 largest entries).
+double MaxLogCardinality(const std::vector<double>& log_cardinalities, int j);
+
+}  // namespace qjo
+
+#endif  // QJO_CODESIGN_QUBIT_BOUND_H_

@@ -1,0 +1,123 @@
+#include "core/postprocess.h"
+
+#include <cmath>
+
+namespace qjo {
+
+StatusOr<LeftDeepOrder> DecodeSample(const JoMilpModel& encoding,
+                                     const std::vector<int>& bits) {
+  const int t = encoding.num_relations();
+  const int j = encoding.num_joins();
+  if (static_cast<int>(bits.size()) < encoding.model().num_variables()) {
+    return Status::InvalidArgument("sample smaller than variable count");
+  }
+
+  std::vector<int> order;
+  std::vector<bool> used(t, false);
+  // Inner operands: exactly one relation per join, no repeats.
+  for (int join = 0; join < j; ++join) {
+    int inner = -1;
+    for (int rel = 0; rel < t; ++rel) {
+      if (bits[encoding.tii(rel, join)] == 1) {
+        if (inner != -1) {
+          return Status::InvalidArgument("ambiguous inner operand");
+        }
+        inner = rel;
+      }
+    }
+    if (inner < 0) return Status::InvalidArgument("join without inner operand");
+    if (used[inner]) return Status::InvalidArgument("relation reused");
+    used[inner] = true;
+    order.push_back(inner);
+  }
+  // The remaining relation is the outer operand of the first join.
+  int outer = -1;
+  for (int rel = 0; rel < t; ++rel) {
+    if (!used[rel]) {
+      if (outer != -1) return Status::InvalidArgument("no unique outer");
+      outer = rel;
+    }
+  }
+  if (outer < 0) return Status::Internal("no remaining outer relation");
+  order.insert(order.begin(), outer);
+  return LeftDeepOrder::Create(std::move(order), encoding.query());
+}
+
+StatusOr<std::vector<int>> EncodeOrderAsAssignment(
+    const JoMilpModel& encoding, const LeftDeepOrder& order) {
+  const Query& query = encoding.query();
+  if (order.size() != query.num_relations()) {
+    return Status::InvalidArgument("order does not match query");
+  }
+  if (encoding.options().variant != JoModelVariant::kPruned) {
+    return Status::InvalidArgument("only the pruned model is supported");
+  }
+  std::vector<int> bits(encoding.model().num_variables(), 0);
+  const int j_count = encoding.num_joins();
+
+  // Leaves: order[0] is the outer operand of join 0, order[j+1] the inner
+  // operand of join j; Eq. (3) then fixes all later tio variables.
+  bits[encoding.tio(order[0], 0)] = 1;
+  for (int j = 0; j < j_count; ++j) {
+    bits[encoding.tii(order[j + 1], j)] = 1;
+    for (int i = 0; i <= j; ++i) {
+      if (j + 1 < j_count) bits[encoding.tio(order[i], j + 1)] = 1;
+    }
+    if (j + 1 < j_count) bits[encoding.tio(order[j + 1], j + 1)] = 1;
+  }
+
+  // Predicates and thresholds per join.
+  for (int j = 1; j < j_count; ++j) {
+    double cj = 0.0;
+    for (int t = 0; t < query.num_relations(); ++t) {
+      if (bits[encoding.tio(t, j)]) {
+        cj += std::log10(query.relation(t).cardinality);
+      }
+    }
+    for (int p = 0; p < query.num_predicates(); ++p) {
+      const int pao = encoding.pao(p, j);
+      if (pao < 0) continue;
+      if (bits[encoding.tio(query.predicate(p).left, j)] &&
+          bits[encoding.tio(query.predicate(p).right, j)]) {
+        bits[pao] = 1;
+        cj += std::log10(query.predicate(p).selectivity);
+      }
+    }
+    for (int r = 0;
+         r < static_cast<int>(encoding.options().thresholds.size()); ++r) {
+      const int cto = encoding.cto(r, j);
+      if (cto < 0) continue;
+      const double log_theta =
+          std::log10(encoding.options().thresholds[r]);
+      if (cj > log_theta + 1e-12) bits[cto] = 1;
+    }
+  }
+  return bits;
+}
+
+SampleSetStats EvaluateSamples(const JoMilpModel& encoding,
+                               const std::vector<std::vector<int>>& samples,
+                               double optimal_cost, const BilpModel* bilp) {
+  SampleSetStats stats;
+  stats.total = static_cast<int>(samples.size());
+  for (const auto& bits : samples) {
+    if (bilp != nullptr &&
+        static_cast<int>(bits.size()) >= bilp->num_variables() &&
+        bilp->IsFeasible(bits)) {
+      ++stats.bilp_feasible;
+    }
+    auto order = DecodeSample(encoding, bits);
+    if (!order.ok()) continue;
+    ++stats.valid;
+    const double cost = Cost(encoding.query(), *order);
+    if (!stats.found_valid || cost < stats.best_cost) {
+      stats.found_valid = true;
+      stats.best_cost = cost;
+      stats.best_order = *order;
+    }
+    if (cost <= optimal_cost * (1.0 + 1e-9) + 1e-12) ++stats.optimal;
+  }
+  return stats;
+}
+
+}  // namespace qjo

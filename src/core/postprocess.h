@@ -1,0 +1,63 @@
+#ifndef QJO_CORE_POSTPROCESS_H_
+#define QJO_CORE_POSTPROCESS_H_
+
+#include <vector>
+
+#include "jo/join_tree.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Decodes one QPU sample (a 0/1 assignment over at least the problem
+/// variables of the encoding) into a left-deep join order, following the
+/// paper's postprocessing (Sec. 3.5): a sample is *valid* iff the tii
+/// variables select exactly one distinct relation per join; the first
+/// join's outer relation follows by elimination. Violations of cardinality
+/// constraints do not invalidate a sample. Returns InvalidArgument for
+/// ambiguous/invalid samples.
+StatusOr<LeftDeepOrder> DecodeSample(const JoMilpModel& encoding,
+                                     const std::vector<int>& bits);
+
+/// Aggregate statistics over a sample set, the Table 2 / Table 3 metrics.
+struct SampleSetStats {
+  int total = 0;
+  int valid = 0;             ///< decodable into a unique join tree
+  int optimal = 0;           ///< valid and cost-optimal
+  int bilp_feasible = 0;     ///< satisfies every BILP constraint exactly
+  double best_cost = 0.0;    ///< cost of the best valid join order
+  bool found_valid = false;
+  LeftDeepOrder best_order;
+
+  double valid_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(valid) / total;
+  }
+  double optimal_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(optimal) / total;
+  }
+};
+
+/// Inverse of DecodeSample: the canonical MILP assignment of a left-deep
+/// order — tio/tii per the join tree, pao set whenever both relations of a
+/// predicate are in the outer operand, cto set exactly when the
+/// logarithmic cardinality exceeds the threshold. The result is feasible
+/// for the *pruned MILP model* (slack variables are not part of it) and
+/// its objective value is the staircase-approximated cost of the order.
+StatusOr<std::vector<int>> EncodeOrderAsAssignment(
+    const JoMilpModel& encoding, const LeftDeepOrder& order);
+
+/// Decodes every sample, evaluates costs with the true C_out model, and
+/// counts valid/optimal solutions. `optimal_cost` is the ground-truth
+/// optimum (from the classical DP oracle); costs within a relative 1e-9
+/// of it count as optimal. If `bilp` is non-null, samples satisfying every
+/// BILP constraint exactly are tallied in `bilp_feasible` (the paper notes
+/// that on hardware *no* sample reached the minimal penalty).
+SampleSetStats EvaluateSamples(const JoMilpModel& encoding,
+                               const std::vector<std::vector<int>>& samples,
+                               double optimal_cost,
+                               const BilpModel* bilp = nullptr);
+
+}  // namespace qjo
+
+#endif  // QJO_CORE_POSTPROCESS_H_

@@ -1,0 +1,208 @@
+#include "core/quantum_optimizer.h"
+
+#include <sstream>
+
+#include "circuit/qaoa_builder.h"
+#include "jo/classical.h"
+#include "qubo/ising.h"
+#include "qubo/solvers.h"
+#include "sim/qaoa_analytic.h"
+#include "sim/qaoa_simulator.h"
+#include "topology/vendor_topologies.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace qjo {
+
+QjoConfig::QjoConfig() : device(IbmAucklandProperties()) {
+  transpile.gate_set = NativeGateSet::kIbm;
+  sqa.num_reads = 1000;
+  sqa.ice_sigma = 0.015;
+}
+
+const char* QjoBackendName(QjoBackend backend) {
+  switch (backend) {
+    case QjoBackend::kExact:
+      return "exact";
+    case QjoBackend::kSimulatedAnnealing:
+      return "simulated_annealing";
+    case QjoBackend::kQaoaSimulator:
+      return "qaoa_simulator";
+    case QjoBackend::kQuantumAnnealerSim:
+      return "quantum_annealer_sim";
+  }
+  return "unknown";
+}
+
+std::string QjoReport::Summary() const {
+  std::ostringstream os;
+  os << "logical qubits: " << bilp_variables
+     << ", quadratic terms: " << qubo_quadratic_terms << "\n";
+  if (circuit_depth > 0) {
+    os << "circuit depth: " << circuit_depth
+       << ", 2q gates: " << two_qubit_gates
+       << ", est. fidelity: " << FormatDouble(fidelity, 4) << "\n";
+  }
+  if (physical_qubits > 0) {
+    os << "physical qubits: " << physical_qubits
+       << ", max chain: " << max_chain_length
+       << ", chain breaks: " << FormatPercent(mean_chain_break_fraction)
+       << "\n";
+  }
+  os << "samples: " << stats.total << " (valid "
+     << FormatPercent(stats.valid_fraction()) << ", optimal "
+     << FormatPercent(stats.optimal_fraction()) << ")\n";
+  if (found_valid) {
+    os << "best cost: " << best_cost << " (optimum " << optimal_cost << ")";
+  } else {
+    os << "no valid solution sampled (optimum " << optimal_cost << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Expands a sampled basis state into a bit vector (LSB = variable 0).
+std::vector<int> BasisToBits(uint64_t basis, int num_bits) {
+  std::vector<int> bits(num_bits);
+  for (int i = 0; i < num_bits; ++i) {
+    bits[i] = static_cast<int>((basis >> i) & 1);
+  }
+  return bits;
+}
+
+}  // namespace
+
+StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
+                                      const QjoConfig& config) {
+  if (query.num_relations() < 2) {
+    return Status::InvalidArgument("need at least 2 relations");
+  }
+  Rng rng(config.seed);
+
+  // --- Encode: JO -> MILP -> BILP -> QUBO (Sec. 3). ---
+  JoMilpOptions milp_options;
+  milp_options.thresholds =
+      config.thresholds.empty()
+          ? MakeGeometricThresholds(query, config.num_thresholds)
+          : config.thresholds;
+  milp_options.omega = config.omega;
+  QJO_ASSIGN_OR_RETURN(JoMilpModel milp, EncodeJoAsMilp(query, milp_options));
+  QJO_ASSIGN_OR_RETURN(BilpModel bilp,
+                       LowerToBilp(milp.model(), config.omega));
+  QuboConversionOptions qubo_options;
+  qubo_options.omega = config.omega;
+  QJO_ASSIGN_OR_RETURN(QuboEncoding encoding,
+                       ConvertBilpToQubo(bilp, qubo_options));
+
+  QjoReport report;
+  report.milp_variables = milp.model().num_variables();
+  report.bilp_variables = bilp.num_variables();
+  report.qubo_quadratic_terms = encoding.qubo.num_quadratic_terms();
+
+  // Ground truth for optimality labelling.
+  QJO_ASSIGN_OR_RETURN(JoResult oracle, OptimizeDp(query));
+  report.optimal_order = oracle.order;
+  report.optimal_cost = oracle.cost;
+
+  // --- Solve on the selected backend. ---
+  std::vector<std::vector<int>> samples;
+  switch (config.backend) {
+    case QjoBackend::kExact: {
+      QJO_ASSIGN_OR_RETURN(QuboSolution best,
+                           SolveQuboBruteForce(encoding.qubo));
+      samples.push_back(best.assignment);
+      break;
+    }
+    case QjoBackend::kSimulatedAnnealing: {
+      SaOptions sa;
+      sa.num_reads = std::max(1, config.shots / 8);
+      const std::vector<QuboSolution> reads =
+          SolveQuboSimulatedAnnealing(encoding.qubo, sa, rng);
+      for (const auto& read : reads) samples.push_back(read.assignment);
+      break;
+    }
+    case QjoBackend::kQaoaSimulator: {
+      const IsingModel ising = QuboToIsing(encoding.qubo);
+      QJO_ASSIGN_OR_RETURN(QaoaSimulator sim, QaoaSimulator::Create(ising));
+      const QaoaAngles angles =
+          OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
+      report.gamma = angles.gamma;
+      report.beta = angles.beta;
+      QaoaParameters params;
+      params.gammas = {angles.gamma};
+      params.betas = {angles.beta};
+      sim.Run(params);
+
+      // Transpile the circuit for the device to obtain depth and fidelity.
+      QJO_ASSIGN_OR_RETURN(QuantumCircuit logical,
+                           BuildQaoaCircuit(ising, params));
+      const CouplingGraph topology = config.gate_topology.has_value()
+                                         ? *config.gate_topology
+                                         : MakeIbmFalcon27();
+      TranspileOptions transpile = config.transpile;
+      transpile.seed = rng.Next();
+      QJO_ASSIGN_OR_RETURN(TranspileResult physical,
+                           Transpile(logical, topology, transpile));
+      report.circuit_depth = physical.depth;
+      report.two_qubit_gates = physical.two_qubit_gate_count;
+      report.fidelity =
+          config.noiseless
+              ? 1.0
+              : EstimateCircuitFidelity(physical.circuit, config.device);
+      report.timings =
+          EstimateQpuTimings(physical.circuit, config.shots, config.device);
+
+      const std::vector<uint64_t> raw =
+          sim.Sample(config.shots, report.fidelity, rng);
+      samples.reserve(raw.size());
+      for (uint64_t basis : raw) {
+        samples.push_back(BasisToBits(basis, bilp.num_variables()));
+      }
+      break;
+    }
+    case QjoBackend::kQuantumAnnealerSim: {
+      CouplingGraph topology;
+      if (config.annealer_topology.has_value()) {
+        topology = *config.annealer_topology;
+      } else {
+        QJO_ASSIGN_OR_RETURN(topology, MakePegasus(6));
+      }
+      QJO_ASSIGN_OR_RETURN(
+          Embedding embedding,
+          FindMinorEmbedding(encoding.qubo.Edges(),
+                             encoding.qubo.num_variables(), topology,
+                             config.embedding, rng));
+      QJO_ASSIGN_OR_RETURN(
+          EmbeddedQubo embedded,
+          EmbedQubo(encoding.qubo, embedding, topology, config.embed_qubo));
+      report.physical_qubits = embedding.NumPhysicalQubits();
+      report.max_chain_length = embedding.MaxChainLength();
+      report.chain_strength = embedded.chain_strength;
+
+      const IsingModel physical_ising = QuboToIsing(embedded.physical);
+      QJO_ASSIGN_OR_RETURN(std::vector<SqaSample> reads,
+                           RunSqa(physical_ising, config.sqa, rng));
+      double chain_breaks = 0.0;
+      for (const SqaSample& read : reads) {
+        const UnembeddedSample logical =
+            UnembedSample(SpinsToBits(read.spins), embedding, rng);
+        chain_breaks += logical.chain_break_fraction;
+        samples.push_back(logical.logical_bits);
+      }
+      if (!reads.empty()) {
+        report.mean_chain_break_fraction =
+            chain_breaks / static_cast<double>(reads.size());
+      }
+      break;
+    }
+  }
+
+  report.stats = EvaluateSamples(milp, samples, oracle.cost, &bilp);
+  report.found_valid = report.stats.found_valid;
+  report.best_order = report.stats.best_order;
+  report.best_cost = report.stats.best_cost;
+  return report;
+}
+
+}  // namespace qjo

@@ -1,0 +1,116 @@
+#ifndef QJO_CORE_QUANTUM_OPTIMIZER_H_
+#define QJO_CORE_QUANTUM_OPTIMIZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/postprocess.h"
+#include "embedding/embedded_qubo.h"
+#include "embedding/minor_embedding.h"
+#include "jo/join_tree.h"
+#include "jo/query.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "sim/device.h"
+#include "sim/sqa.h"
+#include "topology/coupling_graph.h"
+#include "transpiler/transpiler.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Execution backends of the quantum join-ordering pipeline.
+enum class QjoBackend {
+  /// Exact QUBO minimisation (Gray-code brute force) — the "perfect QPU".
+  kExact,
+  /// Classical simulated annealing on the logical QUBO.
+  kSimulatedAnnealing,
+  /// Gate-based flow: QAOA p=1, angles tuned classically, sampled through
+  /// the depolarising noise model of a transpiled circuit (Table 2 setup).
+  kQaoaSimulator,
+  /// Annealer flow: minor-embed onto a Pegasus graph and run SQA with ICE
+  /// noise (Table 3 setup).
+  kQuantumAnnealerSim,
+};
+
+const char* QjoBackendName(QjoBackend backend);
+
+/// Configuration of the end-to-end pipeline. Defaults reproduce the
+/// paper's experimental setup at small scale.
+struct QjoConfig {
+  QjoBackend backend = QjoBackend::kExact;
+
+  /// Problem encoding (Sec. 3): threshold values (empty = geometric
+  /// defaults) and discretisation precision.
+  std::vector<double> thresholds;
+  int num_thresholds = 1;  ///< used when `thresholds` is empty
+  double omega = 1.0;
+
+  uint64_t seed = 7;
+
+  // --- Gate-based options. ---
+  int shots = 1024;
+  int qaoa_iterations = 20;
+  DeviceProperties device;        ///< defaults to IBM Q Auckland
+  TranspileOptions transpile;     ///< gate set defaults to IBM
+  /// Topology for transpilation; empty = IBM Falcon 27.
+  std::optional<CouplingGraph> gate_topology;
+  /// Disable the noise model (ideal sampling).
+  bool noiseless = false;
+
+  // --- Annealer options. ---
+  SqaOptions sqa;
+  EmbeddingOptions embedding;
+  EmbedQuboOptions embed_qubo;
+  /// Hardware graph for embedding; empty = Pegasus P6 (720 qubits; use
+  /// MakePegasus(16) for the full Advantage scale).
+  std::optional<CouplingGraph> annealer_topology;
+
+  QjoConfig();
+};
+
+/// Everything the pipeline learned about one optimisation run.
+struct QjoReport {
+  /// Best valid join order found by the backend, if any.
+  bool found_valid = false;
+  LeftDeepOrder best_order;
+  double best_cost = 0.0;
+
+  /// Ground truth (classical DP oracle) for comparison.
+  LeftDeepOrder optimal_order;
+  double optimal_cost = 0.0;
+
+  SampleSetStats stats;
+
+  // Problem-size diagnostics.
+  int milp_variables = 0;
+  int bilp_variables = 0;  ///< logical qubits
+  int qubo_quadratic_terms = 0;
+
+  // Gate-based diagnostics (QAOA backend).
+  int circuit_depth = 0;
+  int two_qubit_gates = 0;
+  double fidelity = 1.0;
+  double gamma = 0.0;
+  double beta = 0.0;
+  QpuTimings timings;
+
+  // Annealer diagnostics.
+  int physical_qubits = 0;
+  int max_chain_length = 0;
+  double chain_strength = 0.0;
+  double mean_chain_break_fraction = 0.0;
+
+  std::string Summary() const;
+};
+
+/// Runs the full pipeline of Sec. 3 on `query` and returns the report.
+/// Fails when the problem exceeds the backend's capabilities (e.g. too
+/// many logical qubits for the QAOA simulator, or no embedding found).
+StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
+                                      const QjoConfig& config);
+
+}  // namespace qjo
+
+#endif  // QJO_CORE_QUANTUM_OPTIMIZER_H_

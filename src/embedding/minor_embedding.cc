@@ -1,0 +1,505 @@
+#include "embedding/minor_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <cstdio>
+#include <queue>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Working state of one embedding attempt.
+struct Attempt {
+  Attempt(int num_logical, const CouplingGraph& target)
+      : chains(num_logical),
+        usage(target.num_qubits(), 0),
+        target(&target) {}
+
+  /// Cost of routing *through* physical qubit q: exponential in how many
+  /// chains already occupy it (the CMR diffusion penalty).
+  double NodeCost(int q, double alpha) const {
+    if (usage[q] == 0) return 1.0;
+    return std::pow(alpha, std::min(usage[q], 12));
+  }
+
+  void AssignChain(int node, std::vector<int> chain) {
+    for (int q : chains[node]) --usage[q];
+    chains[node] = std::move(chain);
+    for (int q : chains[node]) ++usage[q];
+  }
+
+  void ClearChain(int node) { AssignChain(node, {}); }
+
+  int OverusedQubits() const {
+    int count = 0;
+    for (int u : usage) {
+      if (u > 1) ++count;
+    }
+    return count;
+  }
+
+  std::vector<std::vector<int>> chains;
+  std::vector<int> usage;
+  const CouplingGraph* target;
+};
+
+/// Multi-source Dijkstra from a chain; node weights (precomputed in
+/// `node_cost`) are paid on entry. dist[q] = cheapest cost of a path
+/// chain -> q (excluding the chain's own qubits, which cost 0);
+/// parent[q] = predecessor towards the chain.
+void DijkstraFromChain(const Attempt& attempt, const std::vector<int>& chain,
+                       const std::vector<double>& node_cost,
+                       std::vector<double>& dist, std::vector<int>& parent) {
+  const CouplingGraph& g = *attempt.target;
+  dist.assign(g.num_qubits(), kInf);
+  parent.assign(g.num_qubits(), -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue;
+  for (int q : chain) {
+    dist[q] = 0.0;
+    queue.emplace(0.0, q);
+  }
+  while (!queue.empty()) {
+    const auto [d, q] = queue.top();
+    queue.pop();
+    if (d > dist[q]) continue;
+    for (int next : g.Neighbors(q)) {
+      const double nd = d + node_cost[next];
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        parent[next] = q;
+        queue.emplace(nd, next);
+      }
+    }
+  }
+}
+
+/// (Re-)routes `node`: places a root minimising the summed distance to all
+/// embedded neighbours and connects it to each neighbour chain along the
+/// Dijkstra tree. Returns false if no placement exists.
+void PruneChain(Attempt& attempt, int node,
+                const std::vector<std::vector<int>>& source_adj);
+
+enum class RouteMode {
+  kCapped,  ///< doubly-used qubits blocked (keeps the packing loose)
+  kSoft,    ///< any qubit usable at exponential cost
+  kHard,    ///< only free qubits usable
+};
+
+/// Routes `node` under the given occupancy policy.
+bool RouteNodeImpl(Attempt& attempt, int node,
+                   const std::vector<std::vector<int>>& source_adj,
+                   double alpha, Rng& rng, RouteMode mode);
+
+/// Routes `node`: optionally capped first (CMR occupancy bound), falling
+/// back to the soft exponential-cost policy when the cap makes a
+/// neighbour chain unreachable. In `hard` mode occupied qubits are
+/// forbidden entirely, so a successful hard re-route can never introduce
+/// a new overlap. The cap keeps large instances loosely packed but can
+/// lock up tiny targets, so improvement passes alternate it on and off.
+bool RouteNode(Attempt& attempt, int node,
+               const std::vector<std::vector<int>>& source_adj, double alpha,
+               Rng& rng, bool hard = false, bool capped = true) {
+  if (hard) {
+    return RouteNodeImpl(attempt, node, source_adj, alpha, rng,
+                         RouteMode::kHard);
+  }
+  if (capped && RouteNodeImpl(attempt, node, source_adj, alpha, rng,
+                              RouteMode::kCapped)) {
+    return true;
+  }
+  return RouteNodeImpl(attempt, node, source_adj, alpha, rng,
+                       RouteMode::kSoft);
+}
+
+bool RouteNodeImpl(Attempt& attempt, int node,
+                   const std::vector<std::vector<int>>& source_adj,
+                   double alpha, Rng& rng, RouteMode mode) {
+  const bool hard = mode == RouteMode::kHard;
+  const CouplingGraph& g = *attempt.target;
+  attempt.ClearChain(node);
+
+  // Usage costs are fixed for the duration of this call; precompute them
+  // (pow() per edge relaxation would dominate otherwise). The multiplicative
+  // jitter randomises path choices so successive re-routes explore
+  // different configurations instead of deterministically recreating the
+  // same conflicts. Qubits already shared by two chains are blocked
+  // outright (the CMR occupancy cap), which keeps the packing loose enough
+  // for conflicts to resolve.
+  std::vector<double> node_cost(g.num_qubits());
+  for (int q = 0; q < g.num_qubits(); ++q) {
+    if (hard) {
+      node_cost[q] = attempt.usage[q] > 0 ? kInf : 1.0;
+    } else if (mode == RouteMode::kCapped && attempt.usage[q] >= 2) {
+      node_cost[q] = kInf;
+    } else {
+      node_cost[q] = attempt.NodeCost(q, alpha) *
+                     (1.0 + 0.5 * rng.UniformDouble());
+    }
+  }
+
+  std::vector<int> embedded_neighbors;
+  for (int nb : source_adj[node]) {
+    if (!attempt.chains[nb].empty()) embedded_neighbors.push_back(nb);
+  }
+
+  if (embedded_neighbors.empty()) {
+    // First node of a component: place on a random least-used qubit.
+    int best = -1;
+    double best_cost = kInf;
+    for (int q = 0; q < g.num_qubits(); ++q) {
+      const double cost = node_cost[q] + rng.UniformDouble() * 0.01;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = q;
+      }
+    }
+    attempt.AssignChain(node, {best});
+    return true;
+  }
+
+  // Distance fields from every embedded neighbour chain.
+  std::vector<std::vector<double>> dists(embedded_neighbors.size());
+  std::vector<std::vector<int>> parents(embedded_neighbors.size());
+  for (size_t i = 0; i < embedded_neighbors.size(); ++i) {
+    DijkstraFromChain(attempt, attempt.chains[embedded_neighbors[i]],
+                      node_cost, dists[i], parents[i]);
+  }
+
+  // Root choice: minimise sum of distances plus own cost.
+  int root = -1;
+  double best_total = kInf;
+  for (int q = 0; q < g.num_qubits(); ++q) {
+    double total = node_cost[q];
+    bool reachable = true;
+    for (const auto& dist : dists) {
+      if (dist[q] == kInf) {
+        reachable = false;
+        break;
+      }
+      total += dist[q];
+    }
+    if (!reachable) continue;
+    total += rng.UniformDouble() * 1e-3;  // tie-break
+    if (total < best_total) {
+      best_total = total;
+      root = q;
+    }
+  }
+  if (root < 0) return false;
+
+  // Chain = root plus the interior of each root->neighbour-chain path.
+  std::unordered_set<int> chain_set{root};
+  for (size_t i = 0; i < embedded_neighbors.size(); ++i) {
+    int q = root;
+    // Walk towards the neighbour chain; stop at its first qubit.
+    while (dists[i][q] > 0.0) {
+      const int prev = parents[i][q];
+      QJO_CHECK_GE(prev, 0);
+      if (dists[i][prev] > 0.0) chain_set.insert(prev);
+      q = prev;
+    }
+  }
+  attempt.AssignChain(node,
+                      std::vector<int>(chain_set.begin(), chain_set.end()));
+  PruneChain(attempt, node, source_adj);
+  return true;
+}
+
+/// Minimises one chain: keeps only qubits needed for connectivity to the
+/// node's neighbour chains (prunes leaves of the chain's induced subtree
+/// that touch no neighbour chain). Called after every (re-)route so the
+/// working embedding stays lean; blob-shaped intermediate chains would
+/// otherwise pack the hardware so densely that conflicts cannot resolve.
+void PruneChain(Attempt& attempt, int node,
+                const std::vector<std::vector<int>>& source_adj) {
+  const CouplingGraph& g = *attempt.target;
+  {
+    std::vector<int> chain = attempt.chains[node];
+    if (chain.size() <= 1) return;
+    std::unordered_set<int> members(chain.begin(), chain.end());
+
+    // Mark qubits adjacent to some neighbour chain as required anchors.
+    std::unordered_set<int> anchors;
+    for (int nb : source_adj[node]) {
+      for (int q : attempt.chains[nb]) {
+        for (int adj : g.Neighbors(q)) {
+          if (members.count(adj)) {
+            anchors.insert(adj);
+          }
+        }
+      }
+    }
+    if (anchors.empty()) anchors.insert(chain[0]);
+
+    // Repeatedly drop non-anchor leaves of the induced subgraph.
+    bool changed = true;
+    while (changed && members.size() > 1) {
+      changed = false;
+      for (auto it = members.begin(); it != members.end();) {
+        const int q = *it;
+        if (anchors.count(q)) {
+          ++it;
+          continue;
+        }
+        int internal_degree = 0;
+        for (int adj : g.Neighbors(q)) {
+          if (members.count(adj)) ++internal_degree;
+        }
+        if (internal_degree <= 1) {
+          it = members.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    attempt.AssignChain(
+        node, std::vector<int>(members.begin(), members.end()));
+  }
+}
+
+/// Minimises every chain.
+void PruneChains(Attempt& attempt,
+                 const std::vector<std::vector<int>>& source_adj) {
+  for (int node = 0; node < static_cast<int>(attempt.chains.size()); ++node) {
+    PruneChain(attempt, node, source_adj);
+  }
+}
+
+}  // namespace
+
+int Embedding::NumPhysicalQubits() const {
+  int total = 0;
+  for (const auto& chain : chains) total += static_cast<int>(chain.size());
+  return total;
+}
+
+int Embedding::MaxChainLength() const {
+  int max_len = 0;
+  for (const auto& chain : chains) {
+    max_len = std::max(max_len, static_cast<int>(chain.size()));
+  }
+  return max_len;
+}
+
+double Embedding::AverageChainLength() const {
+  if (chains.empty()) return 0.0;
+  return static_cast<double>(NumPhysicalQubits()) /
+         static_cast<double>(chains.size());
+}
+
+StatusOr<Embedding> FindMinorEmbedding(
+    const std::vector<std::pair<int, int>>& source_edges, int num_source_nodes,
+    const CouplingGraph& target, const EmbeddingOptions& options, Rng& rng) {
+  if (num_source_nodes <= 0) {
+    return Status::InvalidArgument("need at least one source node");
+  }
+  if (num_source_nodes > target.num_qubits()) {
+    return Status::NotFound("source larger than target");
+  }
+  std::vector<std::vector<int>> source_adj(num_source_nodes);
+  for (const auto& [a, b] : source_edges) {
+    if (a < 0 || b < 0 || a >= num_source_nodes || b >= num_source_nodes ||
+        a == b) {
+      return Status::InvalidArgument("bad source edge");
+    }
+    source_adj[a].push_back(b);
+    source_adj[b].push_back(a);
+  }
+
+  Embedding best;
+  bool found = false;
+  for (int attempt_index = 0; attempt_index < options.tries; ++attempt_index) {
+    Attempt attempt(num_source_nodes, target);
+
+    // Construction order: descending source degree with random jitter.
+    std::vector<int> order(num_source_nodes);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return source_adj[a].size() > source_adj[b].size();
+    });
+
+    bool feasible = true;
+    for (int node : order) {
+      if (!RouteNode(attempt, node, source_adj, options.alpha, rng)) {
+        feasible = false;
+        break;
+      }
+    }
+    // Improvement passes: re-route only the nodes whose chains touch
+    // overused qubits (plus their source neighbours, to open up space).
+    // The best configuration seen is kept; the random exploration can
+    // transiently worsen things.
+    std::vector<std::vector<int>> best_chains = attempt.chains;
+    int best_overused = attempt.OverusedQubits();
+    for (int pass = 0; feasible && pass < options.max_passes; ++pass) {
+      const int overused_now = attempt.OverusedQubits();
+      if (overused_now < best_overused) {
+        best_overused = overused_now;
+        best_chains = attempt.chains;
+      }
+      if (options.verbose) {
+        int used = 0;
+        for (const auto& chain : attempt.chains) {
+          used += static_cast<int>(chain.size());
+        }
+        std::fprintf(stderr,
+                     "[embed] attempt %d pass %d: overused=%d used=%d\n",
+                     attempt_index, pass, attempt.OverusedQubits(), used);
+      }
+      if (attempt.OverusedQubits() == 0) break;
+      std::vector<bool> needs_reroute(num_source_nodes, false);
+      for (int node = 0; node < num_source_nodes; ++node) {
+        for (int q : attempt.chains[node]) {
+          if (attempt.usage[q] > 1) {
+            needs_reroute[node] = true;
+            for (int nb : source_adj[node]) needs_reroute[nb] = true;
+            break;
+          }
+        }
+      }
+      // Every fourth pass re-packs the full embedding; in between only the
+      // conflicted neighbourhood is re-routed (cheaper, and the jittered
+      // costs keep exploring new configurations).
+      const bool full_pass = pass % 4 == 3;
+      rng.Shuffle(order);
+      // Escalate the overuse penalty across passes so persistent
+      // contention is eventually forced out (CMR-style annealed weights).
+      const double alpha_pass =
+          options.alpha * std::pow(1.5, std::min(pass, 12));
+      for (int node : order) {
+        if (!full_pass && !needs_reroute[node]) continue;
+        if (!RouteNode(attempt, node, source_adj, alpha_pass, rng,
+                       /*hard=*/false, /*capped=*/pass % 2 == 0)) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    // Restore the least-conflicted configuration before the final phase.
+    if (feasible && attempt.OverusedQubits() > best_overused) {
+      for (int node = 0; node < num_source_nodes; ++node) {
+        attempt.AssignChain(node, best_chains[node]);
+      }
+    }
+
+    // Final conflict resolution: re-route the remaining conflicted nodes
+    // with occupied qubits forbidden outright. Each successful hard
+    // re-route removes that node's overlaps without creating new ones, so
+    // several shuffled rounds suffice whenever the hardware has room.
+    for (int round = 0; feasible && round < 10; ++round) {
+      const int overused_now = attempt.OverusedQubits();
+      if (overused_now == 0) break;
+      if (overused_now < best_overused) {
+        best_overused = overused_now;
+        best_chains = attempt.chains;
+      } else if (overused_now > best_overused) {
+        for (int node = 0; node < num_source_nodes; ++node) {
+          attempt.AssignChain(node, best_chains[node]);
+        }
+      }
+      std::vector<int> conflicted;
+      for (int node = 0; node < num_source_nodes; ++node) {
+        for (int q : attempt.chains[node]) {
+          if (attempt.usage[q] > 1) {
+            conflicted.push_back(node);
+            break;
+          }
+        }
+      }
+      rng.Shuffle(conflicted);
+      int hard_failures = 0;
+      for (int node : conflicted) {
+        if (!RouteNode(attempt, node, source_adj, options.alpha, rng,
+                       /*hard=*/true)) {
+          ++hard_failures;
+          // No free-qubit route exists; fall back to a soft re-route so
+          // the chain at least stays valid for the next round.
+          if (!RouteNode(attempt, node, source_adj, options.alpha, rng)) {
+            feasible = false;
+            break;
+          }
+        }
+      }
+      if (options.verbose) {
+        std::fprintf(stderr,
+                     "[embed] attempt %d hard round %d: overused=%d "
+                     "(conflicted=%zu, hard failures=%d)\n",
+                     attempt_index, round, attempt.OverusedQubits(),
+                     conflicted.size(), hard_failures);
+      }
+    }
+    if (!feasible || attempt.OverusedQubits() != 0) continue;
+
+    PruneChains(attempt, source_adj);
+    Embedding candidate;
+    candidate.chains = attempt.chains;
+    if (!VerifyEmbedding(source_edges, num_source_nodes, target, candidate)) {
+      continue;
+    }
+    if (!found ||
+        candidate.NumPhysicalQubits() < best.NumPhysicalQubits()) {
+      best = std::move(candidate);
+      found = true;
+    }
+  }
+  if (!found) return Status::NotFound("no valid embedding found");
+  return best;
+}
+
+bool VerifyEmbedding(const std::vector<std::pair<int, int>>& source_edges,
+                     int num_source_nodes, const CouplingGraph& target,
+                     const Embedding& embedding) {
+  if (embedding.num_logical() != num_source_nodes) return false;
+  std::vector<int> owner(target.num_qubits(), -1);
+  for (int node = 0; node < num_source_nodes; ++node) {
+    const auto& chain = embedding.chains[node];
+    if (chain.empty()) return false;
+    for (int q : chain) {
+      if (q < 0 || q >= target.num_qubits()) return false;
+      if (owner[q] != -1) return false;  // overlap
+      owner[q] = node;
+    }
+    // Chain connectivity: BFS within the chain.
+    std::unordered_set<int> members(chain.begin(), chain.end());
+    std::vector<int> stack{chain[0]};
+    std::unordered_set<int> seen{chain[0]};
+    while (!stack.empty()) {
+      const int q = stack.back();
+      stack.pop_back();
+      for (int adj : target.Neighbors(q)) {
+        if (members.count(adj) && !seen.count(adj)) {
+          seen.insert(adj);
+          stack.push_back(adj);
+        }
+      }
+    }
+    if (seen.size() != members.size()) return false;
+  }
+  // Every source edge needs a physical coupler between the chains.
+  for (const auto& [a, b] : source_edges) {
+    bool coupled = false;
+    for (int qa : embedding.chains[a]) {
+      for (int qb : embedding.chains[b]) {
+        if (target.HasEdge(qa, qb)) {
+          coupled = true;
+          break;
+        }
+      }
+      if (coupled) break;
+    }
+    if (!coupled) return false;
+  }
+  return true;
+}
+
+}  // namespace qjo

@@ -1,0 +1,53 @@
+#ifndef QJO_EMBEDDING_MINOR_EMBEDDING_H_
+#define QJO_EMBEDDING_MINOR_EMBEDDING_H_
+
+#include <vector>
+
+#include "topology/coupling_graph.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// A minor embedding: each logical (source) node is represented by a chain
+/// of physical qubits. Valid embeddings have non-empty, pairwise-disjoint,
+/// connected chains, and every source edge is representable by at least one
+/// physical coupler between the two chains (Sec. 2.2.2).
+struct Embedding {
+  std::vector<std::vector<int>> chains;
+
+  int num_logical() const { return static_cast<int>(chains.size()); }
+  /// Total number of physical qubits used (the Fig. 3 metric).
+  int NumPhysicalQubits() const;
+  int MaxChainLength() const;
+  double AverageChainLength() const;
+};
+
+/// Options for the heuristic embedder (a Cai-Macready-Roy-style algorithm,
+/// standing in for D-Wave's minorminer).
+struct EmbeddingOptions {
+  /// Independent randomised attempts; the smallest valid embedding wins.
+  int tries = 5;
+  /// Improvement passes per attempt after the initial construction.
+  int max_passes = 40;
+  /// Base of the exponential overuse penalty during chain construction.
+  double alpha = 4.0;
+  /// Prints per-pass diagnostics to stderr.
+  bool verbose = false;
+};
+
+/// Finds a minor embedding of the source graph (given as an edge list over
+/// `num_source_nodes` nodes) into `target`. Returns NotFound if no valid
+/// embedding was found within the configured tries.
+StatusOr<Embedding> FindMinorEmbedding(
+    const std::vector<std::pair<int, int>>& source_edges, int num_source_nodes,
+    const CouplingGraph& target, const EmbeddingOptions& options, Rng& rng);
+
+/// Validates chain disjointness, connectivity, and edge representability.
+bool VerifyEmbedding(const std::vector<std::pair<int, int>>& source_edges,
+                     int num_source_nodes, const CouplingGraph& target,
+                     const Embedding& embedding);
+
+}  // namespace qjo
+
+#endif  // QJO_EMBEDDING_MINOR_EMBEDDING_H_

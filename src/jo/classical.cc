@@ -1,0 +1,162 @@
+#include "jo/classical.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+StatusOr<JoResult> OptimizeExhaustive(const Query& query, int max_relations) {
+  const int t = query.num_relations();
+  if (t < 2) return Status::InvalidArgument("need at least 2 relations");
+  if (t > max_relations) {
+    return Status::ResourceExhausted("too many relations for exhaustive");
+  }
+  std::vector<int> perm(t);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best_cost = kInf;
+  std::vector<int> best = perm;
+  do {
+    const double cost = Cost(query, LeftDeepOrder(perm));
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return JoResult{LeftDeepOrder(std::move(best)), best_cost};
+}
+
+StatusOr<JoResult> OptimizeDp(const Query& query) {
+  const int t = query.num_relations();
+  if (t < 2) return Status::InvalidArgument("need at least 2 relations");
+  if (t > 25) return Status::ResourceExhausted("too many relations for DP");
+
+  const uint64_t full = (uint64_t{1} << t) - 1;
+  // dp[mask] = minimum sum of intermediate cardinalities to left-deep-join
+  // exactly the relations in mask; parent[mask] = last (inner) relation.
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int> parent(full + 1, -1);
+  // Cardinality of each subset, computed incrementally where cheap.
+  for (int r = 0; r < t; ++r) dp[uint64_t{1} << r] = 0.0;
+
+  for (uint64_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // singleton
+    const double mask_card = query.JoinCardinality(mask);
+    for (int r = 0; r < t; ++r) {
+      const uint64_t bit = uint64_t{1} << r;
+      if (!(mask & bit)) continue;
+      const uint64_t rest = mask ^ bit;
+      if (dp[rest] == kInf) continue;
+      // Appending r to any order of `rest` adds intermediate result
+      // |rest ⋈ r| = JoinCardinality(mask) — order-independent.
+      const double cost = dp[rest] + mask_card;
+      if (cost < dp[mask]) {
+        dp[mask] = cost;
+        parent[mask] = r;
+      }
+    }
+  }
+
+  std::vector<int> order;
+  uint64_t mask = full;
+  while ((mask & (mask - 1)) != 0) {
+    const int r = parent[mask];
+    QJO_CHECK_GE(r, 0);
+    order.push_back(r);
+    mask ^= uint64_t{1} << r;
+  }
+  // The remaining singleton is the outer operand of the first join.
+  for (int r = 0; r < t; ++r) {
+    if (mask & (uint64_t{1} << r)) order.push_back(r);
+  }
+  std::reverse(order.begin(), order.end());
+  return JoResult{LeftDeepOrder(std::move(order)), dp[full]};
+}
+
+StatusOr<JoResult> OptimizeGreedy(const Query& query) {
+  const int t = query.num_relations();
+  if (t < 2) return Status::InvalidArgument("need at least 2 relations");
+
+  // Pick the cheapest first join among all ordered pairs.
+  double best_first = kInf;
+  int first_outer = 0, first_inner = 1;
+  for (int a = 0; a < t; ++a) {
+    for (int b = 0; b < t; ++b) {
+      if (a == b) continue;
+      const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
+      const double card = query.JoinCardinality(mask);
+      if (card < best_first) {
+        best_first = card;
+        first_outer = a;
+        first_inner = b;
+      }
+    }
+  }
+  std::vector<int> order = {first_outer, first_inner};
+  uint64_t joined = (uint64_t{1} << first_outer) | (uint64_t{1} << first_inner);
+  double total = best_first;
+  while (static_cast<int>(order.size()) < t) {
+    double best_card = kInf;
+    int best_rel = -1;
+    for (int r = 0; r < t; ++r) {
+      if (joined & (uint64_t{1} << r)) continue;
+      const double card = query.JoinCardinality(joined | (uint64_t{1} << r));
+      if (card < best_card) {
+        best_card = card;
+        best_rel = r;
+      }
+    }
+    QJO_CHECK_GE(best_rel, 0);
+    order.push_back(best_rel);
+    joined |= uint64_t{1} << best_rel;
+    total += best_card;
+  }
+  return JoResult{LeftDeepOrder(std::move(order)), total};
+}
+
+StatusOr<JoResult> OptimizeIterativeImprovement(const Query& query, Rng& rng,
+                                                int restarts) {
+  const int t = query.num_relations();
+  if (t < 2) return Status::InvalidArgument("need at least 2 relations");
+  if (restarts < 1) return Status::InvalidArgument("restarts must be >= 1");
+
+  double best_cost = kInf;
+  std::vector<int> best;
+  for (int round = 0; round < restarts; ++round) {
+    std::vector<int> order(t);
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(order);
+    double cost = Cost(query, LeftDeepOrder(order));
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int i = 0; i < t && !improved; ++i) {
+        for (int j = i + 1; j < t && !improved; ++j) {
+          std::swap(order[i], order[j]);
+          const double new_cost = Cost(query, LeftDeepOrder(order));
+          if (new_cost + 1e-12 < cost) {
+            cost = new_cost;
+            improved = true;
+          } else {
+            std::swap(order[i], order[j]);
+          }
+        }
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = order;
+    }
+  }
+  return JoResult{LeftDeepOrder(std::move(best)), best_cost};
+}
+
+}  // namespace qjo

@@ -1,0 +1,34 @@
+#ifndef QJO_JO_CLASSICAL_H_
+#define QJO_JO_CLASSICAL_H_
+
+#include "jo/join_tree.h"
+#include "jo/query.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Exhaustive enumeration of all T! left-deep orders. Exact but only
+/// feasible for small T; fails beyond `max_relations` (default 10).
+StatusOr<JoResult> OptimizeExhaustive(const Query& query,
+                                      int max_relations = 10);
+
+/// Dynamic programming over relation subsets (DPsub restricted to left-deep
+/// trees with cross products): O(2^T * T). Exact; fails beyond 25 relations
+/// to bound memory. This is the ground-truth oracle used to label "optimal"
+/// quantum samples in the Table 2/3 reproductions.
+StatusOr<JoResult> OptimizeDp(const Query& query);
+
+/// Greedy construction: start from the pair with the cheapest join result,
+/// then repeatedly append the relation minimising the next intermediate
+/// cardinality (minimum-selectivity flavour of Steinbrunn et al.).
+StatusOr<JoResult> OptimizeGreedy(const Query& query);
+
+/// Iterative improvement (Steinbrunn et al.): random restarts followed by
+/// best-improvement swap moves until a local optimum is reached.
+StatusOr<JoResult> OptimizeIterativeImprovement(const Query& query, Rng& rng,
+                                                int restarts = 10);
+
+}  // namespace qjo
+
+#endif  // QJO_JO_CLASSICAL_H_

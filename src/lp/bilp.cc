@@ -1,0 +1,116 @@
+#include "lp/bilp.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qjo {
+
+double BilpModel::EvaluateObjective(const std::vector<int>& assignment) const {
+  double value = 0.0;
+  for (const auto& [var, coeff] : objective) {
+    value += coeff * static_cast<double>(assignment[var]);
+  }
+  return value;
+}
+
+double BilpModel::ConstraintViolation(
+    const std::vector<int>& assignment) const {
+  double total = 0.0;
+  for (const BilpConstraint& c : constraints) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) {
+      lhs += coeff * static_cast<double>(assignment[var]);
+    }
+    const double gap = lhs - c.rhs;
+    total += gap * gap;
+  }
+  return total;
+}
+
+bool BilpModel::IsFeasible(const std::vector<int>& assignment,
+                           double tolerance) const {
+  for (const BilpConstraint& c : constraints) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : c.terms) {
+      lhs += coeff * static_cast<double>(assignment[var]);
+    }
+    if (std::abs(lhs - c.rhs) > tolerance) return false;
+  }
+  return true;
+}
+
+int NumSlackBits(double bound, double step) {
+  QJO_CHECK_GT(step, 0.0);
+  if (bound < step) return 0;
+  return static_cast<int>(std::floor(std::log2(bound / step))) + 1;
+}
+
+StatusOr<BilpModel> LowerToBilp(const LpModel& milp, double omega) {
+  if (!(omega > 0.0)) {
+    return Status::InvalidArgument("omega must be positive");
+  }
+  for (const LpVariable& v : milp.variables()) {
+    if (v.kind != VarKind::kBinary) {
+      return Status::FailedPrecondition(
+          "BILP lowering requires a purely binary model; use the pruned "
+          "JO formulation (variable '" + v.name + "' is continuous)");
+    }
+  }
+
+  BilpModel out;
+  out.num_problem_variables = milp.num_variables();
+  for (const LpVariable& v : milp.variables()) {
+    out.variable_names.push_back(v.name);
+  }
+  for (const auto& [var, coeff] : milp.objective().terms()) {
+    out.objective.emplace_back(var, coeff);
+  }
+
+  for (const LpConstraint& c : milp.constraints()) {
+    BilpConstraint eq;
+    eq.name = c.name;
+    eq.rhs = c.rhs - c.expr.constant();
+    for (const auto& [var, coeff] : c.expr.terms()) {
+      eq.terms.emplace_back(var, coeff);
+    }
+    if (c.sense == Sense::kLe) {
+      // Slack bound: explicit (Lemma 5.1 for Eq. (7)) or derived from the
+      // interval minimum of the expression.
+      double bound;
+      if (c.has_explicit_slack_bound()) {
+        bound = c.slack_bound;
+      } else {
+        double min_expr = 0.0;
+        for (const auto& [var, coeff] : c.expr.terms()) {
+          (void)var;
+          if (coeff < 0.0) min_expr += coeff;
+        }
+        bound = eq.rhs - min_expr;
+      }
+      if (bound < 0.0) {
+        return Status::FailedPrecondition("unsatisfiable inequality: " +
+                                          c.name);
+      }
+      const double step = c.slack_kind == SlackKind::kInteger ? 1.0 : omega;
+      const int bits = NumSlackBits(bound, step);
+      SlackGroup group;
+      group.constraint_index = static_cast<int>(out.constraints.size());
+      group.first_variable = out.num_variables();
+      group.num_bits = bits;
+      group.step = step;
+      group.bound = bound;
+      for (int i = 0; i < bits; ++i) {
+        out.variable_names.push_back("slack_" + c.name + "_b" +
+                                     std::to_string(i));
+        eq.terms.emplace_back(group.first_variable + i,
+                              step * std::pow(2.0, i));
+      }
+      out.slack_groups.push_back(group);
+    }
+    out.constraints.push_back(std::move(eq));
+  }
+  return out;
+}
+
+}  // namespace qjo

@@ -1,0 +1,73 @@
+#ifndef QJO_LP_BILP_H_
+#define QJO_LP_BILP_H_
+
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// A single equality constraint sum_i S_i x_i = b over binary variables.
+struct BilpConstraint {
+  std::string name;
+  std::vector<std::pair<int, double>> terms;
+  double rhs = 0.0;
+};
+
+/// Metadata of one slack-variable group introduced while lowering an
+/// inequality constraint (Sec. 3.3): slack ~= step * sum_i 2^(i-1) b_i.
+struct SlackGroup {
+  int constraint_index = -1;   ///< index into BilpModel::constraints
+  int first_variable = -1;     ///< id of the first slack bit
+  int num_bits = 0;
+  double step = 1.0;           ///< omega for continuous slack, 1 for integer
+  double bound = 0.0;          ///< the upper bound C used for sizing
+};
+
+/// Binary integer linear program with equality constraints only: minimise
+/// c.x subject to S x = b, x binary. Produced by LowerToBilp; consumed by
+/// the BILP -> QUBO transformation (Sec. 3.4).
+struct BilpModel {
+  std::vector<std::string> variable_names;
+  /// Number of leading variables inherited from the MILP model (problem
+  /// encoding variables); ids >= this are slack bits.
+  int num_problem_variables = 0;
+  std::vector<BilpConstraint> constraints;
+  std::vector<std::pair<int, double>> objective;
+  std::vector<SlackGroup> slack_groups;
+
+  int num_variables() const {
+    return static_cast<int>(variable_names.size());
+  }
+  int num_slack_variables() const {
+    return num_variables() - num_problem_variables;
+  }
+
+  /// Objective value of an assignment (indexed by variable id).
+  double EvaluateObjective(const std::vector<int>& assignment) const;
+
+  /// Sum of squared constraint violations (the unweighted H_A of Eq. (10)).
+  double ConstraintViolation(const std::vector<int>& assignment) const;
+
+  /// True if every equality holds within `tolerance`.
+  bool IsFeasible(const std::vector<int>& assignment,
+                  double tolerance = 1e-6) const;
+};
+
+/// Number of binary variables needed to represent an integer bounded by
+/// `bound` at discretisation step `step` (Eq. (9)):
+/// n = floor(log2(bound / step)) + 1, clamped at 0 for bound < step.
+int NumSlackBits(double bound, double step);
+
+/// Lowers a MILP model whose decision variables are all binary into a BILP
+/// model by adding (discretised) slack variables to every inequality
+/// (Sec. 3.3). `omega` is the discretisation precision for continuous
+/// slack. Fails if the model contains continuous decision variables or an
+/// unsatisfiable inequality.
+StatusOr<BilpModel> LowerToBilp(const LpModel& milp, double omega);
+
+}  // namespace qjo
+
+#endif  // QJO_LP_BILP_H_

@@ -1,0 +1,280 @@
+#include "lp/jo_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+std::string VarName(const char* base, int a, int b) {
+  return std::string(base) + "_" + std::to_string(a) + "_" + std::to_string(b);
+}
+
+}  // namespace
+
+int JoMilpModel::pao(int p, int j) const {
+  if (pao_.empty()) return -1;
+  return pao_[p * num_joins() + j];
+}
+
+int JoMilpModel::cto(int r, int j) const {
+  if (cto_.empty()) return -1;
+  return cto_[r * num_joins() + j];
+}
+
+double JoMilpModel::MaxLogCardinality(int j) const {
+  std::vector<double> logs;
+  logs.reserve(query_.num_relations());
+  for (const Relation& rel : query_.relations()) {
+    logs.push_back(std::log10(rel.cardinality));
+  }
+  std::sort(logs.begin(), logs.end(), std::greater<double>());
+  double sum = 0.0;
+  const int count = std::min<int>(j + 1, static_cast<int>(logs.size()));
+  for (int i = 0; i < count; ++i) sum += logs[i];
+  return sum;
+}
+
+StatusOr<JoMilpModel> EncodeJoAsMilp(const Query& query,
+                                     const JoMilpOptions& options) {
+  if (query.num_relations() < 2) {
+    return Status::InvalidArgument("need at least 2 relations");
+  }
+  if (query.num_relations() > 63) {
+    return Status::InvalidArgument("at most 63 relations supported");
+  }
+  if (options.thresholds.empty()) {
+    return Status::InvalidArgument("need at least one threshold value");
+  }
+  for (size_t r = 0; r < options.thresholds.size(); ++r) {
+    if (options.thresholds[r] <= 0.0) {
+      return Status::InvalidArgument("thresholds must be positive");
+    }
+    if (r > 0 && options.thresholds[r] <= options.thresholds[r - 1]) {
+      return Status::InvalidArgument("thresholds must be strictly increasing");
+    }
+  }
+  if (!(options.omega > 0.0)) {
+    return Status::InvalidArgument("omega must be positive");
+  }
+
+  JoMilpModel out;
+  out.query_ = query;
+  out.options_ = options;
+
+  const int T = query.num_relations();
+  const int J = query.num_joins();
+  const int P = query.num_predicates();
+  const int R = static_cast<int>(options.thresholds.size());
+  const bool pruned = options.variant == JoModelVariant::kPruned;
+  LpModel& m = out.model_;
+
+  auto add_var = [&out, &m](std::string name, JoVarInfo info,
+                            VarKind kind = VarKind::kBinary) {
+    const int id = m.AddVariable(std::move(name), kind);
+    out.var_info_.push_back(info);
+    return id;
+  };
+
+  // --- Relation placement variables (Sec. 3.2, "Modelling Relations"). ---
+  out.tio_.assign(static_cast<size_t>(T) * J, -1);
+  out.tii_.assign(static_cast<size_t>(T) * J, -1);
+  for (int t = 0; t < T; ++t) {
+    for (int j = 0; j < J; ++j) {
+      out.tio_[out.IndexOf(t, j)] =
+          add_var(VarName("tio", t, j), JoVarInfo{JoVarKind::kTio, t, j});
+      out.tii_[out.IndexOf(t, j)] =
+          add_var(VarName("tii", t, j), JoVarInfo{JoVarKind::kTii, t, j});
+      ++out.stats_.tio;
+      ++out.stats_.tii;
+    }
+  }
+
+  // Each inner operand is exactly one relation: sum_t tii_tj = 1.
+  for (int j = 0; j < J; ++j) {
+    LpConstraint c;
+    c.name = "inner_leaf_" + std::to_string(j);
+    for (int t = 0; t < T; ++t) c.expr.AddTerm(out.tii(t, j), 1.0);
+    c.sense = Sense::kEq;
+    c.rhs = 1.0;
+    m.AddConstraint(std::move(c));
+    ++out.stats_.constraints_inner_leaf;
+  }
+  // The outer operand of the very first join is exactly one relation.
+  {
+    LpConstraint c;
+    c.name = "outer_leaf_0";
+    for (int t = 0; t < T; ++t) c.expr.AddTerm(out.tio(t, 0), 1.0);
+    c.sense = Sense::kEq;
+    c.rhs = 1.0;
+    m.AddConstraint(std::move(c));
+    ++out.stats_.constraints_outer_leaf;
+  }
+
+  // Eq. (3): tio_tj = tii_{t,j-1} + tio_{t,j-1} for j > 0.
+  for (int j = 1; j < J; ++j) {
+    for (int t = 0; t < T; ++t) {
+      LpConstraint c;
+      c.name = "propagate_" + std::to_string(t) + "_" + std::to_string(j);
+      c.expr.AddTerm(out.tio(t, j), 1.0);
+      c.expr.AddTerm(out.tii(t, j - 1), -1.0);
+      c.expr.AddTerm(out.tio(t, j - 1), -1.0);
+      c.sense = Sense::kEq;
+      c.rhs = 0.0;
+      m.AddConstraint(std::move(c));
+      ++out.stats_.constraints_propagation;
+    }
+  }
+
+  // Eq. (4): tio_tj + tii_tj <= 1. Pruned: final join only (redundant for
+  // earlier joins given Eq. (3)); original: all joins.
+  const int overlap_first_join = pruned ? J - 1 : 0;
+  for (int j = overlap_first_join; j < J; ++j) {
+    for (int t = 0; t < T; ++t) {
+      LpConstraint c;
+      c.name = "overlap_" + std::to_string(t) + "_" + std::to_string(j);
+      c.expr.AddTerm(out.tio(t, j), 1.0);
+      c.expr.AddTerm(out.tii(t, j), 1.0);
+      c.sense = Sense::kLe;
+      c.rhs = 1.0;
+      c.slack_kind = SlackKind::kInteger;
+      c.slack_bound = 1.0;
+      m.AddConstraint(std::move(c));
+      ++out.stats_.constraints_overlap;
+    }
+  }
+
+  // --- Predicate applicability (Sec. 3.2, "Modelling Predicates"). ---
+  // Pruned model omits pao_p0: the first join's outer operand is a single
+  // relation, so no binary predicate can ever apply there.
+  const int pao_first_join = pruned ? 1 : 0;
+  out.pao_.assign(static_cast<size_t>(std::max(P, 1)) * J, -1);
+  for (int p = 0; p < P; ++p) {
+    for (int j = pao_first_join; j < J; ++j) {
+      out.pao_[p * J + j] =
+          add_var(VarName("pao", p, j), JoVarInfo{JoVarKind::kPao, -1, j, p});
+      ++out.stats_.pao;
+      // Eq. (5): pao_pj <= tio_{T1(p),j} and pao_pj <= tio_{T2(p),j}.
+      for (int side = 0; side < 2; ++side) {
+        const int rel = side == 0 ? query.predicate(p).left
+                                  : query.predicate(p).right;
+        LpConstraint c;
+        c.name = "pao_" + std::to_string(p) + "_" + std::to_string(j) +
+                 (side == 0 ? "_l" : "_r");
+        c.expr.AddTerm(out.pao(p, j), 1.0);
+        c.expr.AddTerm(out.tio(rel, j), -1.0);
+        c.sense = Sense::kLe;
+        c.rhs = 0.0;
+        c.slack_kind = SlackKind::kInteger;
+        c.slack_bound = 1.0;
+        m.AddConstraint(std::move(c));
+        ++out.stats_.constraints_pao;
+      }
+    }
+  }
+
+  // --- Cardinality thresholds (Sec. 3.2, "Cost Function"). ---
+  // Original model materialises c_j as continuous convenience variables.
+  std::vector<int> cj_vars;
+  if (!pruned) {
+    for (int j = 0; j < J; ++j) {
+      cj_vars.push_back(add_var("c_" + std::to_string(j),
+                                JoVarInfo{JoVarKind::kCjContinuous, -1, j},
+                                VarKind::kContinuous));
+      ++out.stats_.cj;
+      LpConstraint c;
+      c.name = "cj_def_" + std::to_string(j);
+      c.expr.AddTerm(cj_vars.back(), 1.0);
+      for (int t = 0; t < T; ++t) {
+        c.expr.AddTerm(out.tio(t, j),
+                       -std::log10(query.relation(t).cardinality));
+      }
+      for (int p = 0; p < P; ++p) {
+        if (out.pao(p, j) >= 0) {
+          c.expr.AddTerm(out.pao(p, j),
+                         -std::log10(query.predicate(p).selectivity));
+        }
+      }
+      c.sense = Sense::kEq;
+      c.rhs = 0.0;
+      m.AddConstraint(std::move(c));
+      ++out.stats_.constraints_cj_definition;
+    }
+  }
+
+  // cto_rj variables and Eq. (7) constraints. Pruned: joins 1..J-1 only
+  // (join 0's outer operand is a base relation, not an intermediate), and
+  // variables whose threshold can never be exceeded are dropped.
+  const int cto_first_join = pruned ? 1 : 0;
+  out.cto_.assign(static_cast<size_t>(R) * J, -1);
+  LinearExpr objective;
+  for (int r = 0; r < R; ++r) {
+    const double log_theta = std::log10(options.thresholds[r]);
+    for (int j = cto_first_join; j < J; ++j) {
+      const double cj_max = out.MaxLogCardinality(j);
+      if (pruned && cj_max <= log_theta) continue;  // Lemma-based pruning.
+      out.cto_[r * J + j] =
+          add_var(VarName("cto", r, j),
+                  JoVarInfo{JoVarKind::kCto, -1, j, -1, r});
+      ++out.stats_.cto;
+      objective.AddTerm(out.cto(r, j), options.thresholds[r]);
+
+      // Eq. (7): c_j - cto_rj * inf_rj <= log(theta_r) with the smallest
+      // admissible inf_rj = cj_max - log(theta_r) (proof of Lemma 5.1).
+      const double inf_rj = std::max(cj_max - log_theta, 0.0);
+      LpConstraint c;
+      c.name = "cto_" + std::to_string(r) + "_" + std::to_string(j);
+      if (pruned) {
+        for (int t = 0; t < T; ++t) {
+          c.expr.AddTerm(out.tio(t, j),
+                         std::log10(query.relation(t).cardinality));
+        }
+        for (int p = 0; p < P; ++p) {
+          if (out.pao(p, j) >= 0) {
+            c.expr.AddTerm(out.pao(p, j),
+                           std::log10(query.predicate(p).selectivity));
+          }
+        }
+      } else {
+        c.expr.AddTerm(cj_vars[j], 1.0);
+      }
+      c.expr.AddTerm(out.cto(r, j), -inf_rj);
+      c.sense = Sense::kLe;
+      c.rhs = log_theta;
+      c.slack_kind = SlackKind::kContinuous;
+      c.slack_bound = cj_max;  // Lemma 5.1.
+      m.AddConstraint(std::move(c));
+      ++out.stats_.constraints_cto;
+    }
+  }
+  objective.Canonicalize();
+  m.SetObjective(std::move(objective));
+
+  return out;
+}
+
+std::vector<double> MakeGeometricThresholds(const Query& query,
+                                            int num_thresholds) {
+  QJO_CHECK_GE(num_thresholds, 1);
+  std::vector<double> logs;
+  for (const Relation& rel : query.relations()) {
+    logs.push_back(std::log10(rel.cardinality));
+  }
+  std::sort(logs.begin(), logs.end(), std::greater<double>());
+  double cmax = 0.0;
+  // Outer operand of the final join holds T-1 relations (Lemma 5.2).
+  for (size_t i = 0; i + 1 < logs.size(); ++i) cmax += logs[i];
+  if (logs.size() == 1) cmax = logs[0];
+  std::vector<double> thresholds;
+  for (int r = 0; r < num_thresholds; ++r) {
+    const double exponent =
+        cmax * static_cast<double>(r + 1) / static_cast<double>(num_thresholds + 1);
+    thresholds.push_back(std::pow(10.0, exponent));
+  }
+  return thresholds;
+}
+
+}  // namespace qjo

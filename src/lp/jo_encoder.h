@@ -1,0 +1,117 @@
+#ifndef QJO_LP_JO_ENCODER_H_
+#define QJO_LP_JO_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "jo/query.h"
+#include "lp/model.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Which MILP formulation to generate. The paper's contribution is the
+/// *pruned* model (Sec. 3.2); the *original* Trummer-Koch-style model is
+/// implemented for the Table 1 comparison.
+enum class JoModelVariant { kPruned, kOriginal };
+
+/// Options for encoding a join-ordering problem as MILP.
+struct JoMilpOptions {
+  /// Cardinality threshold values theta_r (raw, not logarithmic). Must be
+  /// non-empty and strictly increasing.
+  std::vector<double> thresholds;
+
+  /// Discretisation precision omega for continuous slack variables in the
+  /// BILP lowering (Sec. 3.3). Carried here because it determines slack
+  /// metadata attached to Eq. (7) constraints.
+  double omega = 1.0;
+
+  JoModelVariant variant = JoModelVariant::kPruned;
+};
+
+/// Per-variable-type and per-constraint-type tallies, exactly the rows of
+/// the paper's Table 1.
+struct JoModelStats {
+  int tio = 0;
+  int tii = 0;
+  int pao = 0;
+  int cto = 0;
+  int cj = 0;  ///< Continuous convenience variables (original model only).
+
+  int constraints_inner_leaf = 0;      ///< sum_t tii_tj = 1
+  int constraints_outer_leaf = 0;      ///< sum_t tio_t0 = 1
+  int constraints_propagation = 0;     ///< Eq. (3)
+  int constraints_overlap = 0;         ///< Eq. (4): tio + tii <= 1
+  int constraints_pao = 0;             ///< Eq. (5)
+  int constraints_cto = 0;             ///< Eq. (7)
+  int constraints_cj_definition = 0;   ///< c_j = ... (original model only)
+};
+
+/// Role of a variable in the JO encoding; used by the postprocessor to
+/// decode QPU samples back into join trees (Sec. 3.5).
+enum class JoVarKind { kTio, kTii, kPao, kCto, kCjContinuous };
+
+struct JoVarInfo {
+  JoVarKind kind = JoVarKind::kTio;
+  int t = -1;  ///< relation index (tio/tii)
+  int j = -1;  ///< join index
+  int p = -1;  ///< predicate index (pao)
+  int r = -1;  ///< threshold index (cto)
+};
+
+/// A join-ordering problem encoded as MILP, together with the metadata
+/// required to decode solutions and to compute Table 1 statistics.
+class JoMilpModel {
+ public:
+  const LpModel& model() const { return model_; }
+  const Query& query() const { return query_; }
+  const JoMilpOptions& options() const { return options_; }
+  const JoModelStats& stats() const { return stats_; }
+  const std::vector<JoVarInfo>& var_info() const { return var_info_; }
+
+  /// Variable ids; -1 when the variable was pruned away.
+  int tio(int t, int j) const { return tio_[IndexOf(t, j)]; }
+  int tii(int t, int j) const { return tii_[IndexOf(t, j)]; }
+  int pao(int p, int j) const;
+  int cto(int r, int j) const;
+
+  int num_relations() const { return query_.num_relations(); }
+  int num_joins() const { return query_.num_joins(); }
+
+  /// Maximum logarithmic cardinality of the outer operand of join j
+  /// (Lemma 5.2): the sum of the j+1 largest log10 cardinalities.
+  double MaxLogCardinality(int j) const;
+
+ private:
+  friend StatusOr<JoMilpModel> EncodeJoAsMilp(const Query&,
+                                              const JoMilpOptions&);
+
+  int IndexOf(int t, int j) const { return t * num_joins() + j; }
+
+  LpModel model_;
+  Query query_;
+  JoMilpOptions options_;
+  JoModelStats stats_;
+  std::vector<JoVarInfo> var_info_;
+  std::vector<int> tio_;
+  std::vector<int> tii_;
+  std::vector<int> pao_;  // p * J + j
+  std::vector<int> cto_;  // r * J + j
+};
+
+/// Encodes a join-ordering problem as a MILP model (Sec. 3.1-3.2). Fails
+/// for queries with < 2 relations, empty/unsorted thresholds, or
+/// non-positive omega.
+StatusOr<JoMilpModel> EncodeJoAsMilp(const Query& query,
+                                     const JoMilpOptions& options);
+
+/// Geometrically-spaced threshold values spanning the achievable range of
+/// intermediate logarithmic cardinalities: theta_r = 10^((r+1) * cmax /
+/// (R+1)) where cmax is the Lemma 5.2 bound for the final join's outer
+/// operand.
+std::vector<double> MakeGeometricThresholds(const Query& query,
+                                            int num_thresholds);
+
+}  // namespace qjo
+
+#endif  // QJO_LP_JO_ENCODER_H_

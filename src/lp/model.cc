@@ -1,0 +1,68 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.h"
+
+namespace qjo {
+
+void LinearExpr::AddTerm(int variable, double coefficient) {
+  QJO_CHECK_GE(variable, 0);
+  terms_.emplace_back(variable, coefficient);
+}
+
+void LinearExpr::Canonicalize() {
+  std::map<int, double> merged;
+  for (const auto& [var, coeff] : terms_) merged[var] += coeff;
+  terms_.clear();
+  for (const auto& [var, coeff] : merged) {
+    if (coeff != 0.0) terms_.emplace_back(var, coeff);
+  }
+}
+
+double LinearExpr::Evaluate(const std::vector<int>& assignment) const {
+  double value = constant_;
+  for (const auto& [var, coeff] : terms_) {
+    QJO_CHECK_LT(static_cast<size_t>(var), assignment.size());
+    value += coeff * static_cast<double>(assignment[var]);
+  }
+  return value;
+}
+
+int LpModel::AddVariable(std::string name, VarKind kind) {
+  variables_.push_back(LpVariable{std::move(name), kind});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void LpModel::AddConstraint(LpConstraint constraint) {
+  constraint.expr.Canonicalize();
+  constraints_.push_back(std::move(constraint));
+}
+
+int LpModel::num_binary_variables() const {
+  int count = 0;
+  for (const auto& v : variables_) {
+    if (v.kind == VarKind::kBinary) ++count;
+  }
+  return count;
+}
+
+double LpModel::EvaluateObjective(const std::vector<int>& assignment) const {
+  return objective_.Evaluate(assignment);
+}
+
+bool LpModel::IsFeasible(const std::vector<int>& assignment,
+                         double tolerance) const {
+  for (const auto& c : constraints_) {
+    const double lhs = c.expr.Evaluate(assignment);
+    if (c.sense == Sense::kEq) {
+      if (std::abs(lhs - c.rhs) > tolerance) return false;
+    } else {
+      if (lhs > c.rhs + tolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace qjo

@@ -1,0 +1,110 @@
+#ifndef QJO_LP_MODEL_H_
+#define QJO_LP_MODEL_H_
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// A linear expression sum_i coeff_i * x_i + constant over model variables.
+class LinearExpr {
+ public:
+  LinearExpr() = default;
+
+  /// Adds `coefficient * variable` to the expression.
+  void AddTerm(int variable, double coefficient);
+  /// Adds a constant offset.
+  void AddConstant(double value) { constant_ += value; }
+
+  /// Merges duplicate variables and removes zero coefficients.
+  void Canonicalize();
+
+  const std::vector<std::pair<int, double>>& terms() const { return terms_; }
+  double constant() const { return constant_; }
+
+  /// Evaluates the expression under a 0/1 assignment indexed by variable id.
+  double Evaluate(const std::vector<int>& assignment) const;
+
+ private:
+  std::vector<std::pair<int, double>> terms_;
+  double constant_ = 0.0;
+};
+
+/// Comparison sense of a linear constraint.
+enum class Sense { kLe, kEq };
+
+/// Slack discretisation class for inequality constraints (Sec. 3.3): integer
+/// constraints receive integral binary slack; continuous ones are
+/// discretised with precision omega.
+enum class SlackKind { kInteger, kContinuous };
+
+/// A linear constraint `expr (<=|=) rhs`.
+struct LpConstraint {
+  std::string name;
+  LinearExpr expr;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+
+  SlackKind slack_kind = SlackKind::kInteger;
+  /// Upper bound for the slack variable of a <= constraint. NaN means
+  /// "derive by interval arithmetic over the expression" (conservative);
+  /// the JO encoder overrides it with the tight Lemma 5.1 bound.
+  double slack_bound = std::nan("");
+
+  bool has_explicit_slack_bound() const { return !std::isnan(slack_bound); }
+};
+
+/// Kind of a decision variable. The pruned JO model is purely binary;
+/// continuous variables only appear in the paper's *original* model (the
+/// c_j convenience variables) and cannot be lowered to BILP by this library.
+enum class VarKind { kBinary, kContinuous };
+
+/// Metadata of a model variable.
+struct LpVariable {
+  std::string name;
+  VarKind kind = VarKind::kBinary;
+};
+
+/// A (mixed-)binary linear program: minimise `objective` subject to the
+/// constraints, all decision variables binary (continuous variables are
+/// tracked for Table 1 accounting only).
+class LpModel {
+ public:
+  LpModel() = default;
+
+  /// Adds a variable; returns its id.
+  int AddVariable(std::string name, VarKind kind = VarKind::kBinary);
+
+  void AddConstraint(LpConstraint constraint);
+  void SetObjective(LinearExpr objective) { objective_ = std::move(objective); }
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_binary_variables() const;
+  int num_constraints() const { return static_cast<int>(constraints_.size()); }
+
+  const LpVariable& variable(int id) const { return variables_[id]; }
+  const std::vector<LpVariable>& variables() const { return variables_; }
+  const std::vector<LpConstraint>& constraints() const { return constraints_; }
+  const LinearExpr& objective() const { return objective_; }
+
+  /// Objective value under an assignment (indexed by variable id).
+  double EvaluateObjective(const std::vector<int>& assignment) const;
+
+  /// True if the assignment satisfies all constraints within `tolerance`.
+  bool IsFeasible(const std::vector<int>& assignment,
+                  double tolerance = 1e-9) const;
+
+ private:
+  std::vector<LpVariable> variables_;
+  std::vector<LpConstraint> constraints_;
+  LinearExpr objective_;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_LP_MODEL_H_

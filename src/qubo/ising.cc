@@ -1,0 +1,71 @@
+#include "qubo/ising.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qjo {
+
+double IsingModel::Energy(const std::vector<int>& spins) const {
+  QJO_CHECK_EQ(static_cast<int>(spins.size()), num_spins());
+  double energy = offset;
+  for (int i = 0; i < num_spins(); ++i) {
+    energy += h[i] * static_cast<double>(spins[i]);
+  }
+  for (const auto& [i, j, w] : couplings) {
+    energy += w * static_cast<double>(spins[i] * spins[j]);
+  }
+  return energy;
+}
+
+double IsingModel::MaxAbsCoefficient() const {
+  double max_abs = 0.0;
+  for (double v : h) max_abs = std::max(max_abs, std::abs(v));
+  for (const auto& [i, j, w] : couplings) {
+    (void)i;
+    (void)j;
+    max_abs = std::max(max_abs, std::abs(w));
+  }
+  return max_abs;
+}
+
+IsingModel QuboToIsing(const Qubo& qubo) {
+  const int n = qubo.num_variables();
+  IsingModel ising;
+  ising.h.assign(n, 0.0);
+  ising.offset = qubo.offset();
+  // x_i = (1 - z_i)/2:
+  //   c_i x_i            -> c_i/2 - (c_i/2) z_i
+  //   c_ij x_i x_j       -> c_ij/4 (1 - z_i - z_j + z_i z_j)
+  for (int i = 0; i < n; ++i) {
+    ising.offset += qubo.linear(i) / 2.0;
+    ising.h[i] -= qubo.linear(i) / 2.0;
+  }
+  for (const auto& [i, j, w] : qubo.QuadraticTerms()) {
+    ising.offset += w / 4.0;
+    ising.h[i] -= w / 4.0;
+    ising.h[j] -= w / 4.0;
+    ising.couplings.emplace_back(i, j, w / 4.0);
+  }
+  return ising;
+}
+
+std::vector<int> SpinsToBits(const std::vector<int>& spins) {
+  std::vector<int> bits(spins.size());
+  for (size_t i = 0; i < spins.size(); ++i) {
+    QJO_CHECK(spins[i] == 1 || spins[i] == -1);
+    bits[i] = spins[i] == 1 ? 0 : 1;
+  }
+  return bits;
+}
+
+std::vector<int> BitsToSpins(const std::vector<int>& bits) {
+  std::vector<int> spins(bits.size());
+  for (size_t i = 0; i < bits.size(); ++i) {
+    QJO_CHECK(bits[i] == 0 || bits[i] == 1);
+    spins[i] = bits[i] == 0 ? 1 : -1;
+  }
+  return spins;
+}
+
+}  // namespace qjo

@@ -1,0 +1,41 @@
+#ifndef QJO_QUBO_ISING_H_
+#define QJO_QUBO_ISING_H_
+
+#include <tuple>
+#include <vector>
+
+#include "qubo/qubo.h"
+
+namespace qjo {
+
+/// Ising spin-glass Hamiltonian H(z) = offset + sum_i h_i z_i +
+/// sum_{i<j} J_ij z_i z_j with z_i in {-1, +1}. Equivalent to a QUBO under
+/// x_i = (1 - z_i) / 2; this is the form consumed by QAOA circuits, the
+/// analytic p=1 expectations, and the quantum annealer model.
+struct IsingModel {
+  std::vector<double> h;
+  std::vector<std::tuple<int, int, double>> couplings;  // (i, j, J_ij), i<j
+  double offset = 0.0;
+
+  int num_spins() const { return static_cast<int>(h.size()); }
+
+  /// Energy of a spin configuration (entries must be +1/-1).
+  double Energy(const std::vector<int>& spins) const;
+
+  /// Largest absolute h or J coefficient.
+  double MaxAbsCoefficient() const;
+};
+
+/// Exact QUBO -> Ising conversion (x = (1 - z)/2). Energies agree:
+/// qubo.Energy(SpinsToBits(z)) == ising.Energy(z) for all z.
+IsingModel QuboToIsing(const Qubo& qubo);
+
+/// Maps spins (+1 -> 0, -1 -> 1) back to QUBO bits.
+std::vector<int> SpinsToBits(const std::vector<int>& spins);
+
+/// Maps QUBO bits to spins (0 -> +1, 1 -> -1).
+std::vector<int> BitsToSpins(const std::vector<int>& bits);
+
+}  // namespace qjo
+
+#endif  // QJO_QUBO_ISING_H_

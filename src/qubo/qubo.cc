@@ -1,0 +1,90 @@
+#include "qubo/qubo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qjo {
+
+void Qubo::AddLinear(int i, double weight) {
+  QJO_CHECK_GE(i, 0);
+  QJO_CHECK_LT(i, num_variables());
+  linear_[i] += weight;
+}
+
+void Qubo::AddQuadratic(int i, int j, double weight) {
+  QJO_CHECK_NE(i, j);
+  QJO_CHECK_GE(std::min(i, j), 0);
+  QJO_CHECK_LT(std::max(i, j), num_variables());
+  if (i > j) std::swap(i, j);
+  auto [it, inserted] = quadratic_.try_emplace(Key(i, j), weight);
+  if (!inserted) {
+    it->second += weight;
+    if (it->second == 0.0) quadratic_.erase(it);
+  } else if (weight == 0.0) {
+    quadratic_.erase(it);
+  }
+}
+
+double Qubo::quadratic(int i, int j) const {
+  if (i > j) std::swap(i, j);
+  auto it = quadratic_.find(Key(i, j));
+  return it == quadratic_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::tuple<int, int, double>> Qubo::QuadraticTerms() const {
+  std::vector<std::tuple<int, int, double>> terms;
+  terms.reserve(quadratic_.size());
+  for (const auto& [key, weight] : quadratic_) {
+    terms.emplace_back(static_cast<int>(key >> 32),
+                       static_cast<int>(key & 0xffffffffu), weight);
+  }
+  std::sort(terms.begin(), terms.end());
+  return terms;
+}
+
+std::vector<std::pair<int, int>> Qubo::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(quadratic_.size());
+  for (const auto& [key, weight] : quadratic_) {
+    (void)weight;
+    edges.emplace_back(static_cast<int>(key >> 32),
+                       static_cast<int>(key & 0xffffffffu));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<std::vector<int>> Qubo::AdjacencyLists() const {
+  std::vector<std::vector<int>> adjacency(num_variables());
+  for (const auto& [i, j] : Edges()) {
+    adjacency[i].push_back(j);
+    adjacency[j].push_back(i);
+  }
+  return adjacency;
+}
+
+double Qubo::Energy(const std::vector<int>& assignment) const {
+  QJO_CHECK_EQ(static_cast<int>(assignment.size()), num_variables());
+  double energy = offset_;
+  for (int i = 0; i < num_variables(); ++i) {
+    if (assignment[i]) energy += linear_[i];
+  }
+  for (const auto& [key, weight] : quadratic_) {
+    const int i = static_cast<int>(key >> 32);
+    const int j = static_cast<int>(key & 0xffffffffu);
+    if (assignment[i] && assignment[j]) energy += weight;
+  }
+  return energy;
+}
+
+double Qubo::MaxAbsCoefficient() const {
+  double max_abs = 0.0;
+  for (double v : linear_) max_abs = std::max(max_abs, std::abs(v));
+  for (const auto& [key, weight] : quadratic_) {
+    (void)key;
+    max_abs = std::max(max_abs, std::abs(weight));
+  }
+  return max_abs;
+}
+
+}  // namespace qjo

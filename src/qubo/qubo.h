@@ -1,0 +1,65 @@
+#ifndef QJO_QUBO_QUBO_H_
+#define QJO_QUBO_QUBO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+
+/// A quadratic unconstrained binary optimisation problem (Eq. (1)):
+///   f(x) = offset + sum_i linear_i x_i + sum_{i<j} quadratic_ij x_i x_j,
+/// x_i in {0,1}. The coefficient matrix doubles as the problem graph used
+/// for minor embedding and for QAOA circuit construction.
+class Qubo {
+ public:
+  explicit Qubo(int num_variables = 0) : linear_(num_variables, 0.0) {}
+
+  int num_variables() const { return static_cast<int>(linear_.size()); }
+
+  /// Accumulates into the linear coefficient of variable i.
+  void AddLinear(int i, double weight);
+  /// Accumulates into the quadratic coefficient of the pair {i, j}, i != j.
+  void AddQuadratic(int i, int j, double weight);
+  /// Accumulates into the constant offset.
+  void AddOffset(double weight) { offset_ += weight; }
+
+  double linear(int i) const { return linear_[i]; }
+  double quadratic(int i, int j) const;
+  double offset() const { return offset_; }
+
+  /// Number of non-zero quadratic couplings (graph edges).
+  int num_quadratic_terms() const {
+    return static_cast<int>(quadratic_.size());
+  }
+
+  /// All non-zero couplings as (i, j, weight) with i < j.
+  std::vector<std::tuple<int, int, double>> QuadraticTerms() const;
+
+  /// Edges of the problem graph (pairs with non-zero coupling), i < j.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// Adjacency lists of the problem graph.
+  std::vector<std::vector<int>> AdjacencyLists() const;
+
+  /// Energy f(x) of an assignment.
+  double Energy(const std::vector<int>& assignment) const;
+
+  /// Largest absolute coefficient (used for chain-strength heuristics).
+  double MaxAbsCoefficient() const;
+
+ private:
+  static uint64_t Key(int i, int j) {
+    return (static_cast<uint64_t>(i) << 32) | static_cast<uint32_t>(j);
+  }
+
+  std::vector<double> linear_;
+  std::unordered_map<uint64_t, double> quadratic_;  // key(i,j) with i < j
+  double offset_ = 0.0;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_QUBO_QUBO_H_

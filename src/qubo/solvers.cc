@@ -1,0 +1,168 @@
+#include "qubo/solvers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+/// Dense adjacency representation used by both solvers for O(degree)
+/// energy-delta computation.
+struct LocalFieldModel {
+  explicit LocalFieldModel(const Qubo& qubo)
+      : linear(qubo.num_variables()),
+        neighbors(qubo.num_variables()) {
+    for (int i = 0; i < qubo.num_variables(); ++i) linear[i] = qubo.linear(i);
+    for (const auto& [i, j, w] : qubo.QuadraticTerms()) {
+      neighbors[i].emplace_back(j, w);
+      neighbors[j].emplace_back(i, w);
+    }
+  }
+
+  /// Energy change caused by flipping bit `i` of `x`.
+  double FlipDelta(const std::vector<int>& x, int i) const {
+    double field = linear[i];
+    for (const auto& [j, w] : neighbors[i]) {
+      if (x[j]) field += w;
+    }
+    return x[i] ? -field : field;
+  }
+
+  std::vector<double> linear;
+  std::vector<std::vector<std::pair<int, double>>> neighbors;
+};
+
+}  // namespace
+
+StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
+                                           int max_variables) {
+  const int n = qubo.num_variables();
+  if (n == 0) return Status::InvalidArgument("empty QUBO");
+  if (n > max_variables) {
+    return Status::ResourceExhausted("too many variables for brute force");
+  }
+  LocalFieldModel model(qubo);
+  std::vector<int> x(n, 0);
+  double energy = qubo.offset();
+  QuboSolution best{x, energy};
+  // Gray-code walk: state k differs from k-1 in bit ctz(k).
+  const uint64_t total = uint64_t{1} << n;
+  for (uint64_t k = 1; k < total; ++k) {
+    const int bit = static_cast<int>(__builtin_ctzll(k));
+    energy += model.FlipDelta(x, bit);
+    x[bit] ^= 1;
+    if (energy < best.energy) {
+      best.assignment = x;
+      best.energy = energy;
+    }
+  }
+  return best;
+}
+
+std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
+                                                      const SaOptions& options,
+                                                      Rng& rng) {
+  QJO_CHECK_GT(qubo.num_variables(), 0);
+  QJO_CHECK_GT(options.num_reads, 0);
+  QJO_CHECK_GT(options.sweeps_per_read, 0);
+  LocalFieldModel model(qubo);
+  const int n = qubo.num_variables();
+
+  double t_initial = options.initial_temperature;
+  if (t_initial <= 0.0) t_initial = std::max(qubo.MaxAbsCoefficient(), 1.0);
+  double t_final = options.final_temperature;
+  if (t_final <= 0.0) t_final = 1e-3 * t_initial;
+  const double cooling =
+      std::pow(t_final / t_initial,
+               1.0 / static_cast<double>(options.sweeps_per_read - 1 + 1));
+
+  std::vector<QuboSolution> reads;
+  reads.reserve(options.num_reads);
+  for (int read = 0; read < options.num_reads; ++read) {
+    std::vector<int> x(n);
+    for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    double energy = qubo.Energy(x);
+    double temperature = t_initial;
+    for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(x, i);
+        if (delta <= 0.0 ||
+            rng.UniformDouble() < std::exp(-delta / temperature)) {
+          x[i] ^= 1;
+          energy += delta;
+        }
+      }
+      temperature *= cooling;
+    }
+    reads.push_back(QuboSolution{std::move(x), energy});
+  }
+  std::sort(reads.begin(), reads.end(),
+            [](const QuboSolution& a, const QuboSolution& b) {
+              return a.energy < b.energy;
+            });
+  return reads;
+}
+
+std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
+                                              const TabuOptions& options,
+                                              Rng& rng) {
+  QJO_CHECK_GT(qubo.num_variables(), 0);
+  QJO_CHECK_GT(options.num_restarts, 0);
+  QJO_CHECK_GT(options.iterations_per_restart, 0);
+  const int n = qubo.num_variables();
+  const int tenure =
+      options.tenure > 0
+          ? options.tenure
+          : static_cast<int>(std::sqrt(static_cast<double>(n))) + 10;
+  LocalFieldModel model(qubo);
+
+  std::vector<QuboSolution> restarts;
+  restarts.reserve(options.num_restarts);
+  for (int restart = 0; restart < options.num_restarts; ++restart) {
+    std::vector<int> x(n);
+    for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    double energy = qubo.Energy(x);
+    QuboSolution incumbent{x, energy};
+    std::vector<int> tabu_until(n, -1);
+    for (int it = 0; it < options.iterations_per_restart; ++it) {
+      int best_flip = -1;
+      double best_delta = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < n; ++i) {
+        const double delta = model.FlipDelta(x, i);
+        const bool tabu = tabu_until[i] > it;
+        // Aspiration: a tabu move is allowed if it beats the incumbent.
+        if (tabu && energy + delta >= incumbent.energy - 1e-12) continue;
+        if (delta < best_delta ||
+            (delta == best_delta && rng.Bernoulli(0.5))) {
+          best_delta = delta;
+          best_flip = i;
+        }
+      }
+      if (best_flip < 0) break;  // everything tabu and non-aspiring
+      x[best_flip] ^= 1;
+      energy += best_delta;
+      tabu_until[best_flip] = it + tenure;
+      if (energy < incumbent.energy) incumbent = QuboSolution{x, energy};
+    }
+    restarts.push_back(std::move(incumbent));
+  }
+  std::sort(restarts.begin(), restarts.end(),
+            [](const QuboSolution& a, const QuboSolution& b) {
+              return a.energy < b.energy;
+            });
+  return restarts;
+}
+
+const QuboSolution& BestSolution(const std::vector<QuboSolution>& solutions) {
+  QJO_CHECK(!solutions.empty());
+  const QuboSolution* best = &solutions[0];
+  for (const QuboSolution& s : solutions) {
+    if (s.energy < best->energy) best = &s;
+  }
+  return *best;
+}
+
+}  // namespace qjo

@@ -1,0 +1,59 @@
+#ifndef QJO_QUBO_SOLVERS_H_
+#define QJO_QUBO_SOLVERS_H_
+
+#include <vector>
+
+#include "qubo/qubo.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// A candidate QUBO solution with its energy.
+struct QuboSolution {
+  std::vector<int> assignment;
+  double energy = 0.0;
+};
+
+/// Exact minimisation by Gray-code enumeration with incremental energy
+/// updates: O(2^n * avg_degree). Fails beyond `max_variables` (default 28).
+StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
+                                           int max_variables = 28);
+
+/// Options for the classical simulated-annealing QUBO solver. This serves
+/// both as a classical baseline and as a building block for tests; the
+/// *quantum* annealer model lives in src/sim (path-integral Monte Carlo).
+struct SaOptions {
+  int num_reads = 10;            ///< independent restarts
+  int sweeps_per_read = 1000;    ///< full-variable Metropolis sweeps
+  double initial_temperature = 0.0;  ///< 0 = auto (max |coefficient|)
+  double final_temperature = 0.0;    ///< 0 = auto (1e-3 * initial)
+};
+
+/// Runs classical simulated annealing; returns all reads, best first.
+std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
+                                                      const SaOptions& options,
+                                                      Rng& rng);
+
+/// Options for the tabu-search QUBO solver (another classical baseline, in
+/// the spirit of D-Wave's qbsolv post-processing).
+struct TabuOptions {
+  int num_restarts = 5;
+  int iterations_per_restart = 2000;
+  /// Tabu tenure; 0 = auto (~ sqrt(n) + 10).
+  int tenure = 0;
+};
+
+/// Tabu search: steepest-descent single-bit flips with a recency-based
+/// tabu list and incumbent aspiration. Returns one solution per restart,
+/// best first.
+std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
+                                              const TabuOptions& options,
+                                              Rng& rng);
+
+/// Best solution of a set; aborts on empty input.
+const QuboSolution& BestSolution(const std::vector<QuboSolution>& solutions);
+
+}  // namespace qjo
+
+#endif  // QJO_QUBO_SOLVERS_H_

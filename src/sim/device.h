@@ -1,0 +1,58 @@
+#ifndef QJO_SIM_DEVICE_H_
+#define QJO_SIM_DEVICE_H_
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qjo {
+
+/// Calibration sheet of a gate-based NISQ device. The Auckland/Washington
+/// presets carry the exact values the paper reports (Sec. 4.2.1).
+struct DeviceProperties {
+  std::string name;
+  double t1_us = 100.0;               ///< relaxation time T1 (microseconds)
+  double t2_us = 100.0;               ///< dephasing time T2 (microseconds)
+  double avg_gate_time_ns = 500.0;    ///< reported average gate time
+  double one_qubit_error = 3e-4;      ///< depolarising error per 1q gate
+  double two_qubit_error = 1e-2;      ///< depolarising error per 2q gate
+
+  /// The paper's lax upper bound on feasible circuit depth:
+  /// d = floor(min(T1, T2) / g_avg).
+  int MaxFeasibleDepth() const;
+};
+
+/// IBM Q Auckland at the time of the paper's experiments:
+/// T1 = 151.13us, T2 = 138.72us, g_avg = 472.51ns (27 qubits, Falcon).
+DeviceProperties IbmAucklandProperties();
+
+/// IBM Q Washington: T1 = 92.81us, T2 = 93.36us, g_avg = 550.41ns
+/// (127 qubits, Eagle).
+DeviceProperties IbmWashingtonProperties();
+
+/// Generic trapped-ion system (IonQ-style): coherence times orders of
+/// magnitude longer than superconducting devices, but much slower gates
+/// (Sec. 6.2: "more stable ... but feature faster gates" for SC qubits).
+DeviceProperties IonTrapProperties();
+
+/// Estimated probability that a circuit execution stays coherent and
+/// error-free: exp(-duration / min(T1,T2)) * (1-e1)^n1q * (1-e2)^n2q,
+/// with duration = depth * avg gate time. Used as the survival weight of
+/// the global depolarising noise model.
+double EstimateCircuitFidelity(const QuantumCircuit& circuit,
+                               const DeviceProperties& device);
+
+/// Timing model of one QPU job (Sec. 4.2.1): sampling time t_s grows with
+/// shots x depth x gate time, while the overall QPU time t_qpu is dominated
+/// by initialisation and communication overhead.
+struct QpuTimings {
+  double sampling_ms = 0.0;  ///< t_s
+  double total_s = 0.0;      ///< t_qpu
+};
+
+QpuTimings EstimateQpuTimings(const QuantumCircuit& circuit, int shots,
+                              const DeviceProperties& device);
+
+}  // namespace qjo
+
+#endif  // QJO_SIM_DEVICE_H_

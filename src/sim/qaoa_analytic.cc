@@ -1,0 +1,182 @@
+#include "sim/qaoa_analytic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+/// Dense coupling lookup built once per evaluation batch.
+struct CouplingView {
+  explicit CouplingView(const IsingModel& ising)
+      : n(ising.num_spins()), adjacency(ising.num_spins()) {
+    for (const auto& [i, j, w] : ising.couplings) {
+      adjacency[i].emplace_back(j, w);
+      adjacency[j].emplace_back(i, w);
+    }
+  }
+
+  double Get(int i, int j) const {
+    for (const auto& [k, w] : adjacency[i]) {
+      if (k == j) return w;
+    }
+    return 0.0;
+  }
+
+  int n;
+  std::vector<std::vector<std::pair<int, double>>> adjacency;
+};
+
+double ExpectationZImpl(const IsingModel& ising, const CouplingView& view,
+                        int i, double gamma, double beta) {
+  double product = 1.0;
+  for (const auto& [k, w] : view.adjacency[i]) {
+    (void)k;
+    product *= std::cos(2.0 * gamma * w);
+  }
+  return std::sin(2.0 * beta) * std::sin(2.0 * gamma * ising.h[i]) * product;
+}
+
+double ExpectationZZImpl(const IsingModel& ising, const CouplingView& view,
+                         int i, int j, double gamma, double beta) {
+  const double jij = view.Get(i, j);
+
+  double prod_i = 1.0;
+  for (const auto& [k, w] : view.adjacency[i]) {
+    if (k == j) continue;
+    prod_i *= std::cos(2.0 * gamma * w);
+  }
+  double prod_j = 1.0;
+  for (const auto& [k, w] : view.adjacency[j]) {
+    if (k == i) continue;
+    prod_j *= std::cos(2.0 * gamma * w);
+  }
+  const double term1 =
+      0.5 * std::sin(4.0 * beta) * std::sin(2.0 * gamma * jij) *
+      (std::cos(2.0 * gamma * ising.h[i]) * prod_i +
+       std::cos(2.0 * gamma * ising.h[j]) * prod_j);
+
+  // Products over the union of neighbourhoods of i and j (excluding i, j).
+  double prod_plus = 1.0;
+  double prod_minus = 1.0;
+  for (int k = 0; k < view.n; ++k) {
+    if (k == i || k == j) continue;
+    const double jik = view.Get(i, k);
+    const double jjk = view.Get(j, k);
+    if (jik == 0.0 && jjk == 0.0) continue;
+    prod_plus *= std::cos(2.0 * gamma * (jik + jjk));
+    prod_minus *= std::cos(2.0 * gamma * (jik - jjk));
+  }
+  const double s2b = std::sin(2.0 * beta);
+  const double term2 =
+      -0.5 * s2b * s2b *
+      (std::cos(2.0 * gamma * (ising.h[i] + ising.h[j])) * prod_plus -
+       std::cos(2.0 * gamma * (ising.h[i] - ising.h[j])) * prod_minus);
+
+  return term1 + term2;
+}
+
+}  // namespace
+
+double AnalyticExpectationZ(const IsingModel& ising, int i, double gamma,
+                            double beta) {
+  QJO_CHECK_GE(i, 0);
+  QJO_CHECK_LT(i, ising.num_spins());
+  CouplingView view(ising);
+  return ExpectationZImpl(ising, view, i, gamma, beta);
+}
+
+double AnalyticExpectationZZ(const IsingModel& ising, int i, int j,
+                             double gamma, double beta) {
+  QJO_CHECK_NE(i, j);
+  CouplingView view(ising);
+  return ExpectationZZImpl(ising, view, i, j, gamma, beta);
+}
+
+double AnalyticQaoaExpectation(const IsingModel& ising, double gamma,
+                               double beta) {
+  CouplingView view(ising);
+  double expectation = ising.offset;
+  for (int i = 0; i < ising.num_spins(); ++i) {
+    if (ising.h[i] != 0.0) {
+      expectation +=
+          ising.h[i] * ExpectationZImpl(ising, view, i, gamma, beta);
+    }
+  }
+  for (const auto& [i, j, w] : ising.couplings) {
+    expectation += w * ExpectationZZImpl(ising, view, i, j, gamma, beta);
+  }
+  return expectation;
+}
+
+QaoaAngles OptimizeQaoaAngles(
+    const std::function<double(double gamma, double beta)>& expectation,
+    int iterations, Rng& rng) {
+  QJO_CHECK_GE(iterations, 0);
+  constexpr double kPi = 3.14159265358979323846;
+
+  // Coarse grid pick (mirrors a warm start; AQGD then refines).
+  double gamma = rng.UniformDouble(0.0, 0.1);
+  double beta = rng.UniformDouble(0.0, kPi / 2);
+  double best = expectation(gamma, beta);
+  for (int gi = 0; gi < 8; ++gi) {
+    for (int bi = 0; bi < 8; ++bi) {
+      const double g = 0.002 * std::pow(2.2, gi);  // log-spaced: QUBO
+                                                   // coefficients are large
+      const double b = kPi / 16.0 + bi * kPi / 8.0;
+      const double value = expectation(g, b);
+      if (value < best) {
+        best = value;
+        gamma = g;
+        beta = b;
+      }
+    }
+  }
+
+  // Momentum gradient descent (finite differences), step-size backtracking.
+  double vg = 0.0, vb = 0.0;
+  double lr = 0.05;
+  int used = 0;
+  for (int it = 0; it < iterations; ++it) {
+    ++used;
+    const double eps_g = std::max(1e-7, std::abs(gamma) * 1e-3);
+    const double eps_b = 1e-4;
+    const double dg = (expectation(gamma + eps_g, beta) -
+                       expectation(gamma - eps_g, beta)) /
+                      (2.0 * eps_g);
+    const double db = (expectation(gamma, beta + eps_b) -
+                       expectation(gamma, beta - eps_b)) /
+                      (2.0 * eps_b);
+    // Normalise the gradient: gamma and beta live on very different
+    // scales when QUBO coefficients are large.
+    const double norm = std::sqrt(dg * dg + db * db);
+    if (norm < 1e-12) break;
+    vg = 0.7 * vg - lr * dg / norm * std::max(std::abs(gamma), 1e-3);
+    vb = 0.7 * vb - lr * db / norm;
+    const double new_gamma = gamma + vg;
+    const double new_beta = beta + vb;
+    const double value = expectation(new_gamma, new_beta);
+    if (value < best) {
+      best = value;
+      gamma = new_gamma;
+      beta = new_beta;
+    } else {
+      lr *= 0.7;
+      vg = vb = 0.0;
+    }
+  }
+  return QaoaAngles{gamma, beta, best, used};
+}
+
+QaoaAngles OptimizeQaoaAngles(const IsingModel& ising, int iterations,
+                              Rng& rng) {
+  return OptimizeQaoaAngles(
+      [&ising](double gamma, double beta) {
+        return AnalyticQaoaExpectation(ising, gamma, beta);
+      },
+      iterations, rng);
+}
+
+}  // namespace qjo

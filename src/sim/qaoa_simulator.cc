@@ -1,0 +1,166 @@
+#include "sim/qaoa_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qjo {
+
+QaoaSimulator::QaoaSimulator(const IsingModel& ising)
+    : num_qubits_(ising.num_spins()) {
+  BuildCostSpectrum(ising);
+}
+
+StatusOr<QaoaSimulator> QaoaSimulator::Create(const IsingModel& ising) {
+  if (ising.num_spins() < 1 || ising.num_spins() > 27) {
+    return Status::InvalidArgument("QAOA simulator supports 1..27 qubits");
+  }
+  return QaoaSimulator(ising);
+}
+
+void QaoaSimulator::BuildCostSpectrum(const IsingModel& ising) {
+  const int n = num_qubits_;
+  const uint64_t size = uint64_t{1} << n;
+  cost_.assign(size, 0.0f);
+
+  // Neighbour lists for O(degree) Gray-code energy deltas.
+  std::vector<std::vector<std::pair<int, double>>> adjacency(n);
+  for (const auto& [i, j, w] : ising.couplings) {
+    adjacency[i].emplace_back(j, w);
+    adjacency[j].emplace_back(i, w);
+  }
+
+  // Bit b set in x means spin b is -1 (QUBO bit 1).
+  std::vector<int8_t> spins(n, 1);
+  double energy = ising.offset;
+  for (int i = 0; i < n; ++i) energy += ising.h[i];
+  for (const auto& [i, j, w] : ising.couplings) {
+    (void)i;
+    (void)j;
+    energy += w;
+  }
+  cost_[0] = static_cast<float>(energy);
+
+  uint64_t x = 0;
+  for (uint64_t k = 1; k < size; ++k) {
+    const int bit = static_cast<int>(__builtin_ctzll(k));
+    // Flipping spin `bit`: dE = -2 s_bit (h_bit + sum_j J_bj s_j).
+    double field = ising.h[bit];
+    for (const auto& [j, w] : adjacency[bit]) {
+      field += w * static_cast<double>(spins[j]);
+    }
+    energy -= 2.0 * static_cast<double>(spins[bit]) * field;
+    spins[bit] = static_cast<int8_t>(-spins[bit]);
+    x ^= uint64_t{1} << bit;
+    cost_[x] = static_cast<float>(energy);
+  }
+}
+
+double QaoaSimulator::Run(const QaoaParameters& parameters) {
+  QJO_CHECK_GT(parameters.p(), 0);
+  QJO_CHECK_EQ(parameters.gammas.size(), parameters.betas.size());
+  const uint64_t size = uint64_t{1} << num_qubits_;
+  const float amp0 = 1.0f / std::sqrt(static_cast<float>(size));
+  amplitudes_.assign(size, std::complex<float>(amp0, 0.0f));
+
+  for (int rep = 0; rep < parameters.p(); ++rep) {
+    const float gamma = static_cast<float>(parameters.gammas[rep]);
+    // Cost phase: exp(-i gamma E(x)) (the offset is a global phase).
+    for (uint64_t i = 0; i < size; ++i) {
+      const float angle = -gamma * cost_[i];
+      amplitudes_[i] *= std::complex<float>(std::cos(angle), std::sin(angle));
+    }
+    // Mixer: RX(2 beta) on every qubit.
+    const float beta = static_cast<float>(parameters.betas[rep]);
+    const float c = std::cos(beta);
+    const std::complex<float> s(0.0f, -std::sin(beta));
+    for (int q = 0; q < num_qubits_; ++q) {
+      const uint64_t bit = uint64_t{1} << q;
+      for (uint64_t base = 0; base < size; ++base) {
+        if (base & bit) continue;
+        const uint64_t partner = base | bit;
+        const std::complex<float> a0 = amplitudes_[base];
+        const std::complex<float> a1 = amplitudes_[partner];
+        amplitudes_[base] = c * a0 + s * a1;
+        amplitudes_[partner] = s * a0 + c * a1;
+      }
+    }
+  }
+  state_loaded_ = true;
+
+  double expectation = 0.0;
+  for (uint64_t i = 0; i < size; ++i) {
+    expectation += static_cast<double>(std::norm(amplitudes_[i])) *
+                   static_cast<double>(cost_[i]);
+  }
+  return expectation;
+}
+
+double QaoaSimulator::Expectation(double gamma, double beta) {
+  QaoaParameters params;
+  params.gammas = {gamma};
+  params.betas = {beta};
+  return Run(params);
+}
+
+std::vector<uint64_t> QaoaSimulator::Sample(int shots, double fidelity,
+                                            Rng& rng) {
+  QJO_CHECK(state_loaded_) << "call Run() before Sample()";
+  QJO_CHECK_GT(shots, 0);
+  QJO_CHECK_GE(fidelity, 0.0);
+  QJO_CHECK_LE(fidelity, 1.0);
+  const uint64_t size = uint64_t{1} << num_qubits_;
+
+  std::vector<uint64_t> samples;
+  samples.reserve(shots);
+  int ideal_shots = 0;
+  for (int s = 0; s < shots; ++s) {
+    if (rng.Bernoulli(fidelity)) {
+      ++ideal_shots;
+    } else {
+      samples.push_back(rng.Next() & (size - 1));  // depolarised shot
+    }
+  }
+  if (ideal_shots > 0) {
+    std::vector<double> u(ideal_shots);
+    for (double& v : u) v = rng.UniformDouble();
+    std::sort(u.begin(), u.end());
+    double cumulative = 0.0;
+    size_t next = 0;
+    for (uint64_t i = 0; i < size && next < u.size(); ++i) {
+      cumulative += static_cast<double>(std::norm(amplitudes_[i]));
+      while (next < u.size() && u[next] < cumulative) {
+        samples.push_back(i);
+        ++next;
+      }
+    }
+    while (next < u.size()) {
+      samples.push_back(size - 1);
+      ++next;
+    }
+  }
+  rng.Shuffle(samples);
+  return samples;
+}
+
+double QaoaSimulator::Probability(uint64_t basis) const {
+  QJO_CHECK(state_loaded_);
+  QJO_CHECK_LT(basis, amplitudes_.size());
+  return static_cast<double>(std::norm(amplitudes_[basis]));
+}
+
+double QaoaSimulator::MinCost(uint64_t* argmin) const {
+  uint64_t best = 0;
+  float best_cost = cost_[0];
+  for (uint64_t i = 1; i < cost_.size(); ++i) {
+    if (cost_[i] < best_cost) {
+      best_cost = cost_[i];
+      best = i;
+    }
+  }
+  if (argmin != nullptr) *argmin = best;
+  return static_cast<double>(best_cost);
+}
+
+}  // namespace qjo

@@ -1,0 +1,65 @@
+#ifndef QJO_SIM_QAOA_SIMULATOR_H_
+#define QJO_SIM_QAOA_SIMULATOR_H_
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "circuit/qaoa_builder.h"
+#include "qubo/ising.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Specialised QAOA state-vector simulator. Exploits the diagonality of
+/// the cost operator: the full cost spectrum E(x) is computed once by a
+/// Gray-code sweep, after which each circuit evaluation is an element-wise
+/// phase multiplication plus n RX butterflies. Amplitudes are stored in
+/// single precision so 27-qubit problems (the paper's largest gate-based
+/// instances) fit comfortably in memory.
+class QaoaSimulator {
+ public:
+  /// Builds the simulator and cost spectrum. Fails above 27 qubits.
+  static StatusOr<QaoaSimulator> Create(const IsingModel& ising);
+
+  int num_qubits() const { return num_qubits_; }
+
+  /// Cost spectrum E(x) including the Ising offset.
+  const std::vector<float>& cost_spectrum() const { return cost_; }
+
+  /// Runs the QAOA circuit for `parameters`, leaving the final state
+  /// loaded; returns <H_C>.
+  double Run(const QaoaParameters& parameters);
+
+  /// <H_C> at (gamma, beta) for p=1 (convenience for optimisation loops).
+  double Expectation(double gamma, double beta);
+
+  /// Samples `shots` bitstrings from the loaded state through a global
+  /// depolarising channel with survival probability `fidelity`: each shot
+  /// is drawn from the ideal distribution with probability `fidelity` and
+  /// uniformly otherwise (the deeper the physical circuit, the lower the
+  /// fidelity, the more uniform the output — the NISQ behaviour of
+  /// Table 2). Run() must have been called.
+  std::vector<uint64_t> Sample(int shots, double fidelity, Rng& rng);
+
+  /// Probability of basis state x in the loaded state.
+  double Probability(uint64_t basis) const;
+
+  /// Ground-state energy and one minimising bitstring of the spectrum.
+  double MinCost(uint64_t* argmin = nullptr) const;
+
+ private:
+  QaoaSimulator(const IsingModel& ising);
+
+  void BuildCostSpectrum(const IsingModel& ising);
+
+  int num_qubits_ = 0;
+  std::vector<float> cost_;
+  std::vector<std::complex<float>> amplitudes_;
+  bool state_loaded_ = false;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_SIM_QAOA_SIMULATOR_H_

@@ -1,0 +1,118 @@
+#include "sim/sqa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+struct Adjacency {
+  explicit Adjacency(const IsingModel& ising)
+      : neighbors(ising.num_spins()) {
+    for (size_t e = 0; e < ising.couplings.size(); ++e) {
+      const auto& [i, j, w] = ising.couplings[e];
+      (void)w;
+      neighbors[i].emplace_back(j, static_cast<int>(e));
+      neighbors[j].emplace_back(i, static_cast<int>(e));
+    }
+  }
+  // (neighbor, coupling index) pairs.
+  std::vector<std::vector<std::pair<int, int>>> neighbors;
+};
+
+}  // namespace
+
+StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
+                                        const SqaOptions& options, Rng& rng) {
+  const int n = ising.num_spins();
+  if (n == 0) return Status::InvalidArgument("empty Ising model");
+  if (options.num_reads <= 0 || options.annealing_time_us <= 0.0 ||
+      options.sweeps_per_us <= 0.0 || options.trotter_slices < 2) {
+    return Status::InvalidArgument("bad SQA schedule parameters");
+  }
+
+  const int num_sweeps = std::max(
+      8, static_cast<int>(options.annealing_time_us * options.sweeps_per_us));
+  const int slices = options.trotter_slices;
+  const double scale = std::max(ising.MaxAbsCoefficient(), 1e-9);
+  const double temperature = options.relative_temperature * scale;
+  const double gamma0 = options.relative_initial_field * scale;
+  const Adjacency adjacency(ising);
+
+  std::vector<SqaSample> samples;
+  samples.reserve(options.num_reads);
+
+  // Per-read perturbed coefficients (ICE noise).
+  std::vector<double> h(ising.h);
+  std::vector<double> coupling_weights(ising.couplings.size());
+
+  for (int read = 0; read < options.num_reads; ++read) {
+    const double sigma = options.ice_sigma * scale;
+    for (int i = 0; i < n; ++i) {
+      h[i] = ising.h[i] + (sigma > 0.0 ? sigma * rng.Gaussian() : 0.0);
+    }
+    for (size_t e = 0; e < ising.couplings.size(); ++e) {
+      coupling_weights[e] = std::get<2>(ising.couplings[e]) +
+                            (sigma > 0.0 ? sigma * rng.Gaussian() : 0.0);
+    }
+
+    // spins[p * n + i] in {-1, +1}.
+    std::vector<int8_t> spins(static_cast<size_t>(slices) * n);
+    for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+
+    for (int sweep = 0; sweep < num_sweeps; ++sweep) {
+      const double s_frac =
+          static_cast<double>(sweep) / static_cast<double>(num_sweeps - 1);
+      const double gamma = gamma0 * (1.0 - s_frac);
+      // Replica coupling J_perp = -(P T / 2) ln tanh(Gamma / (P T)) > 0.
+      const double arg =
+          std::max(gamma / (slices * temperature), 1e-12);
+      const double j_perp = std::min(
+          -(slices * temperature / 2.0) * std::log(std::tanh(arg)),
+          50.0 * scale);
+
+      for (int p = 0; p < slices; ++p) {
+        int8_t* slice = &spins[static_cast<size_t>(p) * n];
+        const int8_t* up = &spins[static_cast<size_t>((p + 1) % slices) * n];
+        const int8_t* down =
+            &spins[static_cast<size_t>((p + slices - 1) % slices) * n];
+        for (int i = 0; i < n; ++i) {
+          // Classical field (scaled by 1/P) + replica field.
+          double field = h[i];
+          for (const auto& [j, e] : adjacency.neighbors[i]) {
+            field += coupling_weights[e] * static_cast<double>(slice[j]);
+          }
+          double delta =
+              -2.0 * static_cast<double>(slice[i]) * field / slices;
+          delta += 2.0 * static_cast<double>(slice[i]) * j_perp *
+                   (static_cast<double>(up[i]) + static_cast<double>(down[i]));
+          if (delta <= 0.0 ||
+              rng.UniformDouble() < std::exp(-delta / temperature)) {
+            slice[i] = static_cast<int8_t>(-slice[i]);
+          }
+        }
+      }
+    }
+
+    // Output: the slice with the lowest *true* classical energy.
+    SqaSample best;
+    best.energy = std::numeric_limits<double>::infinity();
+    std::vector<int> candidate(n);
+    for (int p = 0; p < slices; ++p) {
+      for (int i = 0; i < n; ++i) {
+        candidate[i] = spins[static_cast<size_t>(p) * n + i];
+      }
+      const double energy = ising.Energy(candidate);
+      if (energy < best.energy) {
+        best.energy = energy;
+        best.spins = candidate;
+      }
+    }
+    samples.push_back(std::move(best));
+  }
+  return samples;
+}
+
+}  // namespace qjo

@@ -1,0 +1,131 @@
+#include "topology/coupling_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qjo {
+
+CouplingGraph::CouplingGraph(int num_qubits) : adjacency_(num_qubits) {
+  QJO_CHECK_GE(num_qubits, 0);
+}
+
+uint64_t CouplingGraph::Key(int a, int b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint32_t>(b);
+}
+
+void CouplingGraph::AddEdge(int a, int b) {
+  QJO_CHECK_NE(a, b);
+  QJO_CHECK_GE(std::min(a, b), 0);
+  QJO_CHECK_LT(std::max(a, b), num_qubits());
+  if (!edge_set_.insert(Key(a, b)).second) return;
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool CouplingGraph::HasEdge(int a, int b) const {
+  if (a == b) return false;
+  return edge_set_.count(Key(a, b)) > 0;
+}
+
+int CouplingGraph::MaxDegree() const {
+  int max_degree = 0;
+  for (const auto& n : adjacency_) {
+    max_degree = std::max(max_degree, static_cast<int>(n.size()));
+  }
+  return max_degree;
+}
+
+double CouplingGraph::AverageDegree() const {
+  if (num_qubits() == 0) return 0.0;
+  return 2.0 * num_edges_ / static_cast<double>(num_qubits());
+}
+
+std::vector<std::pair<int, int>> CouplingGraph::Edges() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(num_edges_);
+  for (uint64_t key : edge_set_) {
+    edges.emplace_back(static_cast<int>(key >> 32),
+                       static_cast<int>(key & 0xffffffffu));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::vector<int> CouplingGraph::BfsDistances(int source) const {
+  QJO_CHECK_GE(source, 0);
+  QJO_CHECK_LT(source, num_qubits());
+  std::vector<int> dist(num_qubits(), -1);
+  std::deque<int> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const int node = queue.front();
+    queue.pop_front();
+    for (int next : adjacency_[node]) {
+      if (dist[next] < 0) {
+        dist[next] = dist[node] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> CouplingGraph::AllPairsDistances() const {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(num_qubits());
+  for (int q = 0; q < num_qubits(); ++q) dist.push_back(BfsDistances(q));
+  return dist;
+}
+
+bool CouplingGraph::IsConnected() const {
+  if (num_qubits() == 0) return true;
+  const std::vector<int> dist = BfsDistances(0);
+  return std::all_of(dist.begin(), dist.end(), [](int d) { return d >= 0; });
+}
+
+double CouplingGraph::Density() const {
+  const int n = num_qubits();
+  if (n < 2) return 0.0;
+  return static_cast<double>(num_edges_) /
+         (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+std::string CouplingGraph::ToString() const {
+  std::ostringstream os;
+  os << "graph(" << num_qubits() << " qubits, " << num_edges_
+     << " edges, max degree " << MaxDegree() << ")";
+  return os.str();
+}
+
+CouplingGraph MakeCompleteGraph(int num_qubits) {
+  CouplingGraph g(num_qubits);
+  for (int a = 0; a < num_qubits; ++a) {
+    for (int b = a + 1; b < num_qubits; ++b) g.AddEdge(a, b);
+  }
+  return g;
+}
+
+CouplingGraph MakeLineGraph(int num_qubits) {
+  CouplingGraph g(num_qubits);
+  for (int q = 0; q + 1 < num_qubits; ++q) g.AddEdge(q, q + 1);
+  return g;
+}
+
+CouplingGraph MakeGridGraph(int rows, int cols) {
+  CouplingGraph g(rows * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int q = r * cols + c;
+      if (c + 1 < cols) g.AddEdge(q, q + 1);
+      if (r + 1 < rows) g.AddEdge(q, q + cols);
+    }
+  }
+  return g;
+}
+
+}  // namespace qjo

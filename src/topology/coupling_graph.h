@@ -1,0 +1,67 @@
+#ifndef QJO_TOPOLOGY_COUPLING_GRAPH_H_
+#define QJO_TOPOLOGY_COUPLING_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Undirected qubit-connectivity graph of a QPU. Used both as the coupling
+/// map constraining two-qubit gates (gate-based QPUs) and as the hardware
+/// graph targeted by minor embedding (annealers).
+class CouplingGraph {
+ public:
+  explicit CouplingGraph(int num_qubits = 0);
+
+  int num_qubits() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge; ignores duplicates; aborts on bad operands.
+  void AddEdge(int a, int b);
+  bool HasEdge(int a, int b) const;
+
+  const std::vector<int>& Neighbors(int q) const { return adjacency_[q]; }
+  int Degree(int q) const { return static_cast<int>(adjacency_[q].size()); }
+  int MaxDegree() const;
+  double AverageDegree() const;
+
+  /// All edges as (a, b) with a < b, sorted.
+  std::vector<std::pair<int, int>> Edges() const;
+
+  /// BFS distances from `source`; unreachable nodes get -1.
+  std::vector<int> BfsDistances(int source) const;
+
+  /// Full distance matrix (BFS from every node). O(V * (V + E)).
+  std::vector<std::vector<int>> AllPairsDistances() const;
+
+  bool IsConnected() const;
+
+  /// Edge density relative to the complete graph: |E| / (n(n-1)/2).
+  double Density() const;
+
+  std::string ToString() const;
+
+ private:
+  static uint64_t Key(int a, int b);
+
+  std::vector<std::vector<int>> adjacency_;
+  std::unordered_set<uint64_t> edge_set_;
+  int num_edges_ = 0;
+};
+
+/// Complete graph K_n — the IonQ trapped-ion topology (all-to-all).
+CouplingGraph MakeCompleteGraph(int num_qubits);
+
+/// Simple 1D chain 0-1-2-...-n-1 (used in tests).
+CouplingGraph MakeLineGraph(int num_qubits);
+
+/// 2D grid graph with `rows` x `cols` qubits (used in tests/ablations).
+CouplingGraph MakeGridGraph(int rows, int cols);
+
+}  // namespace qjo
+
+#endif  // QJO_TOPOLOGY_COUPLING_GRAPH_H_

@@ -1,0 +1,56 @@
+#include "topology/density.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+
+int NumExtraEdges(const CouplingGraph& base, double density) {
+  const long long n = base.num_qubits();
+  const long long complete = n * (n - 1) / 2;
+  const long long missing = complete - base.num_edges();
+  return static_cast<int>(std::llround(density * static_cast<double>(missing)));
+}
+
+StatusOr<CouplingGraph> ExtrapolateDensity(const CouplingGraph& base,
+                                           double density, Rng& rng) {
+  if (density < 0.0 || density > 1.0) {
+    return Status::InvalidArgument("density must lie in [0, 1]");
+  }
+  if (!base.IsConnected()) {
+    return Status::InvalidArgument("base topology must be connected");
+  }
+  CouplingGraph result = base;
+  int remaining = NumExtraEdges(base, density);
+  if (remaining == 0) return result;
+
+  // Group missing pairs by hardware distance in the *base* graph.
+  const std::vector<std::vector<int>> dist = base.AllPairsDistances();
+  int max_distance = 0;
+  for (int a = 0; a < base.num_qubits(); ++a) {
+    for (int b = a + 1; b < base.num_qubits(); ++b) {
+      max_distance = std::max(max_distance, dist[a][b]);
+    }
+  }
+
+  for (int delta = 2; delta <= max_distance && remaining > 0; ++delta) {
+    std::vector<std::pair<int, int>> candidates;
+    for (int a = 0; a < base.num_qubits(); ++a) {
+      for (int b = a + 1; b < base.num_qubits(); ++b) {
+        if (dist[a][b] == delta) candidates.emplace_back(a, b);
+      }
+    }
+    rng.Shuffle(candidates);
+    for (const auto& [a, b] : candidates) {
+      if (remaining == 0) break;
+      result.AddEdge(a, b);
+      --remaining;
+    }
+  }
+  QJO_CHECK_EQ(remaining, 0);
+  return result;
+}
+
+}  // namespace qjo

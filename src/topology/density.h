@@ -1,0 +1,25 @@
+#ifndef QJO_TOPOLOGY_DENSITY_H_
+#define QJO_TOPOLOGY_DENSITY_H_
+
+#include "topology/coupling_graph.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Density extrapolation of Sec. 6.2: augments `base` with `d * (N - M)`
+/// extra edges, where N = n(n-1)/2 and M is the base edge count, so that
+/// d = 0 is the baseline topology and d = 1 a complete mesh. Following the
+/// paper, connections between topologically close qubits are added first:
+/// all missing pairs at hardware distance delta = 2 are sampled uniformly
+/// before any pair at delta = 3, and so on.
+/// Fails for d outside [0, 1] or a disconnected base graph.
+StatusOr<CouplingGraph> ExtrapolateDensity(const CouplingGraph& base,
+                                           double density, Rng& rng);
+
+/// Number of edges ExtrapolateDensity would add for the given density.
+int NumExtraEdges(const CouplingGraph& base, double density);
+
+}  // namespace qjo
+
+#endif  // QJO_TOPOLOGY_DENSITY_H_

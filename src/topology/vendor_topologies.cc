@@ -1,0 +1,225 @@
+#include "topology/vendor_topologies.h"
+
+#include <array>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+
+CouplingGraph MakeIbmFalcon27() {
+  // Published coupling map of the 27-qubit Falcon processors
+  // (Auckland/Montreal/Mumbai family).
+  static constexpr std::array<std::pair<int, int>, 28> kEdges = {{
+      {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},   {4, 7},   {5, 8},
+      {6, 7},   {7, 10},  {8, 9},   {8, 11},  {10, 12}, {11, 14}, {12, 13},
+      {12, 15}, {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21},
+      {19, 20}, {19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+  }};
+  CouplingGraph g(27);
+  for (const auto& [a, b] : kEdges) g.AddEdge(a, b);
+  return g;
+}
+
+StatusOr<CouplingGraph> MakeIbmHeavyHex(int rows, int row_length) {
+  if (rows < 3 || rows % 2 == 0) {
+    return Status::InvalidArgument("heavy-hex needs an odd row count >= 3");
+  }
+  if (row_length < 7 || row_length % 4 != 3) {
+    return Status::InvalidArgument(
+        "heavy-hex row length must be 4k+3 with k >= 1");
+  }
+
+  // Row i spans columns [col_begin(i), col_end(i)): the first row omits the
+  // last column and the last row omits the first (as on Eagle r1).
+  auto col_begin = [&](int i) { return i == rows - 1 ? 1 : 0; };
+  auto col_end = [&](int i) { return i == 0 ? row_length - 1 : row_length; };
+
+  // Assign ids: rows interleaved with their bridge qubits, in reading order.
+  std::vector<std::vector<int>> row_ids(rows);
+  int next_id = 0;
+  std::vector<std::vector<std::pair<int, int>>> bridges(rows - 1);
+  for (int i = 0; i < rows; ++i) {
+    row_ids[i].assign(row_length, -1);
+    for (int c = col_begin(i); c < col_end(i); ++c) row_ids[i][c] = next_id++;
+    if (i + 1 < rows) {
+      // Bridge columns alternate: even gaps at 0,4,8,...; odd at 2,6,10,...
+      for (int c = (i % 2) * 2; c < row_length; c += 4) {
+        bridges[i].emplace_back(c, next_id++);
+      }
+    }
+  }
+
+  CouplingGraph g(next_id);
+  for (int i = 0; i < rows; ++i) {
+    for (int c = col_begin(i); c + 1 < col_end(i); ++c) {
+      g.AddEdge(row_ids[i][c], row_ids[i][c + 1]);
+    }
+  }
+  for (int i = 0; i + 1 < rows; ++i) {
+    for (const auto& [c, id] : bridges[i]) {
+      if (row_ids[i][c] >= 0) g.AddEdge(row_ids[i][c], id);
+      if (row_ids[i + 1][c] >= 0) g.AddEdge(id, row_ids[i + 1][c]);
+    }
+  }
+  return g;
+}
+
+CouplingGraph MakeIbmEagle127() {
+  auto graph = MakeIbmHeavyHex(7, 15);
+  QJO_CHECK(graph.ok());
+  QJO_CHECK_EQ(graph->num_qubits(), 127);
+  return std::move(graph).value();
+}
+
+CouplingGraph MakeIbmHeavyHexAtLeast(int min_qubits) {
+  QJO_CHECK_GT(min_qubits, 0);
+  // Grow rows first (IBM's roadmap stacks row pairs), then widen.
+  for (int row_length = 15;; row_length += 4) {
+    for (int rows = 7; rows <= row_length + 6; rows += 2) {
+      auto graph = MakeIbmHeavyHex(rows, row_length);
+      QJO_CHECK(graph.ok());
+      if (graph->num_qubits() >= min_qubits) return std::move(graph).value();
+    }
+  }
+}
+
+StatusOr<CouplingGraph> MakeRigettiAspen(int rows, int cols) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("need at least one octagon");
+  }
+  const int n = rows * cols * 8;
+  CouplingGraph g(n);
+  auto qubit = [&](int r, int c, int k) { return (r * cols + c) * 8 + k; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Octagon ring.
+      for (int k = 0; k < 8; ++k) g.AddEdge(qubit(r, c, k), qubit(r, c, (k + 1) % 8));
+      // Two couplers to the right-hand neighbour (facing sides), as on
+      // Aspen-M: qubits 1,2 face the neighbour's 6,5.
+      if (c + 1 < cols) {
+        g.AddEdge(qubit(r, c, 1), qubit(r, c + 1, 6));
+        g.AddEdge(qubit(r, c, 2), qubit(r, c + 1, 5));
+      }
+      // Two couplers to the octagon below: qubits 3,4 face its 0,7.
+      if (r + 1 < rows) {
+        g.AddEdge(qubit(r, c, 3), qubit(r + 1, c, 0));
+        g.AddEdge(qubit(r, c, 4), qubit(r + 1, c, 7));
+      }
+    }
+  }
+  return g;
+}
+
+CouplingGraph MakeRigettiAspenAtLeast(int min_qubits) {
+  QJO_CHECK_GT(min_qubits, 0);
+  // Aspen-M is 2 x 5 octagons; extrapolate by keeping the 2:5-ish aspect.
+  for (int scale = 1;; ++scale) {
+    const int rows = 2 * scale;
+    const int cols = 5 * scale;
+    auto graph = MakeRigettiAspen(rows, cols);
+    QJO_CHECK(graph.ok());
+    if (graph->num_qubits() >= min_qubits) return std::move(graph).value();
+    // Try intermediate sizes before jumping to the next full scale.
+    for (int extra = 1; extra <= 3; ++extra) {
+      auto wider = MakeRigettiAspen(rows, cols + extra * scale);
+      QJO_CHECK(wider.ok());
+      if (wider->num_qubits() >= min_qubits) return std::move(wider).value();
+    }
+  }
+}
+
+StatusOr<CouplingGraph> MakeChimera(int m) {
+  if (m < 1) return Status::InvalidArgument("Chimera needs m >= 1");
+  if (m > 64) return Status::InvalidArgument("Chimera size capped at m=64");
+  // Cell (r, c) holds 8 qubits: 4 "left" (vertical) + 4 "right"
+  // (horizontal); the K_{4,4} couples left x right. External couplers link
+  // same-offset left qubits vertically and right qubits horizontally.
+  auto index = [&](int r, int c, int side, int k) {
+    return ((r * m + c) * 2 + side) * 4 + k;
+  };
+  CouplingGraph g(8 * m * m);
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < m; ++c) {
+      for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+          g.AddEdge(index(r, c, 0, a), index(r, c, 1, b));
+        }
+      }
+      for (int k = 0; k < 4; ++k) {
+        if (r + 1 < m) g.AddEdge(index(r, c, 0, k), index(r + 1, c, 0, k));
+        if (c + 1 < m) g.AddEdge(index(r, c, 1, k), index(r, c + 1, 1, k));
+      }
+    }
+  }
+  return g;
+}
+
+StatusOr<CouplingGraph> MakePegasus(int m) {
+  if (m < 2) return Status::InvalidArgument("Pegasus needs m >= 2");
+  if (m > 24) return Status::InvalidArgument("Pegasus size capped at m=24");
+
+  // Vertex (u, w, k, z): u = orientation, w in [m] = perpendicular tile
+  // offset, k in [12] = qubit offset, z in [m-1] = parallel tile offset.
+  const int kShift = 12;
+  auto index = [&](int u, int w, int k, int z) {
+    return ((u * m + w) * kShift + k) * (m - 1) + z;
+  };
+  const int n = 2 * m * kShift * (m - 1);
+
+  // Standard offset lists of the Advantage working graph.
+  static constexpr std::array<int, 12> kOffset0 = {2, 2, 2, 2,  6,  6,
+                                                   6, 6, 10, 10, 10, 10};
+  static constexpr std::array<int, 12> kOffset1 = {6,  6,  6,  6, 10, 10,
+                                                   10, 10, 2,  2, 2,  2};
+
+  CouplingGraph g(n);
+  // External couplers: consecutive parallel tiles.
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < m; ++w) {
+      for (int k = 0; k < kShift; ++k) {
+        for (int z = 0; z + 1 < m - 1; ++z) {
+          g.AddEdge(index(u, w, k, z), index(u, w, k, z + 1));
+        }
+      }
+    }
+  }
+  // Odd couplers: paired qubit offsets (k, k^1) in the same tile.
+  for (int u = 0; u < 2; ++u) {
+    for (int w = 0; w < m; ++w) {
+      for (int k = 0; k < kShift; k += 2) {
+        for (int z = 0; z < m - 1; ++z) {
+          g.AddEdge(index(u, w, k, z), index(u, w, k + 1, z));
+        }
+      }
+    }
+  }
+  // Internal couplers via the geometric crossing rule: a vertical qubit
+  // (u=0) at x = 12w + k covers y in [12z + off0[k], 12z + off0[k] + 12);
+  // a horizontal qubit (u=1) at y = 12w' + k' covers x in
+  // [12z' + off1[k'], 12z' + off1[k'] + 12). They are coupled iff the
+  // segments cross.
+  for (int w = 0; w < m; ++w) {
+    for (int k = 0; k < kShift; ++k) {
+      for (int z = 0; z < m - 1; ++z) {
+        const int x = kShift * w + k;
+        const int y_lo = kShift * z + kOffset0[k];
+        for (int wp = 0; wp < m; ++wp) {
+          for (int kp = 0; kp < kShift; ++kp) {
+            const int y = kShift * wp + kp;
+            if (y < y_lo || y >= y_lo + kShift) continue;
+            // Solve for the z' whose x-interval contains x.
+            const int x_rel = x - kOffset1[kp];
+            if (x_rel < 0) continue;
+            const int zp = x_rel / kShift;
+            if (zp >= m - 1) continue;
+            g.AddEdge(index(0, w, k, z), index(1, wp, kp, zp));
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace qjo

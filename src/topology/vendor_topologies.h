@@ -1,0 +1,51 @@
+#ifndef QJO_TOPOLOGY_VENDOR_TOPOLOGIES_H_
+#define QJO_TOPOLOGY_VENDOR_TOPOLOGIES_H_
+
+#include "topology/coupling_graph.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// IBM Q Falcon r5.11 (27 qubits) — the heavy-hex layout of IBM Q Auckland
+/// used in the paper's Fig. 2 and Table 2. The edge list is the published
+/// coupling map of the 27-qubit Falcon family.
+CouplingGraph MakeIbmFalcon27();
+
+/// Generic IBM heavy-hex lattice: `rows` horizontal qubit rows (odd, >= 3)
+/// of `row_length` qubits (row_length = 4k+3), linked by bridge qubits
+/// every fourth column with alternating offsets. MakeIbmHeavyHex(7, 15)
+/// reproduces the 127-qubit Eagle r1 layout (IBM Q Washington); larger
+/// parameters give the structural size extrapolation of Sec. 6.2.
+StatusOr<CouplingGraph> MakeIbmHeavyHex(int rows, int row_length);
+
+/// IBM Eagle r1 (127 qubits) — IBM Q Washington.
+CouplingGraph MakeIbmEagle127();
+
+/// Smallest heavy-hex lattice with at least `min_qubits` qubits, grown by
+/// the repeating-pattern extrapolation (add row pairs, then widen rows).
+CouplingGraph MakeIbmHeavyHexAtLeast(int min_qubits);
+
+/// Rigetti Aspen-M-style octagonal lattice: a `rows` x `cols` grid of
+/// 8-qubit rings; horizontally adjacent octagons share two couplers, as do
+/// vertically adjacent ones. MakeRigettiAspen(2, 5) gives the 80-qubit
+/// Aspen-M. Larger grids give the size extrapolation of Sec. 6.2.
+StatusOr<CouplingGraph> MakeRigettiAspen(int rows, int cols);
+
+/// Smallest Aspen-style lattice with at least `min_qubits` qubits.
+CouplingGraph MakeRigettiAspenAtLeast(int min_qubits);
+
+/// D-Wave Pegasus graph P_m with 24*m*(m-1) qubits and degree <= 15
+/// (12 internal + 2 external + 1 odd coupler), built from the geometric
+/// crossing construction of Boothby et al. MakePegasus(16) models the
+/// Advantage system's working graph (5760 qubits when defect-free).
+StatusOr<CouplingGraph> MakePegasus(int m);
+
+/// D-Wave Chimera graph C_m (the 2000Q-generation topology that the
+/// paper's MQO predecessor work targeted): an m x m grid of K_{4,4} unit
+/// cells, 8*m*m qubits, degree <= 6. Used for the Pegasus-vs-Chimera
+/// embedding ablation.
+StatusOr<CouplingGraph> MakeChimera(int m);
+
+}  // namespace qjo
+
+#endif  // QJO_TOPOLOGY_VENDOR_TOPOLOGIES_H_

@@ -1,0 +1,241 @@
+#include "transpiler/native_gates.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kAngleTolerance = 1e-9;
+
+bool NearlyEqual(double a, double b) {
+  return std::abs(a - b) < kAngleTolerance;
+}
+
+/// Angle in [0, 2pi).
+double NormalizeAngle(double theta) {
+  double t = std::fmod(theta, 2.0 * kPi);
+  if (t < 0.0) t += 2.0 * kPi;
+  return t;
+}
+
+bool IsZeroRotation(double theta) {
+  const double t = NormalizeAngle(theta);
+  return t < kAngleTolerance || 2.0 * kPi - t < kAngleTolerance;
+}
+
+/// Decomposition rules, applied recursively until only native gates remain.
+/// All identities hold up to global phase (verified in the test suite
+/// against the dense simulator).
+void Emit(const Gate& gate, NativeGateSet set, QuantumCircuit& out);
+
+void EmitAll(const std::vector<Gate>& gates, NativeGateSet set,
+             QuantumCircuit& out) {
+  for (const Gate& g : gates) Emit(g, set, out);
+}
+
+void Emit(const Gate& gate, NativeGateSet set, QuantumCircuit& out) {
+  if (IsNativeGate(set, gate.type) &&
+      // Rigetti only exposes RX at multiples of pi/2.
+      !(set == NativeGateSet::kRigetti && gate.type == GateType::kRx &&
+        !NearlyEqual(NormalizeAngle(gate.parameter),
+                     NormalizeAngle(std::round(gate.parameter / (kPi / 2)) *
+                                    (kPi / 2)))) ) {
+    out.Append(gate);
+    return;
+  }
+  const int q = gate.qubits[0];
+  const int q2 = gate.qubits.size() > 1 ? gate.qubits[1] : -1;
+  const double theta = gate.parameter;
+  switch (gate.type) {
+    case GateType::kH:
+      // H ~ RZ(pi/2) . SX . RZ(pi/2)  (IBM) / RX(pi/2) for SX elsewhere.
+      EmitAll({Gate::Single(GateType::kRz, q, kPi / 2),
+               Gate::Single(GateType::kSx, q),
+               Gate::Single(GateType::kRz, q, kPi / 2)},
+              set, out);
+      return;
+    case GateType::kSx:
+      // SX ~ RX(pi/2).
+      Emit(Gate::Single(GateType::kRx, q, kPi / 2), set, out);
+      return;
+    case GateType::kX:
+      Emit(Gate::Single(GateType::kRx, q, kPi), set, out);
+      return;
+    case GateType::kRx:
+      // RX(t) = H RZ(t) H ~ RZ(pi/2) SX RZ(t+pi) SX RZ(pi/2).
+      EmitAll({Gate::Single(GateType::kRz, q, kPi / 2),
+               Gate::Single(GateType::kSx, q),
+               Gate::Single(GateType::kRz, q, theta + kPi),
+               Gate::Single(GateType::kSx, q),
+               Gate::Single(GateType::kRz, q, kPi / 2)},
+              set, out);
+      return;
+    case GateType::kRy:
+      // RY(t): conjugate RX by RZ — in circuit order RZ(-pi/2), RX(t),
+      // RZ(pi/2).
+      EmitAll({Gate::Single(GateType::kRz, q, -kPi / 2),
+               Gate::Single(GateType::kRx, q, theta),
+               Gate::Single(GateType::kRz, q, kPi / 2)},
+              set, out);
+      return;
+    case GateType::kRz:
+      // RZ = H RX H on hypothetical sets without RZ (not the case here).
+      QJO_CHECK(false) << "RZ is native on every modelled gate set";
+      return;
+    case GateType::kRzz:
+      if (set == NativeGateSet::kIonq) {
+        // ZZ = (HxH) XX (HxH).
+        EmitAll({Gate::Single(GateType::kH, q), Gate::Single(GateType::kH, q2),
+                 Gate::Two(GateType::kMs, q, q2, theta),
+                 Gate::Single(GateType::kH, q),
+                 Gate::Single(GateType::kH, q2)},
+                set, out);
+      } else {
+        // RZZ(t) = CX . RZ(t on target) . CX.
+        EmitAll({Gate::Two(GateType::kCx, q, q2),
+                 Gate::Single(GateType::kRz, q2, theta),
+                 Gate::Two(GateType::kCx, q, q2)},
+                set, out);
+      }
+      return;
+    case GateType::kCx:
+      if (set == NativeGateSet::kRigetti) {
+        // CX(a,b) = H(b) CZ(a,b) H(b).
+        EmitAll({Gate::Single(GateType::kH, q2),
+                 Gate::Two(GateType::kCz, q, q2),
+                 Gate::Single(GateType::kH, q2)},
+                set, out);
+      } else if (set == NativeGateSet::kIonq) {
+        // CX(a,b) = RY(pi/2)@a . XX(pi/2) . RX(-pi/2)@a . RX(-pi/2)@b .
+        //           RY(-pi/2)@a (Maslov-style MS decomposition).
+        EmitAll({Gate::Single(GateType::kRy, q, kPi / 2),
+                 Gate::Two(GateType::kMs, q, q2, kPi / 2),
+                 Gate::Single(GateType::kRx, q, -kPi / 2),
+                 Gate::Single(GateType::kRx, q2, -kPi / 2),
+                 Gate::Single(GateType::kRy, q, -kPi / 2)},
+                set, out);
+      } else {
+        QJO_CHECK(false) << "CX should be native on " << NativeGateSetName(set);
+      }
+      return;
+    case GateType::kCz:
+      // CZ(a,b) = H(b) CX(a,b) H(b).
+      EmitAll({Gate::Single(GateType::kH, q2), Gate::Two(GateType::kCx, q, q2),
+               Gate::Single(GateType::kH, q2)},
+              set, out);
+      return;
+    case GateType::kSwap:
+      EmitAll({Gate::Two(GateType::kCx, q, q2), Gate::Two(GateType::kCx, q2, q),
+               Gate::Two(GateType::kCx, q, q2)},
+              set, out);
+      return;
+    case GateType::kMs:
+      // XX = (HxH) ZZ (HxH).
+      EmitAll({Gate::Single(GateType::kH, q), Gate::Single(GateType::kH, q2),
+               Gate::Two(GateType::kRzz, q, q2, theta),
+               Gate::Single(GateType::kH, q), Gate::Single(GateType::kH, q2)},
+              set, out);
+      return;
+  }
+  QJO_CHECK(false) << "unhandled gate";
+}
+
+}  // namespace
+
+const char* NativeGateSetName(NativeGateSet set) {
+  switch (set) {
+    case NativeGateSet::kIbm:
+      return "ibm";
+    case NativeGateSet::kRigetti:
+      return "rigetti";
+    case NativeGateSet::kIonq:
+      return "ionq";
+    case NativeGateSet::kUnrestricted:
+      return "unrestricted";
+  }
+  return "unknown";
+}
+
+bool IsNativeGate(NativeGateSet set, GateType type) {
+  switch (set) {
+    case NativeGateSet::kUnrestricted:
+      return true;
+    case NativeGateSet::kIbm:
+      return type == GateType::kRz || type == GateType::kSx ||
+             type == GateType::kX || type == GateType::kCx;
+    case NativeGateSet::kRigetti:
+      return type == GateType::kRz || type == GateType::kRx ||
+             type == GateType::kCz;
+    case NativeGateSet::kIonq:
+      switch (type) {
+        case GateType::kH:
+        case GateType::kX:
+        case GateType::kSx:
+        case GateType::kRx:
+        case GateType::kRy:
+        case GateType::kRz:
+        case GateType::kMs:
+          return true;
+        default:
+          return false;
+      }
+  }
+  return false;
+}
+
+StatusOr<QuantumCircuit> DecomposeToNative(const QuantumCircuit& circuit,
+                                           NativeGateSet set) {
+  QuantumCircuit out(circuit.num_qubits());
+  for (const Gate& g : circuit.gates()) Emit(g, set, out);
+  return MergeRotations(out);
+}
+
+QuantumCircuit MergeRotations(const QuantumCircuit& circuit) {
+  // Iterate merge+drop to a fixpoint; each pass is linear.
+  std::vector<Gate> gates = circuit.gates();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Gate> next;
+    next.reserve(gates.size());
+    // last_index[q]: position in `next` of the last gate touching qubit q.
+    std::vector<int> last_index(circuit.num_qubits(), -1);
+    for (const Gate& g : gates) {
+      if (IsParameterised(g.type) && IsZeroRotation(g.parameter)) {
+        changed = true;
+        continue;
+      }
+      bool merged = false;
+      if (IsParameterised(g.type)) {
+        const int last = last_index[g.qubits[0]];
+        if (last >= 0 && next[last].type == g.type &&
+            next[last].qubits == g.qubits) {
+          // For 2q rotations both operands must see this gate last.
+          bool adjacent = true;
+          for (int q : g.qubits) adjacent = adjacent && last_index[q] == last;
+          if (adjacent) {
+            next[last].parameter += g.parameter;
+            merged = true;
+            changed = true;
+          }
+        }
+      }
+      if (!merged) {
+        for (int q : g.qubits) {
+          last_index[q] = static_cast<int>(next.size());
+        }
+        next.push_back(g);
+      }
+    }
+    gates = std::move(next);
+  }
+  QuantumCircuit out(circuit.num_qubits());
+  for (Gate& g : gates) out.Append(std::move(g));
+  return out;
+}
+
+}  // namespace qjo

@@ -1,0 +1,35 @@
+#ifndef QJO_TRANSPILER_NATIVE_GATES_H_
+#define QJO_TRANSPILER_NATIVE_GATES_H_
+
+#include "circuit/circuit.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Native gate sets of the vendors modelled in the paper (Sec. 6.2):
+///   IBM          {RZ, SX, X, CX}
+///   Rigetti      {RZ, RX, CZ}
+///   IonQ         {1-qubit rotations, MS (XX)}
+///   Unrestricted  every gate is native (the paper's hypothetical QPU)
+enum class NativeGateSet { kIbm, kRigetti, kIonq, kUnrestricted };
+
+const char* NativeGateSetName(NativeGateSet set);
+
+/// True if `type` is natively supported by `set`.
+bool IsNativeGate(NativeGateSet set, GateType type);
+
+/// Rewrites a circuit into an equivalent one (up to global phase) that
+/// only uses gates from the native set, then merges consecutive
+/// same-axis rotations on the same qubit. Two-qubit gates keep their
+/// operand pair, so routing validity is preserved.
+StatusOr<QuantumCircuit> DecomposeToNative(const QuantumCircuit& circuit,
+                                           NativeGateSet set);
+
+/// Peephole pass: merges adjacent same-type rotation gates on identical
+/// operands and drops rotations with angle ~ 0 (mod 4pi handling left to
+/// the simulator). Exposed for testing.
+QuantumCircuit MergeRotations(const QuantumCircuit& circuit);
+
+}  // namespace qjo
+
+#endif  // QJO_TRANSPILER_NATIVE_GATES_H_

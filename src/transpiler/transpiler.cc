@@ -1,0 +1,27 @@
+#include "transpiler/transpiler.h"
+
+namespace qjo {
+
+StatusOr<TranspileResult> Transpile(const QuantumCircuit& logical,
+                                    const CouplingGraph& device,
+                                    const TranspileOptions& options) {
+  Rng rng(options.seed);
+  QJO_ASSIGN_OR_RETURN(std::vector<int> layout,
+                       ChooseInitialLayout(logical, device, rng));
+  QJO_ASSIGN_OR_RETURN(
+      RoutingResult routed,
+      RouteCircuit(logical, device, layout, options.routing, rng));
+  QJO_ASSIGN_OR_RETURN(QuantumCircuit native,
+                       DecomposeToNative(routed.circuit, options.gate_set));
+
+  TranspileResult result;
+  result.initial_layout = std::move(routed.initial_layout);
+  result.final_layout = std::move(routed.final_layout);
+  result.num_swaps = routed.num_swaps;
+  result.depth = native.Depth();
+  result.two_qubit_gate_count = native.CountTwoQubitGates();
+  result.circuit = std::move(native);
+  return result;
+}
+
+}  // namespace qjo

@@ -1,0 +1,44 @@
+#ifndef QJO_TRANSPILER_TRANSPILER_H_
+#define QJO_TRANSPILER_TRANSPILER_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "topology/coupling_graph.h"
+#include "transpiler/native_gates.h"
+#include "transpiler/routing.h"
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// End-to-end transpilation configuration.
+struct TranspileOptions {
+  NativeGateSet gate_set = NativeGateSet::kUnrestricted;
+  RoutingStrategy routing = RoutingStrategy::kLookahead;
+  /// Seed for the stochastic layout/routing heuristics: different seeds
+  /// model different transpilation runs (Fig. 2's depth distributions).
+  uint64_t seed = 1;
+};
+
+/// Result of transpiling a logical circuit for a target device.
+struct TranspileResult {
+  /// Physical circuit: routed to the coupling map and restricted to the
+  /// native gate set.
+  QuantumCircuit circuit;
+  std::vector<int> initial_layout;  ///< logical -> physical
+  std::vector<int> final_layout;    ///< logical -> physical after SWAPs
+  int num_swaps = 0;
+  int depth = 0;
+  int two_qubit_gate_count = 0;
+};
+
+/// Full pipeline: choose initial layout, route (SWAP insertion), decompose
+/// to the native gate set, merge rotations, and report depth metrics.
+StatusOr<TranspileResult> Transpile(const QuantumCircuit& logical,
+                                    const CouplingGraph& device,
+                                    const TranspileOptions& options);
+
+}  // namespace qjo
+
+#endif  // QJO_TRANSPILER_TRANSPILER_H_

@@ -1,0 +1,57 @@
+#ifndef QJO_UTIL_CHECK_H_
+#define QJO_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace qjo {
+namespace internal_check {
+
+/// Streams a fatal diagnostic and aborts the process when destroyed.
+/// Used by QJO_CHECK for programmer errors (invariant violations); user
+/// errors must be reported via Status instead.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* condition, const char* file, int line) {
+    stream_ << "CHECK failed: " << condition << " at " << file << ":" << line
+            << " ";
+  }
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&&(const CheckFailStream&) const {}
+};
+
+}  // namespace internal_check
+}  // namespace qjo
+
+/// Aborts with a message when `condition` is false. For internal invariants
+/// only; never for validating user input.
+#define QJO_CHECK(condition)        \
+  (condition) ? (void)0             \
+              : ::qjo::internal_check::Voidify() && \
+                    ::qjo::internal_check::CheckFailStream(#condition, \
+                                                           __FILE__, __LINE__)
+
+#define QJO_CHECK_EQ(a, b) QJO_CHECK((a) == (b))
+#define QJO_CHECK_NE(a, b) QJO_CHECK((a) != (b))
+#define QJO_CHECK_LT(a, b) QJO_CHECK((a) < (b))
+#define QJO_CHECK_LE(a, b) QJO_CHECK((a) <= (b))
+#define QJO_CHECK_GT(a, b) QJO_CHECK((a) > (b))
+#define QJO_CHECK_GE(a, b) QJO_CHECK((a) >= (b))
+
+#endif  // QJO_UTIL_CHECK_H_

@@ -1,0 +1,67 @@
+#ifndef QJO_UTIL_RANDOM_H_
+#define QJO_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace qjo {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). All
+/// stochastic components of the library (query generation, transpilation
+/// tie-breaking, annealing, sampling) draw from an explicitly seeded Rng so
+/// every experiment is reproducible, mirroring the paper's reproduction
+/// package philosophy.
+class Rng {
+ public:
+  /// Seeds the generator with splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal variate (Box-Muller).
+  double Gaussian();
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p);
+
+  /// Samples an index from an unnormalised non-negative weight vector.
+  /// Returns weights.size()-1 on accumulated rounding slack.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Forks an independently-seeded child generator; used to give each
+  /// repetition of an experiment its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_RANDOM_H_

@@ -1,0 +1,60 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace qjo {
+
+double Mean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double StdDev(const std::vector<double>& sample) {
+  if (sample.size() < 2) return 0.0;
+  const double mean = Mean(sample);
+  double sum_sq = 0.0;
+  for (double v : sample) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(sample.size() - 1));
+}
+
+double Quantile(std::vector<double> sample, double q) {
+  QJO_CHECK(!sample.empty());
+  QJO_CHECK_GE(q, 0.0);
+  QJO_CHECK_LE(q, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+Summary Summarize(const std::vector<double>& sample) {
+  QJO_CHECK(!sample.empty());
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  Summary s;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = Quantile(sorted, 0.25);
+  s.median = Quantile(sorted, 0.5);
+  s.q3 = Quantile(sorted, 0.75);
+  s.mean = Mean(sorted);
+  s.count = sorted.size();
+  return s;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "median=" << median << " [q1=" << q1 << ", q3=" << q3
+     << "] min=" << min << " max=" << max << " n=" << count;
+  return os.str();
+}
+
+}  // namespace qjo

@@ -1,0 +1,39 @@
+#ifndef QJO_UTIL_STATS_H_
+#define QJO_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qjo {
+
+/// Five-number summary of a sample, matching what the paper's boxplots
+/// (Fig. 2, Fig. 5) display.
+struct Summary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t count = 0;
+
+  /// Compact rendering "median=... [q1=..,q3=..] min=.. max=..".
+  std::string ToString() const;
+};
+
+/// Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& sample);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double StdDev(const std::vector<double>& sample);
+
+/// Linear-interpolation quantile, q in [0,1]. Aborts on empty input.
+double Quantile(std::vector<double> sample, double q);
+
+/// Computes the five-number summary of a sample. Aborts on empty input.
+Summary Summarize(const std::vector<double>& sample);
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_STATS_H_

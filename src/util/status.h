@@ -1,0 +1,79 @@
+#ifndef QJO_UTIL_STATUS_H_
+#define QJO_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace qjo {
+
+/// Error categories used across the library. Mirrors the usual
+/// RocksDB/Abseil status-code vocabulary, restricted to what we need.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Lightweight status object for fallible operations. The library does not
+/// throw exceptions; every operation that can fail returns a Status or a
+/// StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad qubit index".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Name of a status code, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace qjo
+
+/// Propagates a non-OK status to the caller.
+#define QJO_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::qjo::Status _qjo_status = (expr);          \
+    if (!_qjo_status.ok()) return _qjo_status;   \
+  } while (0)
+
+#endif  // QJO_UTIL_STATUS_H_

@@ -1,0 +1,65 @@
+#ifndef QJO_UTIL_STATUSOR_H_
+#define QJO_UTIL_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace qjo {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status (the error path).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    QJO_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    QJO_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    QJO_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    QJO_CHECK(ok()) << "value() on error StatusOr: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace qjo
+
+/// Evaluates a StatusOr expression; on success binds the value to `lhs`,
+/// on error returns the status from the enclosing function.
+#define QJO_ASSIGN_OR_RETURN(lhs, expr)                \
+  QJO_ASSIGN_OR_RETURN_IMPL_(                          \
+      QJO_STATUS_MACRO_CONCAT_(_qjo_sor, __LINE__), lhs, expr)
+
+#define QJO_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define QJO_STATUS_MACRO_CONCAT_(x, y) QJO_STATUS_MACRO_CONCAT_INNER_(x, y)
+#define QJO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // QJO_UTIL_STATUSOR_H_

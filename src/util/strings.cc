@@ -1,0 +1,17 @@
+#include "util/strings.h"
+
+#include <cstdio>
+
+namespace qjo {
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace qjo

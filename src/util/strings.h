@@ -1,0 +1,31 @@
+#ifndef QJO_UTIL_STRINGS_H_
+#define QJO_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qjo {
+
+/// Joins the elements of `parts` with `sep`, streaming each element.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    os << p;
+    first = false;
+  }
+  return os.str();
+}
+
+/// printf-style double formatting with `digits` decimals.
+std::string FormatDouble(double value, int digits);
+
+/// Formats `value` as a percentage with `digits` decimals, e.g. "12.3%".
+std::string FormatPercent(double fraction, int digits = 2);
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_STRINGS_H_

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "codesign/qubit_bound.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+TEST(QubitBoundTest, MaxLogCardinalityOrdersDescending) {
+  const std::vector<double> logs = {1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(MaxLogCardinality(logs, 0), 3.0);
+  EXPECT_DOUBLE_EQ(MaxLogCardinality(logs, 1), 5.0);
+  EXPECT_DOUBLE_EQ(MaxLogCardinality(logs, 2), 6.0);
+  EXPECT_DOUBLE_EQ(MaxLogCardinality(logs, 5), 6.0);  // saturates
+}
+
+TEST(QubitBoundTest, HandComputedPaperInstance) {
+  // The 18-qubit instance: T=3, P=0, R=1, omega=1, all cardinalities 10.
+  QubitBoundSpec spec;
+  spec.num_relations = 3;
+  spec.num_predicates = 0;
+  spec.num_thresholds = 1;
+  spec.omega = 1.0;
+  spec.log_cardinalities = {1.0, 1.0, 1.0};
+  auto bound = QubitUpperBound(spec);
+  ASSERT_TRUE(bound.ok());
+  // 2TJ + (3P+R)(J-1) + T + R*(floor(log2 2)+1) = 12 + 1 + 3 + 2 = 18.
+  EXPECT_EQ(*bound, 18);
+  spec.num_predicates = 3;
+  bound = QubitUpperBound(spec);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound, 27);
+  spec.num_predicates = 0;
+  spec.omega = 0.001;
+  bound = QubitUpperBound(spec);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(*bound, 27);
+}
+
+TEST(QubitBoundTest, Validation) {
+  QubitBoundSpec spec;
+  spec.num_relations = 1;
+  spec.log_cardinalities = {1.0};
+  EXPECT_FALSE(QubitUpperBound(spec).ok());
+  spec.num_relations = 2;
+  spec.log_cardinalities = {1.0};  // size mismatch
+  EXPECT_FALSE(QubitUpperBound(spec).ok());
+  spec.log_cardinalities = {1.0, 2.0};
+  spec.omega = 0.0;
+  EXPECT_FALSE(QubitUpperBound(spec).ok());
+}
+
+/// The key property behind Fig. 4: the Theorem 5.3 bound dominates the
+/// actual number of binary variables in the lowered model, for every
+/// query shape, threshold count, and discretisation precision.
+struct BoundCase {
+  QueryGraphType type;
+  int relations;
+  int thresholds;
+  double omega;
+  uint64_t seed;
+};
+
+class BoundDominatesTest : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(BoundDominatesTest, BoundIsAnUpperBound) {
+  const BoundCase& c = GetParam();
+  Rng rng(c.seed);
+  QueryGenOptions gen;
+  gen.num_relations = c.relations;
+  gen.graph_type = c.type;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  auto query = GenerateQuery(gen, rng);
+  ASSERT_TRUE(query.ok());
+
+  JoMilpOptions options;
+  options.thresholds = MakeGeometricThresholds(*query, c.thresholds);
+  options.omega = c.omega;
+  auto milp = EncodeJoAsMilp(*query, options);
+  ASSERT_TRUE(milp.ok());
+  auto bilp = LowerToBilp(milp->model(), c.omega);
+  ASSERT_TRUE(bilp.ok());
+
+  auto bound = QubitUpperBound(*query, c.thresholds, c.omega);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_GE(*bound, bilp->num_variables())
+      << QueryGraphTypeName(c.type) << " T=" << c.relations
+      << " R=" << c.thresholds << " omega=" << c.omega;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoundDominatesTest,
+    ::testing::Values(
+        BoundCase{QueryGraphType::kChain, 3, 1, 1.0, 1},
+        BoundCase{QueryGraphType::kChain, 5, 2, 1.0, 2},
+        BoundCase{QueryGraphType::kChain, 8, 3, 0.1, 3},
+        BoundCase{QueryGraphType::kChain, 12, 5, 0.01, 4},
+        BoundCase{QueryGraphType::kStar, 4, 1, 1.0, 5},
+        BoundCase{QueryGraphType::kStar, 8, 2, 0.1, 6},
+        BoundCase{QueryGraphType::kStar, 15, 4, 1.0, 7},
+        BoundCase{QueryGraphType::kCycle, 4, 1, 1.0, 8},
+        BoundCase{QueryGraphType::kCycle, 8, 2, 0.01, 9},
+        BoundCase{QueryGraphType::kCycle, 16, 3, 0.001, 10},
+        BoundCase{QueryGraphType::kCycle, 24, 2, 1.0, 11}));
+
+TEST(QubitBoundTest, QuadraticScalingInRelations) {
+  // Fig. 4: the bound grows quadratically with T (the dominating factor).
+  Rng rng(12);
+  std::vector<double> bounds;
+  for (int t : {8, 16, 32, 64}) {
+    QubitBoundSpec spec;
+    spec.num_relations = t;
+    spec.num_predicates = t;  // cycle query
+    spec.num_thresholds = 2;
+    spec.omega = 1.0;
+    spec.log_cardinalities.assign(t, 3.0);
+    auto bound = QubitUpperBound(spec);
+    ASSERT_TRUE(bound.ok());
+    bounds.push_back(*bound);
+  }
+  // Doubling T should roughly quadruple the bound.
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    const double ratio = bounds[i] / bounds[i - 1];
+    EXPECT_GT(ratio, 3.0);
+    EXPECT_LT(ratio, 5.0);
+  }
+}
+
+TEST(QubitBoundTest, PrecisionHasModerateImpact) {
+  // Fig. 4: discretisation precision shifts the bound by far less than
+  // the number of relations, but can exceed 50% in some scenarios.
+  QubitBoundSpec coarse;
+  coarse.num_relations = 16;
+  coarse.num_predicates = 16;
+  coarse.num_thresholds = 2;
+  coarse.omega = 1.0;
+  coarse.log_cardinalities.assign(16, 3.0);
+  QubitBoundSpec fine = coarse;
+  fine.omega = 0.0001;
+  auto coarse_bound = QubitUpperBound(coarse);
+  auto fine_bound = QubitUpperBound(fine);
+  ASSERT_TRUE(coarse_bound.ok());
+  ASSERT_TRUE(fine_bound.ok());
+  EXPECT_GT(*fine_bound, *coarse_bound);
+  EXPECT_LT(*fine_bound, 2 * *coarse_bound);
+}
+
+}  // namespace
+}  // namespace qjo

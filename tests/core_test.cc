@@ -1,0 +1,270 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/postprocess.h"
+#include "core/quantum_optimizer.h"
+#include "jo/classical.h"
+#include "jo/query_generator.h"
+#include "lp/jo_encoder.h"
+#include "topology/vendor_topologies.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+Query MakePaperInstance(int num_predicates) {
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {0, 2}};
+  for (int p = 0; p < num_predicates; ++p) {
+    EXPECT_TRUE(q.AddPredicate(edges[p].first, edges[p].second, 0.1).ok());
+  }
+  return q;
+}
+
+JoMilpModel EncodePaperInstance(const Query& q) {
+  JoMilpOptions options;
+  options.thresholds = {10.0};
+  auto milp = EncodeJoAsMilp(q, options);
+  EXPECT_TRUE(milp.ok());
+  return std::move(milp).value();
+}
+
+TEST(PostprocessTest, DecodesValidSample) {
+  const Query q = MakePaperInstance(1);
+  const JoMilpModel milp = EncodePaperInstance(q);
+  std::vector<int> bits(milp.model().num_variables(), 0);
+  bits[milp.tii(1, 0)] = 1;  // join 0 inner: R1
+  bits[milp.tii(2, 1)] = 1;  // join 1 inner: R2
+  auto order = DecodeSample(milp, bits);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->order(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PostprocessTest, IgnoresCardinalityViolations) {
+  // Sec. 3.5: a sample is valid even if cto/pao constraints are violated,
+  // as long as the join tree is unambiguous.
+  const Query q = MakePaperInstance(1);
+  const JoMilpModel milp = EncodePaperInstance(q);
+  std::vector<int> bits(milp.model().num_variables(), 0);
+  bits[milp.tii(1, 0)] = 1;
+  bits[milp.tii(2, 1)] = 1;
+  bits[milp.pao(0, 1)] = 1;  // inconsistent with tio = 0: don't care
+  EXPECT_TRUE(DecodeSample(milp, bits).ok());
+}
+
+TEST(PostprocessTest, RejectsAmbiguousSamples) {
+  const Query q = MakePaperInstance(0);
+  const JoMilpModel milp = EncodePaperInstance(q);
+  std::vector<int> bits(milp.model().num_variables(), 0);
+  // No inner operand for join 0.
+  bits[milp.tii(2, 1)] = 1;
+  EXPECT_FALSE(DecodeSample(milp, bits).ok());
+  // Two inner operands for join 0.
+  bits[milp.tii(0, 0)] = 1;
+  bits[milp.tii(1, 0)] = 1;
+  EXPECT_FALSE(DecodeSample(milp, bits).ok());
+  // Relation reused across joins.
+  bits[milp.tii(0, 0)] = 0;
+  bits[milp.tii(1, 1)] = 1;
+  bits[milp.tii(2, 1)] = 0;
+  EXPECT_FALSE(DecodeSample(milp, bits).ok());
+}
+
+TEST(PostprocessTest, EvaluateSamplesCountsAndRanks) {
+  const Query q = MakePaperInstance(1);
+  const JoMilpModel milp = EncodePaperInstance(q);
+  auto oracle = OptimizeDp(q);
+  ASSERT_TRUE(oracle.ok());
+
+  std::vector<int> optimal(milp.model().num_variables(), 0);
+  optimal[milp.tii(1, 0)] = 1;  // (R0 R1) R2: uses the selective predicate
+  optimal[milp.tii(2, 1)] = 1;
+  std::vector<int> valid_suboptimal(milp.model().num_variables(), 0);
+  valid_suboptimal[milp.tii(2, 0)] = 1;  // cross product first
+  valid_suboptimal[milp.tii(1, 1)] = 1;
+  std::vector<int> invalid(milp.model().num_variables(), 0);
+
+  const SampleSetStats stats = EvaluateSamples(
+      milp, {optimal, valid_suboptimal, invalid}, oracle->cost);
+  EXPECT_EQ(stats.total, 3);
+  EXPECT_EQ(stats.valid, 2);
+  EXPECT_EQ(stats.optimal, 1);
+  EXPECT_TRUE(stats.found_valid);
+  EXPECT_DOUBLE_EQ(stats.best_cost, oracle->cost);
+}
+
+/// The pipeline's central correctness property: on an ideal "QPU" (exact
+/// QUBO minimisation), the decoded minimum is a valid, near-optimal join
+/// order — optimal up to the staircase cardinality approximation of the
+/// threshold grid (Example 3.3 discusses why the granularity matters).
+/// Mirroring the paper's hardware reality, exact minimisation is only
+/// tractable at the 3-relation / <=27-qubit scale.
+struct ExactCase {
+  QueryGraphType type;
+  int thresholds;
+  uint64_t seed;
+};
+
+class ExactBackendTest : public ::testing::TestWithParam<ExactCase> {};
+
+TEST_P(ExactBackendTest, QuboMinimumDecodesToOptimalJoinOrder) {
+  const ExactCase& c = GetParam();
+  Rng rng(c.seed);
+  QueryGenOptions gen;
+  gen.num_relations = 3;
+  gen.graph_type = c.type;
+  gen.min_log_card = 1.0;  // cardinality 10, like the paper's instances
+  gen.max_log_card = 1.0;
+  auto query = GenerateQuery(gen, rng);
+  ASSERT_TRUE(query.ok());
+
+  QjoConfig config;
+  config.backend = QjoBackend::kExact;
+  config.num_thresholds = c.thresholds;
+  config.seed = c.seed;
+  auto report = OptimizeJoinOrder(*query, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_LE(report->bilp_variables, 28);
+  EXPECT_LE(report->best_cost, report->optimal_cost * 30.0 + 1e-9)
+      << QueryGraphTypeName(c.type) << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExactBackendTest,
+    ::testing::Values(ExactCase{QueryGraphType::kChain, 2, 101},
+                      ExactCase{QueryGraphType::kChain, 2, 102},
+                      ExactCase{QueryGraphType::kChain, 1, 103},
+                      ExactCase{QueryGraphType::kStar, 2, 104},
+                      ExactCase{QueryGraphType::kStar, 1, 105},
+                      ExactCase{QueryGraphType::kCycle, 1, 106},
+                      ExactCase{QueryGraphType::kCycle, 1, 107}));
+
+/// Beyond three relations the brute-force "ideal QPU" runs out of steam
+/// (exactly the paper's scalability wall); classical simulated annealing
+/// on the same QUBO still recovers valid near-optimal orders.
+TEST(SaBackendTest, FourAndFiveRelationQubos) {
+  for (int relations : {4, 5}) {
+    Rng rng(200 + relations);
+    QueryGenOptions gen;
+    gen.num_relations = relations;
+    gen.graph_type = QueryGraphType::kChain;
+    gen.min_log_card = 1.0;
+    gen.max_log_card = 2.0;
+    auto query = GenerateQuery(gen, rng);
+    ASSERT_TRUE(query.ok());
+    QjoConfig config;
+    config.backend = QjoBackend::kSimulatedAnnealing;
+    config.num_thresholds = 2;
+    config.shots = 400;
+    config.seed = 200 + relations;
+    auto report = OptimizeJoinOrder(*query, config);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->found_valid) << relations;
+    EXPECT_GT(report->bilp_variables, 28);  // beyond brute force
+  }
+}
+
+TEST(ExactBackendTest, PaperInstanceOptimalOrderExactly) {
+  // On the Example 3.3 instance the threshold grid separates the optimal
+  // order from all others, so the QUBO minimum is exactly optimal.
+  Query q;
+  q.AddRelation("R", 100);
+  q.AddRelation("S", 100);
+  q.AddRelation("T", 100);
+  ASSERT_TRUE(q.AddPredicate(0, 1, 0.1).ok());
+  QjoConfig config;
+  config.backend = QjoBackend::kExact;
+  config.thresholds = {100.0, 1000.0, 10000.0};
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->found_valid);
+  EXPECT_DOUBLE_EQ(report->best_cost, report->optimal_cost);
+  // R and S are joined first (in either order).
+  EXPECT_EQ(report->best_order[2], 2);
+}
+
+TEST(SaBackendTest, FindsValidSolutions) {
+  const Query q = MakePaperInstance(2);
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 160;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_GT(report->stats.valid, 0);
+  EXPECT_GT(report->stats.bilp_feasible, 0);
+}
+
+TEST(QaoaBackendTest, RunsPaperScaleInstanceNoiselessly) {
+  const Query q = MakePaperInstance(0);  // 18 qubits
+  QjoConfig config;
+  config.backend = QjoBackend::kQaoaSimulator;
+  config.shots = 512;
+  config.qaoa_iterations = 10;
+  config.noiseless = true;
+  config.seed = 3;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->bilp_variables, 18);
+  EXPECT_GT(report->circuit_depth, 0);
+  EXPECT_GT(report->stats.total, 0);
+  // Even ideal p=1 QAOA yields mostly non-optimal samples, but a few
+  // valid ones should appear among 512 shots.
+  EXPECT_GT(report->stats.valid, 0);
+}
+
+TEST(QaoaBackendTest, NoiseReducesFidelityAndTracksDepth) {
+  const Query q = MakePaperInstance(0);
+  QjoConfig config;
+  config.backend = QjoBackend::kQaoaSimulator;
+  config.shots = 64;
+  config.qaoa_iterations = 5;
+  config.seed = 4;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->fidelity, 1.0);
+  EXPECT_GT(report->fidelity, 0.0);
+  EXPECT_GT(report->timings.total_s, 1.0);
+  EXPECT_LT(report->timings.sampling_ms / 1000.0, report->timings.total_s);
+}
+
+TEST(AnnealerBackendTest, EmbedsAndSolvesThreeRelations) {
+  const Query q = MakePaperInstance(2);
+  QjoConfig config;
+  config.backend = QjoBackend::kQuantumAnnealerSim;
+  config.sqa.num_reads = 200;
+  config.sqa.annealing_time_us = 20.0;
+  config.seed = 5;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->physical_qubits, report->bilp_variables);
+  EXPECT_GT(report->max_chain_length, 0);
+  EXPECT_GT(report->stats.total, 0);
+  EXPECT_TRUE(report->found_valid);
+}
+
+TEST(CoreTest, RejectsTinyQueries) {
+  Query q;
+  q.AddRelation("R", 10);
+  QjoConfig config;
+  EXPECT_FALSE(OptimizeJoinOrder(q, config).ok());
+}
+
+TEST(CoreTest, ReportSummaryMentionsKeyNumbers) {
+  const Query q = MakePaperInstance(0);
+  QjoConfig config;
+  config.backend = QjoBackend::kExact;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  const std::string summary = report->Summary();
+  EXPECT_NE(summary.find("logical qubits"), std::string::npos);
+  EXPECT_NE(summary.find("best cost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qjo

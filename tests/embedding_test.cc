@@ -1,0 +1,227 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embedding/embedded_qubo.h"
+#include "embedding/minor_embedding.h"
+#include "topology/coupling_graph.h"
+#include "topology/vendor_topologies.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+std::vector<std::pair<int, int>> CompleteEdges(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  return edges;
+}
+
+TEST(MinorEmbeddingTest, IdentityOnMatchingGraph) {
+  Rng rng(1);
+  const CouplingGraph target = MakeGridGraph(3, 3);
+  // A path graph embeds with (mostly) single-qubit chains.
+  std::vector<std::pair<int, int>> path = {{0, 1}, {1, 2}, {2, 3}};
+  auto embedding =
+      FindMinorEmbedding(path, 4, target, EmbeddingOptions{}, rng);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_TRUE(VerifyEmbedding(path, 4, target, *embedding));
+  EXPECT_LE(embedding->NumPhysicalQubits(), 8);
+}
+
+TEST(MinorEmbeddingTest, TriangleIntoGridNeedsNoChainOfLengthThree) {
+  Rng rng(2);
+  const CouplingGraph target = MakeGridGraph(3, 3);
+  const auto triangle = CompleteEdges(3);
+  auto embedding =
+      FindMinorEmbedding(triangle, 3, target, EmbeddingOptions{}, rng);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_TRUE(VerifyEmbedding(triangle, 3, target, *embedding));
+  // A triangle in a grid requires one chain of length 2: 4 qubits total.
+  EXPECT_GE(embedding->NumPhysicalQubits(), 4);
+  EXPECT_LE(embedding->NumPhysicalQubits(), 6);
+}
+
+TEST(MinorEmbeddingTest, K4IntoGrid) {
+  Rng rng(3);
+  const CouplingGraph target = MakeGridGraph(4, 4);
+  const auto k4 = CompleteEdges(4);
+  auto embedding = FindMinorEmbedding(k4, 4, target, EmbeddingOptions{}, rng);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_TRUE(VerifyEmbedding(k4, 4, target, *embedding));
+}
+
+TEST(MinorEmbeddingTest, K6IntoPegasus) {
+  Rng rng(4);
+  auto target = MakePegasus(2);
+  ASSERT_TRUE(target.ok());
+  const auto k6 = CompleteEdges(6);
+  auto embedding = FindMinorEmbedding(k6, 6, *target, EmbeddingOptions{}, rng);
+  ASSERT_TRUE(embedding.ok());
+  EXPECT_TRUE(VerifyEmbedding(k6, 6, *target, *embedding));
+  // Pegasus embeds cliques efficiently; expect short chains.
+  EXPECT_LE(embedding->MaxChainLength(), 4);
+}
+
+TEST(MinorEmbeddingTest, ImpossibleEmbeddingReturnsNotFound) {
+  Rng rng(5);
+  const CouplingGraph target = MakeLineGraph(4);
+  // K4 has treewidth 3, a path cannot host it.
+  auto embedding =
+      FindMinorEmbedding(CompleteEdges(4), 4, target, EmbeddingOptions{}, rng);
+  EXPECT_FALSE(embedding.ok());
+  // Oversized source.
+  auto too_big = FindMinorEmbedding({}, 10, target, EmbeddingOptions{}, rng);
+  EXPECT_FALSE(too_big.ok());
+}
+
+TEST(MinorEmbeddingTest, VerifyEmbeddingRejectsDefects) {
+  const CouplingGraph target = MakeGridGraph(2, 3);
+  const std::vector<std::pair<int, int>> edge = {{0, 1}};
+  Embedding overlap;
+  overlap.chains = {{0}, {0}};
+  EXPECT_FALSE(VerifyEmbedding(edge, 2, target, overlap));
+  Embedding disconnected;
+  disconnected.chains = {{0, 5}, {1}};  // 0 and 5 are not adjacent in 2x3
+  EXPECT_FALSE(VerifyEmbedding(edge, 2, target, disconnected));
+  Embedding unrepresentable;
+  unrepresentable.chains = {{0}, {5}};
+  EXPECT_FALSE(VerifyEmbedding(edge, 2, target, unrepresentable));
+  Embedding empty_chain;
+  empty_chain.chains = {{0}, {}};
+  EXPECT_FALSE(VerifyEmbedding(edge, 2, target, empty_chain));
+  Embedding good;
+  good.chains = {{0}, {1}};
+  EXPECT_TRUE(VerifyEmbedding(edge, 2, target, good));
+}
+
+TEST(MinorEmbeddingTest, DeterministicUnderSeed) {
+  const CouplingGraph target = MakeGridGraph(4, 4);
+  const auto k4 = CompleteEdges(4);
+  Rng rng1(77), rng2(77);
+  auto e1 = FindMinorEmbedding(k4, 4, target, EmbeddingOptions{}, rng1);
+  auto e2 = FindMinorEmbedding(k4, 4, target, EmbeddingOptions{}, rng2);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e1->chains, e2->chains);
+}
+
+/// Fixture: a triangle QUBO embedded into a grid.
+struct EmbeddedFixture {
+  Qubo logical{3};
+  CouplingGraph target = MakeGridGraph(3, 3);
+  Embedding embedding;
+  EmbeddedQubo embedded;
+
+  static EmbeddedFixture Make(uint64_t seed) {
+    EmbeddedFixture f;
+    f.logical.AddLinear(0, 1.0);
+    f.logical.AddLinear(1, -2.0);
+    f.logical.AddQuadratic(0, 1, 1.5);
+    f.logical.AddQuadratic(1, 2, -0.5);
+    f.logical.AddQuadratic(0, 2, 2.0);
+    f.logical.AddOffset(0.25);
+    Rng rng(seed);
+    auto embedding = FindMinorEmbedding(f.logical.Edges(), 3, f.target,
+                                        EmbeddingOptions{}, rng);
+    EXPECT_TRUE(embedding.ok());
+    f.embedding = std::move(embedding).value();
+    auto embedded =
+        EmbedQubo(f.logical, f.embedding, f.target, EmbedQuboOptions{});
+    EXPECT_TRUE(embedded.ok());
+    f.embedded = std::move(embedded).value();
+    return f;
+  }
+};
+
+TEST(EmbeddedQuboTest, ConsistentChainsReproduceLogicalEnergy) {
+  EmbeddedFixture f = EmbeddedFixture::Make(11);
+  // For every logical assignment, setting all chain qubits consistently
+  // must give exactly the logical energy (chain penalty contributes 0).
+  for (int x = 0; x < 8; ++x) {
+    std::vector<int> logical_bits = {x & 1, (x >> 1) & 1, (x >> 2) & 1};
+    std::vector<int> physical_bits(f.target.num_qubits(), 0);
+    for (int v = 0; v < 3; ++v) {
+      for (int q : f.embedding.chains[v]) physical_bits[q] = logical_bits[v];
+    }
+    EXPECT_NEAR(f.embedded.physical.Energy(physical_bits),
+                f.logical.Energy(logical_bits), 1e-9)
+        << "x=" << x;
+  }
+}
+
+TEST(EmbeddedQuboTest, BrokenChainsPayExactPenalty) {
+  // Hand-built embedding on a 3-qubit line: chain A = {0,1}, B = {2};
+  // logical edge (A,B) of weight 1 lands on coupler (1,2); the chain
+  // penalty cs * (x_0 - x_1)^2 sits on coupler (0,1).
+  Qubo logical(2);
+  logical.AddQuadratic(0, 1, 1.0);
+  const CouplingGraph target = MakeLineGraph(3);
+  Embedding embedding;
+  embedding.chains = {{0, 1}, {2}};
+  EmbedQuboOptions opts;
+  opts.chain_strength_override = 2.0;
+  auto embedded = EmbedQubo(logical, embedding, target, opts);
+  ASSERT_TRUE(embedded.ok());
+  // Consistent A=1, B=1: energy = logical = 1.
+  EXPECT_DOUBLE_EQ(embedded->physical.Energy({1, 1, 1}), 1.0);
+  // Consistent A=1, B=0: energy = 0.
+  EXPECT_DOUBLE_EQ(embedded->physical.Energy({1, 1, 0}), 0.0);
+  // Breaking the chain (qubit 0 disagrees) pays exactly cs = 2 on top of
+  // the remaining logical term.
+  EXPECT_DOUBLE_EQ(embedded->physical.Energy({0, 1, 1}), 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(embedded->physical.Energy({1, 0, 1}), 2.0);
+}
+
+TEST(EmbeddedQuboTest, ChainStrengthOptions) {
+  EmbeddedFixture f = EmbeddedFixture::Make(17);
+  EXPECT_DOUBLE_EQ(f.embedded.chain_strength, 2.0);  // max |coefficient|
+  EmbedQuboOptions opts;
+  opts.chain_strength_override = 7.5;
+  auto embedded = EmbedQubo(f.logical, f.embedding, f.target, opts);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_DOUBLE_EQ(embedded->chain_strength, 7.5);
+  opts.chain_strength_override = -1.0;
+  opts.chain_strength_multiplier = 2.0;
+  embedded = EmbedQubo(f.logical, f.embedding, f.target, opts);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_DOUBLE_EQ(embedded->chain_strength, 4.0);
+}
+
+TEST(EmbeddedQuboTest, RejectsMismatchedEmbedding) {
+  EmbeddedFixture f = EmbeddedFixture::Make(19);
+  Embedding wrong;
+  wrong.chains = {{0}, {1}};  // only two chains for three variables
+  EXPECT_FALSE(EmbedQubo(f.logical, wrong, f.target, EmbedQuboOptions{}).ok());
+}
+
+TEST(UnembedTest, MajorityVote) {
+  Embedding embedding;
+  embedding.chains = {{0, 1, 2}, {3, 4}, {5}};
+  Rng rng(23);
+  UnembeddedSample s =
+      UnembedSample({1, 1, 0, 0, 0, 1}, embedding, rng);
+  EXPECT_EQ(s.logical_bits[0], 1);  // 2 of 3
+  EXPECT_EQ(s.logical_bits[1], 0);  // unanimous
+  EXPECT_EQ(s.logical_bits[2], 1);
+  // Chains 0 is broken, chain 1 and 2 are intact.
+  EXPECT_NEAR(s.chain_break_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(UnembedTest, TieBreaksAreRandomButValid) {
+  Embedding embedding;
+  embedding.chains = {{0, 1}};
+  Rng rng(29);
+  int ones = 0;
+  for (int i = 0; i < 200; ++i) {
+    UnembeddedSample s = UnembedSample({1, 0}, embedding, rng);
+    ones += s.logical_bits[0];
+    EXPECT_NEAR(s.chain_break_fraction, 1.0, 1e-9);
+  }
+  EXPECT_GT(ones, 50);
+  EXPECT_LT(ones, 150);
+}
+
+}  // namespace
+}  // namespace qjo

@@ -1,0 +1,287 @@
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "jo/classical.h"
+#include "jo/join_tree.h"
+#include "jo/query.h"
+#include "jo/query_generator.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+/// The running example of Sec. 3: R, S, T with |.|=100 and Sel(p_RS)=0.1.
+Query MakeExampleQuery() {
+  Query q;
+  q.AddRelation("R", 100);
+  q.AddRelation("S", 100);
+  q.AddRelation("T", 100);
+  EXPECT_TRUE(q.AddPredicate(0, 1, 0.1).ok());
+  return q;
+}
+
+TEST(QueryTest, PredicateValidation) {
+  Query q;
+  q.AddRelation("R", 10);
+  q.AddRelation("S", 10);
+  EXPECT_TRUE(q.AddPredicate(0, 1, 0.5).ok());
+  EXPECT_FALSE(q.AddPredicate(0, 0, 0.5).ok());
+  EXPECT_FALSE(q.AddPredicate(0, 2, 0.5).ok());
+  EXPECT_FALSE(q.AddPredicate(0, 1, 0.0).ok());
+  EXPECT_FALSE(q.AddPredicate(0, 1, 1.5).ok());
+  EXPECT_FALSE(q.AddPredicate(0, 1, -0.1).ok());
+}
+
+TEST(QueryTest, JoinCardinalityAppliesInternalPredicates) {
+  const Query q = MakeExampleQuery();
+  EXPECT_DOUBLE_EQ(q.JoinCardinality(0b011), 100.0 * 100.0 * 0.1);  // R,S
+  EXPECT_DOUBLE_EQ(q.JoinCardinality(0b101), 100.0 * 100.0);        // R,T
+  EXPECT_DOUBLE_EQ(q.JoinCardinality(0b111), 100.0 * 100.0 * 100.0 * 0.1);
+}
+
+TEST(QueryTest, SelectivityBetween) {
+  const Query q = MakeExampleQuery();
+  EXPECT_DOUBLE_EQ(q.SelectivityBetween(0b001, 1), 0.1);  // S joins {R}
+  EXPECT_DOUBLE_EQ(q.SelectivityBetween(0b001, 2), 1.0);  // T joins {R}
+  EXPECT_DOUBLE_EQ(q.SelectivityBetween(0b010, 0), 0.1);  // symmetric
+}
+
+TEST(QueryTest, NumJoins) {
+  EXPECT_EQ(MakeExampleQuery().num_joins(), 2);
+}
+
+TEST(CostModelTest, Example33Costs) {
+  // (R ⋈ S) ⋈ T: intermediate 1,000, final 1,000 * 100 = 100,000.
+  const Query q = MakeExampleQuery();
+  const LeftDeepOrder rst({0, 1, 2});
+  const CostBreakdown c = EvaluateCost(q, rst);
+  ASSERT_EQ(c.intermediate_cardinalities.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.intermediate_cardinalities[0], 1000.0);
+  EXPECT_DOUBLE_EQ(c.intermediate_cardinalities[1], 100000.0);
+  EXPECT_DOUBLE_EQ(c.total_cost, 101000.0);
+}
+
+TEST(CostModelTest, CrossProductOrderCostsMore) {
+  const Query q = MakeExampleQuery();
+  // (R ⋈ T) needs a cross product: intermediate 10,000.
+  EXPECT_GT(Cost(q, LeftDeepOrder({0, 2, 1})),
+            Cost(q, LeftDeepOrder({0, 1, 2})));
+}
+
+TEST(CostModelTest, FinalResultCardinalityOrderIndependent) {
+  Rng rng(5);
+  QueryGenOptions options;
+  options.num_relations = 5;
+  options.graph_type = QueryGraphType::kChain;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  std::vector<int> perm(5);
+  std::iota(perm.begin(), perm.end(), 0);
+  const double reference =
+      EvaluateCost(*q, LeftDeepOrder(perm)).intermediate_cardinalities.back();
+  for (int i = 0; i < 10; ++i) {
+    rng.Shuffle(perm);
+    const double final_card =
+        EvaluateCost(*q, LeftDeepOrder(perm)).intermediate_cardinalities.back();
+    EXPECT_NEAR(final_card / reference, 1.0, 1e-9);
+  }
+}
+
+TEST(LeftDeepOrderTest, CreateValidation) {
+  const Query q = MakeExampleQuery();
+  EXPECT_TRUE(LeftDeepOrder::Create({0, 1, 2}, q).ok());
+  EXPECT_FALSE(LeftDeepOrder::Create({0, 1}, q).ok());
+  EXPECT_FALSE(LeftDeepOrder::Create({0, 1, 1}, q).ok());
+  EXPECT_FALSE(LeftDeepOrder::Create({0, 1, 3}, q).ok());
+}
+
+TEST(LeftDeepOrderTest, ToStringNesting) {
+  const Query q = MakeExampleQuery();
+  EXPECT_EQ(LeftDeepOrder({0, 1, 2}).ToString(q), "(R ⋈ S) ⋈ T");
+}
+
+TEST(QueryGeneratorTest, ChainShape) {
+  Rng rng(1);
+  QueryGenOptions options;
+  options.num_relations = 6;
+  options.graph_type = QueryGraphType::kChain;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_relations(), 6);
+  EXPECT_EQ(q->num_predicates(), 5);
+  for (int p = 0; p < q->num_predicates(); ++p) {
+    EXPECT_EQ(q->predicate(p).right - q->predicate(p).left, 1);
+  }
+}
+
+TEST(QueryGeneratorTest, StarShape) {
+  Rng rng(2);
+  QueryGenOptions options;
+  options.num_relations = 6;
+  options.graph_type = QueryGraphType::kStar;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_predicates(), 5);
+  for (int p = 0; p < q->num_predicates(); ++p) {
+    EXPECT_EQ(q->predicate(p).left, 0);
+  }
+}
+
+TEST(QueryGeneratorTest, CycleShape) {
+  Rng rng(3);
+  QueryGenOptions options;
+  options.num_relations = 6;
+  options.graph_type = QueryGraphType::kCycle;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_predicates(), 6);  // one more than chain
+}
+
+TEST(QueryGeneratorTest, CliqueShape) {
+  Rng rng(4);
+  QueryGenOptions options;
+  options.num_relations = 5;
+  options.graph_type = QueryGraphType::kClique;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_predicates(), 10);
+}
+
+TEST(QueryGeneratorTest, RejectsTooFewRelations) {
+  Rng rng(5);
+  QueryGenOptions options;
+  options.num_relations = 1;
+  EXPECT_FALSE(GenerateQuery(options, rng).ok());
+  options.num_relations = 2;
+  options.graph_type = QueryGraphType::kCycle;
+  EXPECT_FALSE(GenerateQuery(options, rng).ok());
+}
+
+TEST(QueryGeneratorTest, IntegerLogValues) {
+  Rng rng(6);
+  QueryGenOptions options;
+  options.num_relations = 8;
+  options.integer_log_values = true;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  for (const Relation& rel : q->relations()) {
+    const double log_card = std::log10(rel.cardinality);
+    EXPECT_NEAR(log_card, std::round(log_card), 1e-9);
+  }
+  for (const Predicate& p : q->predicates()) {
+    const double log_sel = std::log10(p.selectivity);
+    EXPECT_NEAR(log_sel, std::round(log_sel), 1e-9);
+  }
+}
+
+TEST(QueryGeneratorTest, PredicateCountScenarios) {
+  Rng rng(7);
+  QueryGenOptions options;
+  options.num_relations = 3;
+  for (int p = 0; p <= 3; ++p) {
+    auto q = GenerateQueryWithPredicateCount(options, p, rng);
+    ASSERT_TRUE(q.ok()) << p;
+    EXPECT_EQ(q->num_predicates(), p);
+  }
+  EXPECT_FALSE(GenerateQueryWithPredicateCount(options, 4, rng).ok());
+}
+
+TEST(ClassicalTest, ExhaustiveMatchesHandComputedOptimum) {
+  const Query q = MakeExampleQuery();
+  auto result = OptimizeExhaustive(q);
+  ASSERT_TRUE(result.ok());
+  // Optimal orders start with the selective R-S join.
+  EXPECT_DOUBLE_EQ(result->cost, 101000.0);
+  EXPECT_EQ(result->order[2], 2);
+}
+
+TEST(ClassicalTest, ExhaustiveRejectsLargeInputs) {
+  Rng rng(8);
+  QueryGenOptions options;
+  options.num_relations = 12;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(OptimizeExhaustive(*q).ok());
+}
+
+struct DpCase {
+  QueryGraphType type;
+  int relations;
+  uint64_t seed;
+};
+
+class DpMatchesExhaustiveTest : public ::testing::TestWithParam<DpCase> {};
+
+TEST_P(DpMatchesExhaustiveTest, SameOptimalCost) {
+  const DpCase& c = GetParam();
+  Rng rng(c.seed);
+  QueryGenOptions options;
+  options.num_relations = c.relations;
+  options.graph_type = c.type;
+  options.integer_log_values = false;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  auto exhaustive = OptimizeExhaustive(*q);
+  auto dp = OptimizeDp(*q);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(dp.ok());
+  EXPECT_NEAR(dp->cost / exhaustive->cost, 1.0, 1e-9);
+  // DP's reported cost must agree with re-evaluating its own order.
+  EXPECT_NEAR(Cost(*q, dp->order) / dp->cost, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DpMatchesExhaustiveTest,
+    ::testing::Values(DpCase{QueryGraphType::kChain, 4, 11},
+                      DpCase{QueryGraphType::kChain, 6, 12},
+                      DpCase{QueryGraphType::kChain, 7, 13},
+                      DpCase{QueryGraphType::kStar, 4, 14},
+                      DpCase{QueryGraphType::kStar, 6, 15},
+                      DpCase{QueryGraphType::kStar, 7, 16},
+                      DpCase{QueryGraphType::kCycle, 4, 17},
+                      DpCase{QueryGraphType::kCycle, 6, 18},
+                      DpCase{QueryGraphType::kCycle, 7, 19},
+                      DpCase{QueryGraphType::kClique, 5, 20},
+                      DpCase{QueryGraphType::kClique, 6, 21}));
+
+TEST(ClassicalTest, HeuristicsNeverBeatDp) {
+  for (uint64_t seed = 40; seed < 50; ++seed) {
+    Rng rng(seed);
+    QueryGenOptions options;
+    options.num_relations = 7;
+    options.graph_type =
+        seed % 2 == 0 ? QueryGraphType::kChain : QueryGraphType::kStar;
+    auto q = GenerateQuery(options, rng);
+    ASSERT_TRUE(q.ok());
+    auto dp = OptimizeDp(*q);
+    auto greedy = OptimizeGreedy(*q);
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(greedy.ok());
+    EXPECT_GE(greedy->cost, dp->cost * (1.0 - 1e-9));
+    Rng ii_rng(seed);
+    auto ii = OptimizeIterativeImprovement(*q, ii_rng, 5);
+    ASSERT_TRUE(ii.ok());
+    EXPECT_GE(ii->cost, dp->cost * (1.0 - 1e-9));
+    // Both heuristics must report costs consistent with their orders.
+    EXPECT_NEAR(Cost(*q, greedy->order) / greedy->cost, 1.0, 1e-9);
+    EXPECT_NEAR(Cost(*q, ii->order) / ii->cost, 1.0, 1e-9);
+  }
+}
+
+TEST(ClassicalTest, DpHandlesLargerInstances) {
+  Rng rng(99);
+  QueryGenOptions options;
+  options.num_relations = 16;
+  options.graph_type = QueryGraphType::kChain;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  auto dp = OptimizeDp(*q);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->order.size(), 16);
+}
+
+}  // namespace
+}  // namespace qjo

@@ -1,0 +1,330 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "jo/query.h"
+#include "jo/query_generator.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "lp/model.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+/// The paper's Fig. 2 / Table 2 base instance: three relations of
+/// cardinality 10, chain-first predicates with selectivity 0.1, and a
+/// single threshold theta_0 = 10.
+Query MakePaperInstance(int num_predicates) {
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {0, 2}};
+  for (int p = 0; p < num_predicates; ++p) {
+    EXPECT_TRUE(q.AddPredicate(edges[p].first, edges[p].second, 0.1).ok());
+  }
+  return q;
+}
+
+JoMilpOptions PaperOptions(double omega = 1.0) {
+  JoMilpOptions options;
+  options.thresholds = {10.0};
+  options.omega = omega;
+  return options;
+}
+
+TEST(LinearExprTest, CanonicalizeMergesAndDropsZeros) {
+  LinearExpr e;
+  e.AddTerm(0, 1.0);
+  e.AddTerm(1, 2.0);
+  e.AddTerm(0, -1.0);
+  e.Canonicalize();
+  ASSERT_EQ(e.terms().size(), 1u);
+  EXPECT_EQ(e.terms()[0].first, 1);
+  EXPECT_DOUBLE_EQ(e.terms()[0].second, 2.0);
+}
+
+TEST(LinearExprTest, Evaluate) {
+  LinearExpr e;
+  e.AddTerm(0, 2.0);
+  e.AddTerm(2, -1.0);
+  e.AddConstant(0.5);
+  EXPECT_DOUBLE_EQ(e.Evaluate({1, 0, 1}), 1.5);
+}
+
+TEST(LpModelTest, FeasibilityChecks) {
+  LpModel m;
+  const int x = m.AddVariable("x");
+  const int y = m.AddVariable("y");
+  LpConstraint le;
+  le.expr.AddTerm(x, 1.0);
+  le.expr.AddTerm(y, 1.0);
+  le.sense = Sense::kLe;
+  le.rhs = 1.0;
+  m.AddConstraint(le);
+  LpConstraint eq;
+  eq.expr.AddTerm(x, 1.0);
+  eq.sense = Sense::kEq;
+  eq.rhs = 1.0;
+  m.AddConstraint(eq);
+  EXPECT_TRUE(m.IsFeasible({1, 0}));
+  EXPECT_FALSE(m.IsFeasible({1, 1}));  // violates <=
+  EXPECT_FALSE(m.IsFeasible({0, 1}));  // violates ==
+}
+
+TEST(JoEncoderTest, RejectsBadInputs) {
+  Query q = MakePaperInstance(0);
+  JoMilpOptions options;
+  EXPECT_FALSE(EncodeJoAsMilp(q, options).ok());  // no thresholds
+  options.thresholds = {10.0, 10.0};
+  EXPECT_FALSE(EncodeJoAsMilp(q, options).ok());  // not increasing
+  options.thresholds = {10.0};
+  options.omega = 0.0;
+  EXPECT_FALSE(EncodeJoAsMilp(q, options).ok());  // bad omega
+  Query tiny;
+  tiny.AddRelation("R", 10);
+  EXPECT_FALSE(EncodeJoAsMilp(tiny, PaperOptions()).ok());
+}
+
+TEST(JoEncoderTest, MaxLogCardinalityLemma52) {
+  Query q;
+  q.AddRelation("A", 1000);  // log 3
+  q.AddRelation("B", 10);    // log 1
+  q.AddRelation("C", 100);   // log 2
+  auto model = EncodeJoAsMilp(q, PaperOptions());
+  ASSERT_TRUE(model.ok());
+  // Outer operand of join j holds j+1 relations; largest-first.
+  EXPECT_NEAR(model->MaxLogCardinality(0), 3.0, 1e-9);
+  EXPECT_NEAR(model->MaxLogCardinality(1), 5.0, 1e-9);
+}
+
+/// The paper's qubit ladder: predicates 0..3 at omega=1 give 18/21/24/27
+/// binary variables, and precisions 0..3 decimals at P=0 give the same
+/// ladder (Sec. 4.1, Fig. 2).
+TEST(JoEncoderTest, PaperQubitLadderByPredicates) {
+  const int expected[] = {18, 21, 24, 27};
+  for (int p = 0; p <= 3; ++p) {
+    Query q = MakePaperInstance(p);
+    auto milp = EncodeJoAsMilp(q, PaperOptions());
+    ASSERT_TRUE(milp.ok());
+    auto bilp = LowerToBilp(milp->model(), 1.0);
+    ASSERT_TRUE(bilp.ok());
+    EXPECT_EQ(bilp->num_variables(), expected[p]) << "predicates=" << p;
+  }
+}
+
+TEST(JoEncoderTest, PaperQubitLadderByPrecision) {
+  const double omegas[] = {1.0, 0.1, 0.01, 0.001};
+  const int expected[] = {18, 21, 24, 27};
+  for (int i = 0; i < 4; ++i) {
+    Query q = MakePaperInstance(0);
+    auto milp = EncodeJoAsMilp(q, PaperOptions(omegas[i]));
+    ASSERT_TRUE(milp.ok());
+    auto bilp = LowerToBilp(milp->model(), omegas[i]);
+    ASSERT_TRUE(bilp.ok());
+    EXPECT_EQ(bilp->num_variables(), expected[i]) << "omega=" << omegas[i];
+  }
+}
+
+/// Table 1: variable/constraint tallies of the pruned vs original model.
+TEST(JoEncoderTest, Table1Counts) {
+  Rng rng(3);
+  QueryGenOptions gen;
+  gen.num_relations = 6;
+  gen.graph_type = QueryGraphType::kCycle;
+  auto query = GenerateQuery(gen, rng);
+  ASSERT_TRUE(query.ok());
+  const int t = query->num_relations();
+  const int j = query->num_joins();
+  const int p = query->num_predicates();
+  JoMilpOptions options;
+  options.thresholds = MakeGeometricThresholds(*query, 3);
+  const int r = 3;
+
+  auto pruned = EncodeJoAsMilp(*query, options);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->stats().tio, t * j);
+  EXPECT_EQ(pruned->stats().tii, t * j);
+  EXPECT_EQ(pruned->stats().pao, p * (j - 1));
+  EXPECT_LE(pruned->stats().cto, r * (j - 1));
+  EXPECT_EQ(pruned->stats().cj, 0);
+  EXPECT_EQ(pruned->stats().constraints_overlap, t);
+  EXPECT_EQ(pruned->stats().constraints_pao, 2 * p * (j - 1));
+  EXPECT_LE(pruned->stats().constraints_cto, r * (j - 1));
+  EXPECT_EQ(pruned->stats().constraints_cto, pruned->stats().cto);
+
+  options.variant = JoModelVariant::kOriginal;
+  auto original = EncodeJoAsMilp(*query, options);
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(original->stats().pao, p * j);
+  EXPECT_EQ(original->stats().cto, r * j);
+  EXPECT_EQ(original->stats().cj, j);
+  EXPECT_EQ(original->stats().constraints_overlap, t * j);
+  EXPECT_EQ(original->stats().constraints_pao, 2 * p * j);
+  EXPECT_EQ(original->stats().constraints_cto, r * j);
+}
+
+TEST(JoEncoderTest, OriginalModelCannotLowerToBilp) {
+  Query q = MakePaperInstance(1);
+  JoMilpOptions options = PaperOptions();
+  options.variant = JoModelVariant::kOriginal;
+  auto milp = EncodeJoAsMilp(q, options);
+  ASSERT_TRUE(milp.ok());
+  EXPECT_FALSE(LowerToBilp(milp->model(), 1.0).ok());
+}
+
+/// Example 3.1/3.3: the assignment for (R ⋈ S) ⋈ T is MILP-feasible and
+/// the staircase objective adds exactly theta_0 = 100.
+TEST(JoEncoderTest, Example33FeasibilityAndObjective) {
+  Query q;
+  q.AddRelation("R", 100);
+  q.AddRelation("S", 100);
+  q.AddRelation("T", 100);
+  ASSERT_TRUE(q.AddPredicate(0, 1, 0.1).ok());
+  JoMilpOptions options;
+  options.thresholds = {100.0, 1000.0};
+  auto milp = EncodeJoAsMilp(q, options);
+  ASSERT_TRUE(milp.ok());
+
+  // c_1max = 4 exceeds both log-thresholds (2 and 3): nothing pruned.
+  ASSERT_GE(milp->cto(0, 1), 0);
+  ASSERT_GE(milp->cto(1, 1), 0);
+  ASSERT_GE(milp->pao(0, 1), 0);
+  EXPECT_EQ(milp->pao(0, 0), -1);  // pruned
+  EXPECT_EQ(milp->cto(0, 0), -1);  // pruned
+
+  std::vector<int> bits(milp->model().num_variables(), 0);
+  bits[milp->tio(0, 0)] = 1;  // R outer of join 0
+  bits[milp->tii(1, 0)] = 1;  // S inner of join 0
+  bits[milp->tio(0, 1)] = 1;  // R in outer of join 1
+  bits[milp->tio(1, 1)] = 1;  // S in outer of join 1
+  bits[milp->tii(2, 1)] = 1;  // T inner of join 1
+  bits[milp->pao(0, 1)] = 1;  // p_RS applicable at join 1
+  // c_1 = 2 + 2 - 1 = 3 > log(100): cto_01 forced; 3 <= log(1000): cto_11
+  // stays 0.
+  bits[milp->cto(0, 1)] = 1;
+  EXPECT_TRUE(milp->model().IsFeasible(bits));
+  EXPECT_DOUBLE_EQ(milp->model().EvaluateObjective(bits), 100.0);
+
+  // Leaving cto_01 = 0 violates Eq. (7).
+  bits[milp->cto(0, 1)] = 0;
+  EXPECT_FALSE(milp->model().IsFeasible(bits));
+  // Claiming the predicate without S in the outer operand violates Eq. (5).
+  bits[milp->cto(0, 1)] = 1;
+  bits[milp->tio(1, 1)] = 0;
+  EXPECT_FALSE(milp->model().IsFeasible(bits));
+}
+
+TEST(JoEncoderTest, CtoPruningDropsUnreachableThresholds) {
+  Query q;
+  q.AddRelation("R", 10);
+  q.AddRelation("S", 10);
+  q.AddRelation("T", 10);
+  q.AddRelation("U", 10);
+  JoMilpOptions options;
+  // log c_1max = 2, log c_2max = 3; theta=500 (log ~2.7) is unreachable
+  // for join 1 but reachable for join 2.
+  options.thresholds = {500.0};
+  auto milp = EncodeJoAsMilp(q, options);
+  ASSERT_TRUE(milp.ok());
+  EXPECT_EQ(milp->cto(0, 1), -1);
+  EXPECT_GE(milp->cto(0, 2), 0);
+  EXPECT_EQ(milp->stats().cto, 1);
+}
+
+TEST(BilpTest, NumSlackBitsEquation9) {
+  EXPECT_EQ(NumSlackBits(1.0, 1.0), 1);
+  EXPECT_EQ(NumSlackBits(2.0, 1.0), 2);
+  EXPECT_EQ(NumSlackBits(3.0, 1.0), 2);
+  EXPECT_EQ(NumSlackBits(4.0, 1.0), 3);
+  EXPECT_EQ(NumSlackBits(0.5, 1.0), 0);
+  EXPECT_EQ(NumSlackBits(2.0, 0.01), 8);   // floor(log2 200)+1
+  EXPECT_EQ(NumSlackBits(2.0, 0.001), 11); // floor(log2 2000)+1
+}
+
+TEST(BilpTest, SlackGroupsAndMetadata) {
+  Query q = MakePaperInstance(1);
+  auto milp = EncodeJoAsMilp(q, PaperOptions());
+  ASSERT_TRUE(milp.ok());
+  auto bilp = LowerToBilp(milp->model(), 1.0);
+  ASSERT_TRUE(bilp.ok());
+  EXPECT_EQ(bilp->num_problem_variables, milp->model().num_variables());
+  // T=3 overlap slacks + 2 pao slacks + 1 cto slack group.
+  EXPECT_EQ(bilp->slack_groups.size(), 3u + 2u + 1u);
+  int slack_bits = 0;
+  for (const auto& g : bilp->slack_groups) slack_bits += g.num_bits;
+  EXPECT_EQ(slack_bits, bilp->num_slack_variables());
+}
+
+/// Feasibility equivalence: a MILP-feasible assignment extends to a
+/// BILP-feasible one via some slack setting, and the BILP restricted to
+/// problem variables is MILP-feasible.
+TEST(BilpTest, FeasibilityEquivalenceBySearch) {
+  Query q = MakePaperInstance(1);
+  auto milp = EncodeJoAsMilp(q, PaperOptions());
+  ASSERT_TRUE(milp.ok());
+  auto bilp = LowerToBilp(milp->model(), 1.0);
+  ASSERT_TRUE(bilp.ok());
+  const int problem_vars = bilp->num_problem_variables;
+  const int slack_vars = bilp->num_slack_variables();
+  ASSERT_LE(slack_vars, 12);
+
+  // The valid (R0 ⋈ R1) ⋈ R2 assignment.
+  std::vector<int> bits(problem_vars, 0);
+  bits[milp->tio(0, 0)] = 1;
+  bits[milp->tii(1, 0)] = 1;
+  bits[milp->tio(0, 1)] = 1;
+  bits[milp->tio(1, 1)] = 1;
+  bits[milp->tii(2, 1)] = 1;
+  bits[milp->pao(0, 1)] = 1;
+  // c_1 = 1 + 1 - 1 = 1 <= log(10) = 1: threshold not exceeded.
+  ASSERT_TRUE(milp->model().IsFeasible(bits));
+
+  bool found = false;
+  std::vector<int> full(bilp->num_variables(), 0);
+  std::copy(bits.begin(), bits.end(), full.begin());
+  for (int mask = 0; mask < (1 << slack_vars) && !found; ++mask) {
+    for (int b = 0; b < slack_vars; ++b) {
+      full[problem_vars + b] = (mask >> b) & 1;
+    }
+    if (bilp->IsFeasible(full)) found = true;
+  }
+  EXPECT_TRUE(found);
+  // And the MILP objective agrees with the BILP objective (cto unset).
+  EXPECT_DOUBLE_EQ(bilp->EvaluateObjective(full), 0.0);
+
+  // An invalid assignment (two inner operands for join 0) has no feasible
+  // slack completion.
+  bits[milp->tii(0, 0)] = 1;
+  std::copy(bits.begin(), bits.end(), full.begin());
+  bool invalid_found = false;
+  for (int mask = 0; mask < (1 << slack_vars) && !invalid_found; ++mask) {
+    for (int b = 0; b < slack_vars; ++b) {
+      full[problem_vars + b] = (mask >> b) & 1;
+    }
+    if (bilp->IsFeasible(full)) invalid_found = true;
+  }
+  EXPECT_FALSE(invalid_found);
+}
+
+TEST(BilpTest, GeometricThresholdsIncreasing) {
+  Rng rng(4);
+  QueryGenOptions gen;
+  gen.num_relations = 8;
+  auto query = GenerateQuery(gen, rng);
+  ASSERT_TRUE(query.ok());
+  const std::vector<double> thresholds = MakeGeometricThresholds(*query, 5);
+  ASSERT_EQ(thresholds.size(), 5u);
+  for (size_t i = 1; i < thresholds.size(); ++i) {
+    EXPECT_GT(thresholds[i], thresholds[i - 1]);
+  }
+  // Usable in the encoder.
+  JoMilpOptions options;
+  options.thresholds = thresholds;
+  EXPECT_TRUE(EncodeJoAsMilp(*query, options).ok());
+}
+
+}  // namespace
+}  // namespace qjo

@@ -1,0 +1,274 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "jo/query.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "qubo/solvers.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+Qubo RandomQubo(int n, double edge_probability, Rng& rng) {
+  Qubo q(n);
+  for (int i = 0; i < n; ++i) {
+    q.AddLinear(i, rng.UniformDouble(-2.0, 2.0));
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        q.AddQuadratic(i, j, rng.UniformDouble(-2.0, 2.0));
+      }
+    }
+  }
+  q.AddOffset(rng.UniformDouble(-1.0, 1.0));
+  return q;
+}
+
+std::vector<int> BitsOf(uint64_t x, int n) {
+  std::vector<int> bits(n);
+  for (int i = 0; i < n; ++i) bits[i] = static_cast<int>((x >> i) & 1);
+  return bits;
+}
+
+TEST(QuboTest, EnergyEvaluation) {
+  Qubo q(3);
+  q.AddLinear(0, 1.0);
+  q.AddLinear(2, -2.0);
+  q.AddQuadratic(0, 1, 3.0);
+  q.AddOffset(0.5);
+  EXPECT_DOUBLE_EQ(q.Energy({0, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 0, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 0}), 4.5);
+  EXPECT_DOUBLE_EQ(q.Energy({1, 1, 1}), 2.5);
+}
+
+TEST(QuboTest, QuadraticAccumulatesSymmetrically) {
+  Qubo q(2);
+  q.AddQuadratic(0, 1, 1.5);
+  q.AddQuadratic(1, 0, 0.5);
+  EXPECT_DOUBLE_EQ(q.quadratic(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(q.quadratic(1, 0), 2.0);
+  EXPECT_EQ(q.num_quadratic_terms(), 1);
+  q.AddQuadratic(0, 1, -2.0);
+  EXPECT_EQ(q.num_quadratic_terms(), 0);  // cancelled out
+}
+
+TEST(QuboTest, EdgesAndAdjacency) {
+  Qubo q(4);
+  q.AddQuadratic(2, 0, 1.0);
+  q.AddQuadratic(1, 3, 1.0);
+  const auto edges = q.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 2));
+  EXPECT_EQ(edges[1], std::make_pair(1, 3));
+  const auto adjacency = q.AdjacencyLists();
+  EXPECT_EQ(adjacency[0], std::vector<int>{2});
+  EXPECT_EQ(adjacency[3], std::vector<int>{1});
+}
+
+TEST(IsingTest, QuboIsingEnergiesAgreeOnAllStates) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 6;
+    const Qubo qubo = RandomQubo(n, 0.5, rng);
+    const IsingModel ising = QuboToIsing(qubo);
+    for (uint64_t x = 0; x < (uint64_t{1} << n); ++x) {
+      const std::vector<int> bits = BitsOf(x, n);
+      const std::vector<int> spins = BitsToSpins(bits);
+      EXPECT_NEAR(qubo.Energy(bits), ising.Energy(spins), 1e-9);
+    }
+  }
+}
+
+TEST(IsingTest, SpinBitRoundTrip) {
+  const std::vector<int> bits = {0, 1, 1, 0};
+  EXPECT_EQ(SpinsToBits(BitsToSpins(bits)), bits);
+}
+
+TEST(BruteForceTest, FindsExactMinimum) {
+  Rng rng(7);
+  const Qubo qubo = RandomQubo(10, 0.4, rng);
+  auto solution = SolveQuboBruteForce(qubo);
+  ASSERT_TRUE(solution.ok());
+  // Exhaustive reference.
+  double best = 1e300;
+  for (uint64_t x = 0; x < 1024; ++x) {
+    best = std::min(best, qubo.Energy(BitsOf(x, 10)));
+  }
+  EXPECT_NEAR(solution->energy, best, 1e-9);
+  EXPECT_NEAR(qubo.Energy(solution->assignment), solution->energy, 1e-9);
+}
+
+TEST(BruteForceTest, RejectsOversizedProblems) {
+  Qubo q(30);
+  q.AddLinear(0, 1.0);
+  EXPECT_FALSE(SolveQuboBruteForce(q, 28).ok());
+}
+
+TEST(SimulatedAnnealingTest, SolvesSmallProblems) {
+  Rng rng(11);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Qubo qubo = RandomQubo(12, 0.4, rng);
+    auto exact = SolveQuboBruteForce(qubo);
+    ASSERT_TRUE(exact.ok());
+    SaOptions options;
+    options.num_reads = 20;
+    options.sweeps_per_read = 500;
+    const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+    ASSERT_FALSE(reads.empty());
+    EXPECT_NEAR(BestSolution(reads).energy, exact->energy, 1e-6);
+    // Reads are sorted best-first.
+    for (size_t i = 1; i < reads.size(); ++i) {
+      EXPECT_LE(reads[i - 1].energy, reads[i].energy);
+    }
+  }
+}
+
+/// Builds the paper's 3-relation instance and converts it end to end.
+struct PipelineFixture {
+  Query query;
+  JoMilpModel milp;
+  BilpModel bilp;
+  QuboEncoding encoding;
+
+  static PipelineFixture Make(int num_predicates, double omega = 1.0) {
+    PipelineFixture f;
+    f.query.AddRelation("R0", 10);
+    f.query.AddRelation("R1", 10);
+    f.query.AddRelation("R2", 10);
+    const std::vector<std::pair<int, int>> edges = {{0, 1}, {1, 2}, {0, 2}};
+    for (int p = 0; p < num_predicates; ++p) {
+      EXPECT_TRUE(
+          f.query.AddPredicate(edges[p].first, edges[p].second, 0.1).ok());
+    }
+    JoMilpOptions options;
+    options.thresholds = {10.0};
+    options.omega = omega;
+    auto milp = EncodeJoAsMilp(f.query, options);
+    EXPECT_TRUE(milp.ok());
+    f.milp = std::move(milp).value();
+    auto bilp = LowerToBilp(f.milp.model(), omega);
+    EXPECT_TRUE(bilp.ok());
+    f.bilp = std::move(bilp).value();
+    QuboConversionOptions qopts;
+    qopts.omega = omega;
+    auto encoding = ConvertBilpToQubo(f.bilp, qopts);
+    EXPECT_TRUE(encoding.ok());
+    f.encoding = std::move(encoding).value();
+    return f;
+  }
+};
+
+TEST(BilpToQuboTest, PenaltyWeightRule) {
+  PipelineFixture f = PipelineFixture::Make(1);
+  // Objective: theta_0 = 10 on the single cto variable; A = C/w^2 + eps.
+  EXPECT_DOUBLE_EQ(f.encoding.penalty_weight, 10.0 + 1.0);
+  EXPECT_EQ(f.encoding.num_problem_variables, f.milp.model().num_variables());
+}
+
+TEST(BilpToQuboTest, FeasibleAssignmentsSitAtPenaltyFloor) {
+  PipelineFixture f = PipelineFixture::Make(0);
+  const int n = f.encoding.qubo.num_variables();
+  ASSERT_LE(n, 20);
+  // For every assignment: energy = A * violation + B * objective.
+  Rng rng(13);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const uint64_t x = rng.Next() & ((uint64_t{1} << n) - 1);
+    const std::vector<int> bits = BitsOf(x, n);
+    const double expected = f.encoding.penalty_weight *
+                                f.bilp.ConstraintViolation(bits) +
+                            f.bilp.EvaluateObjective(bits);
+    EXPECT_NEAR(f.encoding.qubo.Energy(bits), expected, 1e-6);
+  }
+}
+
+TEST(BilpToQuboTest, MinimumIsFeasibleAndOptimal) {
+  for (int predicates = 0; predicates <= 1; ++predicates) {
+    PipelineFixture f = PipelineFixture::Make(predicates);
+    auto ground = SolveQuboBruteForce(f.encoding.qubo);
+    ASSERT_TRUE(ground.ok());
+    EXPECT_TRUE(f.bilp.IsFeasible(ground->assignment))
+        << "predicates=" << predicates;
+    // Energy at the minimum equals the BILP objective (H_A term is 0).
+    EXPECT_NEAR(ground->energy, f.bilp.EvaluateObjective(ground->assignment),
+                1e-6);
+  }
+}
+
+TEST(BilpToQuboTest, PenaltyWeightOverrideAblation) {
+  // With a tiny penalty weight, cheating becomes energetically attractive:
+  // the ground state may violate constraints. This is the ablation that
+  // motivates the paper's A = C/w^2 + eps rule.
+  PipelineFixture f = PipelineFixture::Make(0);
+  QuboConversionOptions weak;
+  weak.penalty_weight_override = 0.01;
+  auto encoding = ConvertBilpToQubo(f.bilp, weak);
+  ASSERT_TRUE(encoding.ok());
+  auto ground = SolveQuboBruteForce(encoding->qubo);
+  ASSERT_TRUE(ground.ok());
+  // The paper-rule ground state stays feasible (checked above); the weak
+  // one is strictly lower in "objective - savings" terms and infeasible
+  // here because the all-zeros state dodges every leaf constraint.
+  EXPECT_FALSE(f.bilp.IsFeasible(ground->assignment));
+}
+
+TEST(BilpToQuboTest, CoefficientRoundingKeepsExactFeasibility) {
+  // With omega = 0.1 and integer-log inputs, rounding must not break the
+  // achievability of zero penalty.
+  PipelineFixture f = PipelineFixture::Make(1, 0.1);
+  auto ground = SolveQuboBruteForce(f.encoding.qubo);
+  ASSERT_TRUE(ground.ok());
+  EXPECT_NEAR(f.encoding.qubo.Energy(ground->assignment),
+              f.bilp.EvaluateObjective(ground->assignment), 1e-6);
+}
+
+TEST(TabuSearchTest, SolvesSmallProblems) {
+  Rng rng(19);
+  for (int trial = 0; trial < 3; ++trial) {
+    const Qubo qubo = RandomQubo(14, 0.4, rng);
+    auto exact = SolveQuboBruteForce(qubo);
+    ASSERT_TRUE(exact.ok());
+    TabuOptions options;
+    options.num_restarts = 8;
+    options.iterations_per_restart = 1500;
+    const auto restarts = SolveQuboTabuSearch(qubo, options, rng);
+    ASSERT_EQ(restarts.size(), 8u);
+    EXPECT_NEAR(restarts.front().energy, exact->energy, 1e-6);
+    // Reported energies match re-evaluation.
+    for (const auto& r : restarts) {
+      EXPECT_NEAR(qubo.Energy(r.assignment), r.energy, 1e-6);
+    }
+  }
+}
+
+TEST(TabuSearchTest, EscapesLocalMinima) {
+  // A frustrated two-cluster instance with a deceptive local minimum:
+  // plain steepest descent from all-zeros stalls; tabu keeps moving.
+  Qubo qubo(6);
+  for (int i = 0; i < 6; ++i) qubo.AddLinear(i, 1.0);
+  qubo.AddQuadratic(0, 1, -3.0);
+  qubo.AddQuadratic(2, 3, -3.0);
+  qubo.AddQuadratic(4, 5, -3.0);
+  auto exact = SolveQuboBruteForce(qubo);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(23);
+  TabuOptions options;
+  options.num_restarts = 4;
+  const auto restarts = SolveQuboTabuSearch(qubo, options, rng);
+  EXPECT_NEAR(restarts.front().energy, exact->energy, 1e-9);
+}
+
+TEST(QuboTest, MaxAbsCoefficient) {
+  Qubo q(3);
+  q.AddLinear(0, -5.0);
+  q.AddQuadratic(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(q.MaxAbsCoefficient(), 5.0);
+}
+
+}  // namespace
+}  // namespace qjo

@@ -1,0 +1,452 @@
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "circuit/qaoa_builder.h"
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "sim/device.h"
+#include "sim/qaoa_analytic.h"
+#include "sim/qaoa_simulator.h"
+#include "sim/sqa.h"
+#include "sim/statevector.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+IsingModel RandomIsing(int n, double edge_probability, Rng& rng,
+                       bool with_fields = true) {
+  IsingModel ising;
+  ising.h.assign(n, 0.0);
+  if (with_fields) {
+    for (int i = 0; i < n; ++i) ising.h[i] = rng.UniformDouble(-1.0, 1.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        ising.couplings.emplace_back(i, j, rng.UniformDouble(-1.0, 1.0));
+      }
+    }
+  }
+  ising.offset = rng.UniformDouble(-0.5, 0.5);
+  return ising;
+}
+
+TEST(StateVectorTest, BellState) {
+  auto sv = StateVector::Create(2);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kH, 0));
+  sv->Apply(Gate::Two(GateType::kCx, 0, 1));
+  EXPECT_NEAR(sv->Probability(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(sv->Probability(0b11), 0.5, 1e-12);
+  EXPECT_NEAR(sv->Probability(0b01), 0.0, 1e-12);
+  EXPECT_NEAR(sv->ExpectationZZ(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(sv->ExpectationZ(0), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, GhzState) {
+  auto sv = StateVector::Create(4);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kH, 0));
+  for (int q = 0; q + 1 < 4; ++q) sv->Apply(Gate::Two(GateType::kCx, q, q + 1));
+  EXPECT_NEAR(sv->Probability(0b0000), 0.5, 1e-12);
+  EXPECT_NEAR(sv->Probability(0b1111), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, SxSquaredIsX) {
+  auto sv = StateVector::Create(1);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kSx, 0));
+  sv->Apply(Gate::Single(GateType::kSx, 0));
+  EXPECT_NEAR(sv->Probability(1), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, RzzIsDiagonalPhase) {
+  // On |++>, RZZ must not change probabilities but must change relative
+  // phases, visible after a Hadamard basis change.
+  auto sv = StateVector::Create(2);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kH, 0));
+  sv->Apply(Gate::Single(GateType::kH, 1));
+  sv->Apply(Gate::Two(GateType::kRzz, 0, 1, kPi));
+  for (uint64_t b = 0; b < 4; ++b) {
+    EXPECT_NEAR(sv->Probability(b), 0.25, 1e-12);
+  }
+  sv->Apply(Gate::Single(GateType::kH, 0));
+  sv->Apply(Gate::Single(GateType::kH, 1));
+  // RZZ(pi) on |++> gives (|01>+|10>)-type correlations after H x H.
+  EXPECT_NEAR(sv->Probability(0b00), 0.0, 1e-9);
+}
+
+TEST(StateVectorTest, MsOnZeroZero) {
+  auto sv = StateVector::Create(2);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Two(GateType::kMs, 0, 1, kPi / 2));
+  // XX(pi/2)|00> = (|00> - i|11>)/sqrt(2).
+  EXPECT_NEAR(sv->Probability(0b00), 0.5, 1e-12);
+  EXPECT_NEAR(sv->Probability(0b11), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, SwapGate) {
+  auto sv = StateVector::Create(2);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kX, 0));
+  sv->Apply(Gate::Two(GateType::kSwap, 0, 1));
+  EXPECT_NEAR(sv->Probability(0b10), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, SamplingMatchesDistribution) {
+  auto sv = StateVector::Create(2);
+  ASSERT_TRUE(sv.ok());
+  sv->Apply(Gate::Single(GateType::kRy, 0, 2.0 * std::asin(std::sqrt(0.3))));
+  Rng rng(7);
+  const auto samples = sv->Sample(20000, rng);
+  int ones = 0;
+  for (uint64_t s : samples) ones += static_cast<int>(s & 1);
+  EXPECT_NEAR(static_cast<double>(ones) / samples.size(), 0.3, 0.02);
+}
+
+TEST(StateVectorTest, RejectsBadSizes) {
+  EXPECT_FALSE(StateVector::Create(0).ok());
+  EXPECT_FALSE(StateVector::Create(29).ok());
+}
+
+TEST(QaoaSimulatorTest, CostSpectrumMatchesIsingEnergy) {
+  Rng rng(11);
+  const IsingModel ising = RandomIsing(8, 0.5, rng);
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  for (uint64_t x = 0; x < 256; x += 17) {
+    std::vector<int> spins(8);
+    for (int i = 0; i < 8; ++i) spins[i] = (x >> i) & 1 ? -1 : 1;
+    EXPECT_NEAR(sim->cost_spectrum()[x], ising.Energy(spins), 1e-4);
+  }
+}
+
+TEST(QaoaSimulatorTest, MatchesDenseSimulatorProbabilities) {
+  Rng rng(13);
+  const IsingModel ising = RandomIsing(6, 0.5, rng);
+  QaoaParameters params{{0.35}, {0.8}};
+
+  auto fast = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(fast.ok());
+  fast->Run(params);
+
+  auto circuit = BuildQaoaCircuit(ising, params);
+  ASSERT_TRUE(circuit.ok());
+  auto dense = StateVector::Create(6);
+  ASSERT_TRUE(dense.ok());
+  dense->ApplyCircuit(*circuit);
+
+  for (uint64_t x = 0; x < 64; ++x) {
+    EXPECT_NEAR(fast->Probability(x), dense->Probability(x), 1e-5)
+        << "x=" << x;
+  }
+}
+
+TEST(QaoaSimulatorTest, ExpectationMatchesDense) {
+  Rng rng(17);
+  const IsingModel ising = RandomIsing(7, 0.4, rng);
+  QaoaParameters params{{0.2}, {1.1}};
+  auto fast = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(fast.ok());
+  const double fast_expectation = fast->Run(params);
+
+  auto circuit = BuildQaoaCircuit(ising, params);
+  ASSERT_TRUE(circuit.ok());
+  auto dense = StateVector::Create(7);
+  ASSERT_TRUE(dense.ok());
+  dense->ApplyCircuit(*circuit);
+  double dense_expectation = ising.offset;
+  for (int i = 0; i < 7; ++i) {
+    dense_expectation += ising.h[i] * dense->ExpectationZ(i);
+  }
+  for (const auto& [i, j, w] : ising.couplings) {
+    dense_expectation += w * dense->ExpectationZZ(i, j);
+  }
+  EXPECT_NEAR(fast_expectation, dense_expectation, 1e-4);
+}
+
+TEST(QaoaSimulatorTest, MatchesDenseSimulatorAtPTwo) {
+  Rng rng(14);
+  const IsingModel ising = RandomIsing(5, 0.6, rng);
+  QaoaParameters params{{0.3, 0.15}, {0.9, 0.45}};
+  auto fast = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(fast.ok());
+  fast->Run(params);
+  auto circuit = BuildQaoaCircuit(ising, params);
+  ASSERT_TRUE(circuit.ok());
+  auto dense = StateVector::Create(5);
+  ASSERT_TRUE(dense.ok());
+  dense->ApplyCircuit(*circuit);
+  for (uint64_t x = 0; x < 32; ++x) {
+    EXPECT_NEAR(fast->Probability(x), dense->Probability(x), 1e-5);
+  }
+}
+
+TEST(QaoaSimulatorTest, MinCostMatchesEnumeration) {
+  Rng rng(15);
+  const IsingModel ising = RandomIsing(9, 0.5, rng);
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  double ground = 1e300;
+  for (uint64_t x = 0; x < 512; ++x) {
+    std::vector<int> spins(9);
+    for (int i = 0; i < 9; ++i) spins[i] = (x >> i) & 1 ? -1 : 1;
+    ground = std::min(ground, ising.Energy(spins));
+  }
+  uint64_t argmin = 0;
+  EXPECT_NEAR(sim->MinCost(&argmin), ground, 1e-4);
+  EXPECT_NEAR(sim->cost_spectrum()[argmin], ground, 1e-4);
+}
+
+TEST(QaoaSimulatorTest, PartialFidelityInterpolates) {
+  Rng rng(16);
+  // Strongly biased Hamiltonian: optimal QAOA mass concentrates.
+  IsingModel ising;
+  ising.h = {2.0, 2.0, 2.0, 2.0};  // ground state: all spins -1 (bits 1111)
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  QaoaParameters params{{0.5}, {0.8}};
+  sim->Run(params);
+  // Interpolation target: the most likely state of the ideal distribution.
+  uint64_t mode = 0;
+  for (uint64_t x = 1; x < 16; ++x) {
+    if (sim->Probability(x) > sim->Probability(mode)) mode = x;
+  }
+  auto mass_on_mode = [&](double fidelity, uint64_t seed) {
+    Rng local(seed);
+    const auto samples = sim->Sample(8000, fidelity, local);
+    int hits = 0;
+    for (uint64_t s : samples) {
+      if (s == mode) ++hits;
+    }
+    return static_cast<double>(hits) / samples.size();
+  };
+  const double ideal = mass_on_mode(1.0, 1);
+  const double half = mass_on_mode(0.5, 2);
+  const double none = mass_on_mode(0.0, 3);
+  EXPECT_NEAR(ideal, sim->Probability(mode), 0.02);
+  EXPECT_NEAR(none, 1.0 / 16, 0.02);
+  EXPECT_NEAR(half, 0.5 * ideal + 0.5 / 16, 0.03);
+  EXPECT_GT(ideal, none);
+}
+
+TEST(QaoaSimulatorTest, FullDepolarisationIsUniform) {
+  Rng rng(19);
+  const IsingModel ising = RandomIsing(4, 0.6, rng);
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  sim->Run(QaoaParameters{{0.3}, {0.4}});
+  const auto samples = sim->Sample(16000, 0.0, rng);
+  std::map<uint64_t, int> histogram;
+  for (uint64_t s : samples) ++histogram[s];
+  for (const auto& [basis, count] : histogram) {
+    (void)basis;
+    EXPECT_NEAR(static_cast<double>(count) / samples.size(), 1.0 / 16, 0.02);
+  }
+}
+
+/// The central validation: the closed-form p=1 expectations agree with the
+/// dense simulator on random Ising instances with fields.
+struct AnalyticCase {
+  int n;
+  double edge_probability;
+  bool with_fields;
+  uint64_t seed;
+};
+
+class AnalyticQaoaTest : public ::testing::TestWithParam<AnalyticCase> {};
+
+TEST_P(AnalyticQaoaTest, MatchesDenseSimulator) {
+  const AnalyticCase& c = GetParam();
+  Rng rng(c.seed);
+  const IsingModel ising =
+      RandomIsing(c.n, c.edge_probability, rng, c.with_fields);
+  for (const auto& [gamma, beta] :
+       std::vector<std::pair<double, double>>{
+           {0.3, 0.7}, {0.9, 0.2}, {-0.4, 1.3}, {0.05, 2.7}}) {
+    QaoaParameters params{{gamma}, {beta}};
+    auto circuit = BuildQaoaCircuit(ising, params);
+    ASSERT_TRUE(circuit.ok());
+    auto dense = StateVector::Create(c.n);
+    ASSERT_TRUE(dense.ok());
+    dense->ApplyCircuit(*circuit);
+
+    for (int i = 0; i < c.n; ++i) {
+      EXPECT_NEAR(AnalyticExpectationZ(ising, i, gamma, beta),
+                  dense->ExpectationZ(i), 1e-9)
+          << "Z_" << i << " gamma=" << gamma << " beta=" << beta;
+    }
+    for (int i = 0; i < c.n; ++i) {
+      for (int j = i + 1; j < c.n; ++j) {
+        EXPECT_NEAR(AnalyticExpectationZZ(ising, i, j, gamma, beta),
+                    dense->ExpectationZZ(i, j), 1e-9)
+            << "Z_" << i << "Z_" << j << " gamma=" << gamma
+            << " beta=" << beta;
+      }
+    }
+    double dense_expectation = ising.offset;
+    for (int i = 0; i < c.n; ++i) {
+      dense_expectation += ising.h[i] * dense->ExpectationZ(i);
+    }
+    for (const auto& [i, j, w] : ising.couplings) {
+      dense_expectation += w * dense->ExpectationZZ(i, j);
+    }
+    EXPECT_NEAR(AnalyticQaoaExpectation(ising, gamma, beta),
+                dense_expectation, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalyticQaoaTest,
+    ::testing::Values(AnalyticCase{2, 1.0, true, 21},
+                      AnalyticCase{3, 1.0, true, 22},
+                      AnalyticCase{4, 0.5, true, 23},
+                      AnalyticCase{5, 0.6, true, 24},
+                      AnalyticCase{6, 0.4, true, 25},
+                      AnalyticCase{6, 0.4, false, 26},
+                      AnalyticCase{7, 0.3, true, 27}));
+
+TEST(QaoaOptimizerTest, ImprovesOverRandomAngles) {
+  Rng rng(31);
+  const IsingModel ising = RandomIsing(8, 0.4, rng);
+  const QaoaAngles angles = OptimizeQaoaAngles(ising, 30, rng);
+  // Compare against the average over random angles.
+  double random_mean = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    random_mean += AnalyticQaoaExpectation(
+        ising, rng.UniformDouble(0.0, 2.0), rng.UniformDouble(0.0, kPi));
+  }
+  random_mean /= trials;
+  EXPECT_LT(angles.expectation, random_mean);
+  EXPECT_NEAR(angles.expectation,
+              AnalyticQaoaExpectation(ising, angles.gamma, angles.beta),
+              1e-9);
+}
+
+TEST(DeviceTest, PaperCalibrationValues) {
+  const DeviceProperties auckland = IbmAucklandProperties();
+  EXPECT_DOUBLE_EQ(auckland.t1_us, 151.13);
+  EXPECT_DOUBLE_EQ(auckland.t2_us, 138.72);
+  // d = floor(min(T1,T2)/g_avg) = floor(138720/472.51) = 293.
+  EXPECT_EQ(auckland.MaxFeasibleDepth(), 293);
+  const DeviceProperties washington = IbmWashingtonProperties();
+  // floor(92810/550.41) = 168: larger machine, *smaller* feasible depth.
+  EXPECT_EQ(washington.MaxFeasibleDepth(), 168);
+  EXPECT_LT(washington.MaxFeasibleDepth(), auckland.MaxFeasibleDepth());
+}
+
+TEST(DeviceTest, FidelityDecreasesWithDepth) {
+  const DeviceProperties device = IbmAucklandProperties();
+  QuantumCircuit shallow(2);
+  shallow.H(0);
+  shallow.Cx(0, 1);
+  QuantumCircuit deep(2);
+  for (int i = 0; i < 200; ++i) deep.Cx(0, 1);
+  const double f_shallow = EstimateCircuitFidelity(shallow, device);
+  const double f_deep = EstimateCircuitFidelity(deep, device);
+  EXPECT_GT(f_shallow, f_deep);
+  EXPECT_GT(f_shallow, 0.95);
+  EXPECT_LT(f_deep, 0.5);
+  EXPECT_GE(f_deep, 0.0);
+}
+
+TEST(DeviceTest, QpuTimingsShapeMatchesPaper) {
+  // t_qpu must be orders of magnitude above t_s, and problem size must
+  // barely matter (Sec. 4.2.1).
+  const DeviceProperties device = IbmAucklandProperties();
+  QuantumCircuit small(18);
+  for (int i = 0; i < 50; ++i) small.Cx(i % 18, (i + 1) % 18);
+  QuantumCircuit large(27);
+  for (int i = 0; i < 120; ++i) large.Cx(i % 27, (i + 1) % 27);
+  const QpuTimings t_small = EstimateQpuTimings(small, 1024, device);
+  const QpuTimings t_large = EstimateQpuTimings(large, 1024, device);
+  EXPECT_GT(t_small.total_s * 1000.0, 20.0 * t_small.sampling_ms);
+  EXPECT_LT(t_large.total_s / t_small.total_s, 1.2);
+  EXPECT_GT(t_large.sampling_ms, t_small.sampling_ms);
+}
+
+TEST(SqaTest, SolvesFerromagneticChain) {
+  // Ground states of a ferromagnetic chain are all-up / all-down.
+  IsingModel ising;
+  const int n = 16;
+  ising.h.assign(n, 0.0);
+  for (int i = 0; i + 1 < n; ++i) ising.couplings.emplace_back(i, i + 1, -1.0);
+  SqaOptions options;
+  options.num_reads = 20;
+  options.annealing_time_us = 20.0;
+  options.sweeps_per_us = 10.0;
+  Rng rng(37);
+  auto samples = RunSqa(ising, options, rng);
+  ASSERT_TRUE(samples.ok());
+  int ground_hits = 0;
+  for (const SqaSample& s : *samples) {
+    EXPECT_NEAR(s.energy, ising.Energy(s.spins), 1e-9);
+    if (s.energy <= -(n - 1) + 1e-9) ++ground_hits;
+  }
+  EXPECT_GT(ground_hits, 10);
+}
+
+TEST(SqaTest, SolvesSmallFrustratedProblem) {
+  Rng rng(41);
+  const IsingModel ising = RandomIsing(10, 0.5, rng);
+  // Exact ground state by enumeration.
+  double ground = 1e300;
+  for (uint64_t x = 0; x < 1024; ++x) {
+    std::vector<int> spins(10);
+    for (int i = 0; i < 10; ++i) spins[i] = (x >> i) & 1 ? -1 : 1;
+    ground = std::min(ground, ising.Energy(spins));
+  }
+  SqaOptions options;
+  options.num_reads = 30;
+  options.annealing_time_us = 50.0;
+  options.sweeps_per_us = 10.0;
+  auto samples = RunSqa(ising, options, rng);
+  ASSERT_TRUE(samples.ok());
+  double best = 1e300;
+  for (const SqaSample& s : *samples) best = std::min(best, s.energy);
+  EXPECT_NEAR(best, ground, 1e-6);
+}
+
+TEST(SqaTest, IceNoiseDegradesSolutionQuality) {
+  Rng rng(43);
+  const IsingModel ising = RandomIsing(14, 0.4, rng);
+  SqaOptions clean;
+  clean.num_reads = 40;
+  clean.annealing_time_us = 30.0;
+  SqaOptions noisy = clean;
+  noisy.ice_sigma = 0.5;  // heavy control noise
+  Rng rng_clean(47), rng_noisy(47);
+  auto clean_samples = RunSqa(ising, clean, rng_clean);
+  auto noisy_samples = RunSqa(ising, noisy, rng_noisy);
+  ASSERT_TRUE(clean_samples.ok());
+  ASSERT_TRUE(noisy_samples.ok());
+  double clean_mean = 0.0, noisy_mean = 0.0;
+  for (const auto& s : *clean_samples) clean_mean += s.energy;
+  for (const auto& s : *noisy_samples) noisy_mean += s.energy;
+  EXPECT_LT(clean_mean, noisy_mean);
+}
+
+TEST(SqaTest, RejectsBadOptions) {
+  IsingModel empty;
+  SqaOptions options;
+  Rng rng(53);
+  EXPECT_FALSE(RunSqa(empty, options, rng).ok());
+  IsingModel one;
+  one.h = {1.0};
+  options.num_reads = 0;
+  EXPECT_FALSE(RunSqa(one, options, rng).ok());
+  options.num_reads = 1;
+  options.trotter_slices = 1;
+  EXPECT_FALSE(RunSqa(one, options, rng).ok());
+}
+
+}  // namespace
+}  // namespace qjo

@@ -1,0 +1,215 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "topology/coupling_graph.h"
+#include "topology/density.h"
+#include "topology/vendor_topologies.h"
+#include "util/random.h"
+
+namespace qjo {
+namespace {
+
+TEST(CouplingGraphTest, BasicEdgeBookkeeping) {
+  CouplingGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // duplicate ignored
+  g.AddEdge(2, 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.Degree(1), 1);
+}
+
+TEST(CouplingGraphTest, BfsDistancesAndConnectivity) {
+  CouplingGraph g = MakeLineGraph(5);
+  const auto dist = g.BfsDistances(0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_TRUE(g.IsConnected());
+  CouplingGraph disconnected(3);
+  disconnected.AddEdge(0, 1);
+  EXPECT_FALSE(disconnected.IsConnected());
+  EXPECT_EQ(disconnected.BfsDistances(0)[2], -1);
+}
+
+TEST(CouplingGraphTest, CompleteGraphDensityIsOne) {
+  const CouplingGraph g = MakeCompleteGraph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_DOUBLE_EQ(g.Density(), 1.0);
+  EXPECT_EQ(g.MaxDegree(), 5);
+}
+
+TEST(CouplingGraphTest, GridGraphStructure) {
+  const CouplingGraph g = MakeGridGraph(3, 4);
+  EXPECT_EQ(g.num_qubits(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_EQ(g.MaxDegree(), 4);
+}
+
+TEST(VendorTest, Falcon27MatchesPublishedLayout) {
+  const CouplingGraph g = MakeIbmFalcon27();
+  EXPECT_EQ(g.num_qubits(), 27);
+  EXPECT_EQ(g.num_edges(), 28);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_LE(g.MaxDegree(), 3);  // heavy-hex property
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(25, 26));
+}
+
+TEST(VendorTest, Eagle127MatchesWashington) {
+  const CouplingGraph g = MakeIbmEagle127();
+  EXPECT_EQ(g.num_qubits(), 127);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_LE(g.MaxDegree(), 3);
+  // Heavy-hex 7x15: 96 row edges + 24 bridges * 2.
+  EXPECT_EQ(g.num_edges(), 144);
+}
+
+TEST(VendorTest, HeavyHexValidation) {
+  EXPECT_FALSE(MakeIbmHeavyHex(4, 15).ok());  // even rows
+  EXPECT_FALSE(MakeIbmHeavyHex(7, 14).ok());  // not 4k+3
+  EXPECT_FALSE(MakeIbmHeavyHex(1, 15).ok());  // too few rows
+  auto g = MakeIbmHeavyHex(9, 19);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsConnected());
+  EXPECT_LE(g->MaxDegree(), 3);
+}
+
+TEST(VendorTest, HeavyHexExtrapolationGrows) {
+  const CouplingGraph small = MakeIbmHeavyHexAtLeast(127);
+  EXPECT_GE(small.num_qubits(), 127);
+  const CouplingGraph big = MakeIbmHeavyHexAtLeast(400);
+  EXPECT_GE(big.num_qubits(), 400);
+  EXPECT_GT(big.num_qubits(), small.num_qubits());
+  EXPECT_TRUE(big.IsConnected());
+  EXPECT_LE(big.MaxDegree(), 3);
+}
+
+TEST(VendorTest, RigettiAspenM) {
+  auto g = MakeRigettiAspen(2, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_qubits(), 80);
+  EXPECT_TRUE(g->IsConnected());
+  // Ring edges + inter-octagon couplers: 80 + (horizontal 2*4*2) +
+  // (vertical 1*5*2).
+  EXPECT_EQ(g->num_edges(), 80 + 16 + 10);
+  EXPECT_LE(g->MaxDegree(), 4);
+}
+
+TEST(VendorTest, RigettiExtrapolationGrows) {
+  const CouplingGraph g = MakeRigettiAspenAtLeast(200);
+  EXPECT_GE(g.num_qubits(), 200);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(VendorTest, PegasusSizes) {
+  for (int m : {2, 3, 6}) {
+    auto g = MakePegasus(m);
+    ASSERT_TRUE(g.ok()) << m;
+    EXPECT_EQ(g->num_qubits(), 24 * m * (m - 1)) << m;
+    EXPECT_LE(g->MaxDegree(), 15) << m;
+  }
+  EXPECT_FALSE(MakePegasus(1).ok());
+}
+
+TEST(VendorTest, PegasusP16MatchesAdvantageScale) {
+  auto g = MakePegasus(16);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_qubits(), 5760);  // ideal working graph
+  EXPECT_LE(g->MaxDegree(), 15);
+  // The ideal P16 has ~40k couplers (the real Advantage reports 40279+
+  // after defects). Interior qubits reach the full degree 15.
+  EXPECT_GT(g->num_edges(), 38000);
+  EXPECT_LT(g->num_edges(), 42000);
+  EXPECT_EQ(g->MaxDegree(), 15);
+}
+
+TEST(VendorTest, PegasusDegreeComposition) {
+  // In P_m, interior qubits have 12 internal + 2 external + 1 odd coupler;
+  // the interior fraction grows with m (43% at P6, 78% at P16).
+  auto g = MakePegasus(6);
+  ASSERT_TRUE(g.ok());
+  int full_degree = 0;
+  for (int q = 0; q < g->num_qubits(); ++q) {
+    if (g->Degree(q) == 15) ++full_degree;
+  }
+  EXPECT_GT(full_degree, g->num_qubits() / 4);
+}
+
+TEST(VendorTest, ChimeraStructure) {
+  auto g = MakeChimera(4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_qubits(), 8 * 16);
+  EXPECT_TRUE(g->IsConnected());
+  EXPECT_LE(g->MaxDegree(), 6);
+  // Edges: 16 cells x 16 internal + vertical 4*4*3 + horizontal 4*4*3.
+  EXPECT_EQ(g->num_edges(), 16 * 16 + 48 + 48);
+  EXPECT_FALSE(MakeChimera(0).ok());
+  // Pegasus is strictly better connected than Chimera of comparable size.
+  auto pegasus = MakePegasus(4);
+  ASSERT_TRUE(pegasus.ok());
+  EXPECT_GT(pegasus->AverageDegree(), g->AverageDegree());
+}
+
+TEST(DensityTest, ZeroKeepsBaseline) {
+  Rng rng(3);
+  const CouplingGraph base = MakeIbmFalcon27();
+  auto g = ExtrapolateDensity(base, 0.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), base.num_edges());
+}
+
+TEST(DensityTest, OneGivesCompleteMesh) {
+  Rng rng(4);
+  const CouplingGraph base = MakeIbmFalcon27();
+  auto g = ExtrapolateDensity(base, 1.0, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 27 * 26 / 2);
+}
+
+TEST(DensityTest, InterpolatesEdgeCount) {
+  Rng rng(5);
+  const CouplingGraph base = MakeIbmFalcon27();
+  const int missing = 27 * 26 / 2 - base.num_edges();
+  for (double d : {0.05, 0.1, 0.5, 0.75}) {
+    auto g = ExtrapolateDensity(base, d, rng);
+    ASSERT_TRUE(g.ok());
+    EXPECT_EQ(g->num_edges() - base.num_edges(),
+              static_cast<int>(std::llround(d * missing)));
+    // Base edges are preserved.
+    for (const auto& [a, b] : base.Edges()) {
+      EXPECT_TRUE(g->HasEdge(a, b));
+    }
+  }
+}
+
+TEST(DensityTest, PrefersShortDistancePairsFirst) {
+  Rng rng(6);
+  const CouplingGraph base = MakeLineGraph(20);
+  // Adding a few edges at low density must only create distance-2 links.
+  auto g = ExtrapolateDensity(base, 0.05, rng);
+  ASSERT_TRUE(g.ok());
+  const auto dist = base.AllPairsDistances();
+  for (const auto& [a, b] : g->Edges()) {
+    if (!base.HasEdge(a, b)) {
+      EXPECT_EQ(dist[a][b], 2);
+    }
+  }
+}
+
+TEST(DensityTest, RejectsBadInputs) {
+  Rng rng(7);
+  const CouplingGraph base = MakeLineGraph(5);
+  EXPECT_FALSE(ExtrapolateDensity(base, -0.1, rng).ok());
+  EXPECT_FALSE(ExtrapolateDensity(base, 1.1, rng).ok());
+  CouplingGraph disconnected(4);
+  disconnected.AddEdge(0, 1);
+  EXPECT_FALSE(ExtrapolateDensity(disconnected, 0.5, rng).ok());
+}
+
+}  // namespace
+}  // namespace qjo
