@@ -2,7 +2,9 @@
 // the paper tuned per problem size; (b) Chimera (2000Q generation) vs
 // Pegasus (Advantage) embedding sizes — topology co-design for annealers.
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/quantum_optimizer.h"
@@ -24,6 +26,8 @@ void ChainStrengthSweep() {
   auto pegasus = MakePegasus(6);
   if (!pegasus.ok()) return;
   const int reads = bench::Scaled(400, 50);
+  long long total_reads = 0;
+  const auto sweep_start = std::chrono::steady_clock::now();
   for (double multiplier : {0.25, 0.5, 1.0, 2.0, 4.0}) {
     Rng gen_rng(31);
     QueryGenOptions gen;
@@ -40,16 +44,29 @@ void ChainStrengthSweep() {
     config.sqa.num_reads = reads;
     config.embed_qubo.chain_strength_multiplier = multiplier;
     config.seed = 41;
+    config.parallelism = bench::Parallelism();
     auto report = OptimizeJoinOrder(*query, config);
     if (!report.ok()) {
       std::printf("%12.2f | failed: %s\n", multiplier,
                   report.status().ToString().c_str());
       continue;
     }
+    total_reads += reads;
     std::printf("%12.2f | %8s %8s | %12s\n", multiplier,
                 FormatPercent(report->stats.valid_fraction(), 2).c_str(),
                 FormatPercent(report->stats.optimal_fraction(), 2).c_str(),
                 FormatPercent(report->mean_chain_break_fraction, 1).c_str());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_start)
+          .count();
+  if (total_reads > 0 && elapsed > 0.0) {
+    std::printf("throughput: %lld reads in %.1fs -> %.0f reads/sec "
+                "(parallelism %d, incl. embedding)\n",
+                total_reads, elapsed,
+                static_cast<double>(total_reads) / elapsed,
+                bench::Parallelism());
   }
   std::printf(
       "over-strong chains drown the problem Hamiltonian (quality falls);\n"
@@ -108,10 +125,55 @@ void TopologyGenerationSweep() {
       "degree-6 Chimera — the annealer-side co-design story.\n");
 }
 
+void BatchThroughput() {
+  std::printf("\n[c] batched pipeline runs (OptimizeJoinOrderBatch, "
+              "annealer backend)\n");
+  auto pegasus = MakePegasus(6);
+  if (!pegasus.ok()) return;
+  std::vector<Query> queries;
+  for (QueryGraphType type : {QueryGraphType::kChain, QueryGraphType::kStar,
+                              QueryGraphType::kCycle, QueryGraphType::kChain}) {
+    Rng gen_rng(600 + static_cast<int>(queries.size()));
+    QueryGenOptions gen;
+    gen.num_relations = 4;
+    gen.graph_type = type;
+    gen.min_log_card = 2.0;
+    gen.max_log_card = 4.0;
+    auto query = GenerateQuery(gen, gen_rng);
+    if (query.ok()) queries.push_back(*query);
+  }
+  if (queries.empty()) return;
+  const int reads = bench::Scaled(200, 50);
+  QjoConfig config;
+  config.backend = QjoBackend::kQuantumAnnealerSim;
+  config.num_thresholds = 1;
+  config.annealer_topology = *pegasus;
+  config.sqa.num_reads = reads;
+  config.seed = 43;
+  const int parallelism = bench::Parallelism();
+  const auto start = std::chrono::steady_clock::now();
+  const auto reports = OptimizeJoinOrderBatch(queries, config, parallelism);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  int completed = 0;
+  for (const auto& report : reports) {
+    if (report.ok()) ++completed;
+  }
+  const long long total_reads =
+      static_cast<long long>(completed) * static_cast<long long>(reads);
+  std::printf("%d/%zu queries x %d reads in %.1fs -> %.0f reads/sec "
+              "(one pool of %d threads shared across queries and reads)\n",
+              completed, queries.size(), reads, elapsed,
+              elapsed > 0.0 ? static_cast<double>(total_reads) / elapsed : 0.0,
+              parallelism);
+}
+
 void Run() {
   bench::Banner("Ablation", "annealing knobs: chain strength & topology");
   ChainStrengthSweep();
   TopologyGenerationSweep();
+  BatchThroughput();
 }
 
 }  // namespace

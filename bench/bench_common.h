@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 namespace qjo::bench {
 
@@ -24,6 +25,23 @@ inline double Scale() {
 inline int Scaled(int base, int min_value = 1) {
   const int value = static_cast<int>(base * Scale());
   return value < min_value ? min_value : value;
+}
+
+/// Threads for the parallel read loops (SA / SQA), set via the
+/// QJO_BENCH_PARALLELISM environment variable; default = all hardware
+/// threads. Results are bit-identical for every value — only reads/sec
+/// changes — so benches report the value they ran with.
+inline int Parallelism() {
+  static const int parallelism = [] {
+    const char* env = std::getenv("QJO_BENCH_PARALLELISM");
+    if (env != nullptr) {
+      const int value = std::atoi(env);
+      if (value > 0) return value;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return parallelism;
 }
 
 /// Section banner mirroring the paper artefact being reproduced. Also

@@ -1,12 +1,18 @@
 // Google-benchmark microbenchmarks for the performance-critical substrate
 // operations: QUBO energy evaluation, state-vector gate application, QAOA
-// cost-spectrum construction, SWAP routing, SQA sweeps, and Pegasus
-// construction.
+// cost-spectrum construction, SWAP routing, SQA sweeps, Pegasus
+// construction, and the parallel read loops of the stochastic solvers
+// (items/sec = reads/sec; the per-read fan-out is the paper's classical
+// sampling bottleneck).
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "circuit/qaoa_builder.h"
+#include "core/quantum_optimizer.h"
 #include "embedding/minor_embedding.h"
+#include "jo/query_generator.h"
 #include "qubo/ising.h"
 #include "qubo/qubo.h"
 #include "qubo/solvers.h"
@@ -116,6 +122,111 @@ void BM_SqaRead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SqaRead)->Arg(32)->Arg(128)->Arg(512);
+
+// --- Parallel solver runtime: reads/sec across parallelism levels. ---
+// Every variant first checks that its sorted energies are bit-identical
+// to the serial run — the determinism contract of the runtime — and
+// fails the benchmark if not.
+
+SaOptions MakeSaReadOptions(int parallelism) {
+  SaOptions options;
+  options.num_reads = 1000;
+  options.sweeps_per_read = 64;
+  options.parallelism = parallelism;
+  return options;
+}
+
+void BM_SaReads(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const Qubo qubo = MakeRandomQubo(64, 0.2, 11);
+  static const std::vector<double> kSerialEnergies = [] {
+    const Qubo reference_qubo = MakeRandomQubo(64, 0.2, 11);
+    Rng rng(21);
+    const auto reads =
+        SolveQuboSimulatedAnnealing(reference_qubo, MakeSaReadOptions(1), rng);
+    std::vector<double> energies;
+    for (const auto& read : reads) energies.push_back(read.energy);
+    return energies;
+  }();
+  const SaOptions options = MakeSaReadOptions(parallelism);
+  {
+    Rng rng(21);
+    const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+    for (size_t i = 0; i < reads.size(); ++i) {
+      if (reads[i].energy != kSerialEnergies[i]) {
+        state.SkipWithError("energies not bit-identical to serial run");
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    Rng rng(21);
+    auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+    benchmark::DoNotOptimize(reads);
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_reads);
+}
+BENCHMARK(BM_SaReads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_TabuRestarts(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const Qubo qubo = MakeRandomQubo(64, 0.2, 13);
+  TabuOptions options;
+  options.num_restarts = 64;
+  options.iterations_per_restart = 400;
+  options.parallelism = parallelism;
+  for (auto _ : state) {
+    Rng rng(23);
+    auto restarts = SolveQuboTabuSearch(qubo, options, rng);
+    benchmark::DoNotOptimize(restarts);
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_restarts);
+}
+BENCHMARK(BM_TabuRestarts)->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_SqaReadsParallel(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  const IsingModel ising = QuboToIsing(MakeRandomQubo(96, 0.15, 17));
+  SqaOptions options;
+  options.num_reads = 64;
+  options.annealing_time_us = 10.0;
+  options.sweeps_per_us = 3.0;
+  options.trotter_slices = 8;
+  options.ice_sigma = 0.015;
+  options.parallelism = parallelism;
+  for (auto _ : state) {
+    Rng rng(27);
+    auto samples = RunSqa(ising, options, rng);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_reads);
+}
+BENCHMARK(BM_SqaReadsParallel)->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_JoinOrderBatch(benchmark::State& state) {
+  const int parallelism = static_cast<int>(state.range(0));
+  std::vector<Query> queries;
+  for (int q = 0; q < 8; ++q) {
+    Rng gen_rng(700 + q);
+    QueryGenOptions gen;
+    gen.num_relations = 4;
+    gen.graph_type = QueryGraphType::kChain;
+    gen.min_log_card = 1.0;
+    gen.max_log_card = 2.0;
+    auto query = GenerateQuery(gen, gen_rng);
+    if (query.ok()) queries.push_back(*query);
+  }
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 512;
+  config.seed = 29;
+  for (auto _ : state) {
+    auto reports = OptimizeJoinOrderBatch(queries, config, parallelism);
+    benchmark::DoNotOptimize(reports);
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_JoinOrderBatch)->Arg(1)->Arg(8)->UseRealTime();
 
 void BM_PegasusConstruction(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

@@ -5,7 +5,7 @@
 //   qjo_cli [--relations N] [--graph chain|star|cycle|clique]
 //           [--predicates P] [--backend exact|sa|qaoa|annealer]
 //           [--thresholds R] [--omega W] [--shots S] [--seed X]
-//           [--noiseless] [--verbose]
+//           [--parallelism T] [--noiseless] [--verbose]
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +28,7 @@ struct CliArgs {
   double omega = 1.0;
   int shots = 1024;
   uint64_t seed = 42;
+  int parallelism = 1;
   bool noiseless = false;
   bool verbose = false;
 };
@@ -48,6 +49,8 @@ void PrintHelp() {
       "  --omega W         discretisation precision (default 1.0)\n"
       "  --shots S         samples/reads for stochastic backends\n"
       "  --seed X          RNG seed (default 42)\n"
+      "  --parallelism T   threads for the sa/annealer read loops\n"
+      "                    (default 1; results are identical for any T)\n"
       "  --noiseless       disable the QAOA noise model\n"
       "  --verbose         print the query and classical baselines\n");
 }
@@ -77,6 +80,7 @@ int RunCli(const CliArgs& args) {
   config.sqa.num_reads = args.shots;
   config.noiseless = args.noiseless;
   config.seed = args.seed;
+  config.parallelism = args.parallelism;
 
   auto report = OptimizeJoinOrder(*query, config);
   if (!report.ok()) {
@@ -168,6 +172,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--seed needs a value");
       args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--parallelism") {
+      const char* v = next();
+      if (!v) return Fail("--parallelism needs a value");
+      args.parallelism = std::atoi(v);
+      if (args.parallelism < 1) return Fail("--parallelism must be >= 1");
     } else if (flag == "--noiseless") {
       args.noiseless = true;
     } else if (flag == "--verbose") {

@@ -1,5 +1,7 @@
 #include "core/quantum_optimizer.h"
 
+#include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "circuit/qaoa_builder.h"
@@ -11,6 +13,7 @@
 #include "topology/vendor_topologies.h"
 #include "util/check.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 
@@ -117,12 +120,23 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     case QjoBackend::kSimulatedAnnealing: {
       SaOptions sa;
       sa.num_reads = std::max(1, config.shots / 8);
+      sa.parallelism = config.parallelism;
+      sa.pool = config.pool;
       const std::vector<QuboSolution> reads =
           SolveQuboSimulatedAnnealing(encoding.qubo, sa, rng);
       for (const auto& read : reads) samples.push_back(read.assignment);
       break;
     }
     case QjoBackend::kQaoaSimulator: {
+      // Sampled basis states are decoded through a uint64_t, so anything
+      // past 64 logical variables would silently truncate to garbage
+      // bits; fail loudly instead. (The simulator's own memory limit is
+      // far below this — the check documents the decode boundary.)
+      if (bilp.num_variables() > 64) {
+        return Status::ResourceExhausted(
+            "QAOA backend supports at most 64 logical variables (basis "
+            "states are decoded from uint64_t)");
+      }
       const IsingModel ising = QuboToIsing(encoding.qubo);
       QJO_ASSIGN_OR_RETURN(QaoaSimulator sim, QaoaSimulator::Create(ising));
       const QaoaAngles angles =
@@ -181,8 +195,11 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       report.chain_strength = embedded.chain_strength;
 
       const IsingModel physical_ising = QuboToIsing(embedded.physical);
+      SqaOptions sqa = config.sqa;
+      if (sqa.parallelism <= 1) sqa.parallelism = config.parallelism;
+      if (sqa.pool == nullptr) sqa.pool = config.pool;
       QJO_ASSIGN_OR_RETURN(std::vector<SqaSample> reads,
-                           RunSqa(physical_ising, config.sqa, rng));
+                           RunSqa(physical_ising, sqa, rng));
       double chain_breaks = 0.0;
       for (const SqaSample& read : reads) {
         const UnembeddedSample logical =
@@ -203,6 +220,35 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   report.best_order = report.stats.best_order;
   report.best_cost = report.stats.best_cost;
   return report;
+}
+
+std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
+    std::span<const Query> queries, const QjoConfig& config,
+    int parallelism) {
+  std::vector<StatusOr<QjoReport>> reports(
+      queries.size(), Status::Internal("batch slot not executed"));
+  if (queries.empty()) return reports;
+
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = config.pool;
+  if (pool == nullptr && parallelism > 1) {
+    owned_pool.emplace(parallelism);
+    pool = &*owned_pool;
+  }
+
+  // Every query sees the same pool, both for the query-level fan-out and
+  // for its inner read loops (nested ParallelFor is safe): whichever
+  // level has the most work soaks up the threads. Per-query results do
+  // not depend on this sharing — seed-splitting makes them bit-identical
+  // to a serial one-by-one run.
+  QjoConfig per_query = config;
+  per_query.pool = pool;
+  per_query.parallelism = std::max(config.parallelism, parallelism);
+  ParallelFor(pool, 0, static_cast<int64_t>(queries.size()),
+              [&](int64_t i) {
+                reports[i] = OptimizeJoinOrder(queries[i], per_query);
+              });
+  return reports;
 }
 
 }  // namespace qjo

@@ -2,6 +2,7 @@
 #define QJO_CORE_QUANTUM_OPTIMIZER_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "util/statusor.h"
 
 namespace qjo {
+
+class ThreadPool;
 
 /// Execution backends of the quantum join-ordering pipeline.
 enum class QjoBackend {
@@ -48,6 +51,15 @@ struct QjoConfig {
   double omega = 1.0;
 
   uint64_t seed = 7;
+
+  /// Threads for the per-read loops of the stochastic backends (SA reads,
+  /// SQA anneals). 1 = serial. Reports are bit-identical for every value:
+  /// each read forks its own RNG stream and fills its own result slot.
+  int parallelism = 1;
+  /// Optional externally-owned pool shared across pipeline runs (set by
+  /// OptimizeJoinOrderBatch; not owned). Null = solvers create transient
+  /// pools when `parallelism` > 1.
+  ThreadPool* pool = nullptr;
 
   // --- Gate-based options. ---
   int shots = 1024;
@@ -110,6 +122,15 @@ struct QjoReport {
 /// many logical qubits for the QAOA simulator, or no embedding found).
 StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
                                       const QjoConfig& config);
+
+/// Batch front door: optimises every query of `queries` under the same
+/// `config`, sharing one thread pool of `parallelism` threads across
+/// queries *and* their inner read loops (whichever level has work). Slot
+/// i holds exactly what OptimizeJoinOrder(queries[i], config) returns —
+/// per-query failures land in their slot instead of failing the batch,
+/// and results are bit-identical to one-by-one serial runs.
+std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
+    std::span<const Query> queries, const QjoConfig& config, int parallelism);
 
 }  // namespace qjo
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "util/check.h"
 
@@ -10,7 +11,8 @@ namespace qjo {
 namespace {
 
 /// Dense adjacency representation used by both solvers for O(degree)
-/// energy-delta computation.
+/// energy-delta computation. Read-only after construction, so one
+/// instance is safely shared by all reads of a parallel solve.
 struct LocalFieldModel {
   explicit LocalFieldModel(const Qubo& qubo)
       : linear(qubo.num_variables()),
@@ -35,13 +37,37 @@ struct LocalFieldModel {
   std::vector<std::vector<std::pair<int, double>>> neighbors;
 };
 
+/// Resolves the pool to run a per-read loop on: the caller-supplied
+/// shared pool if any, a transient local pool when parallelism asks for
+/// one, or null (serial) otherwise.
+ThreadPool* ResolvePool(ThreadPool* shared, int parallelism,
+                        std::optional<ThreadPool>& local) {
+  if (shared != nullptr) return shared;
+  if (parallelism > 1) {
+    local.emplace(parallelism);
+    return &*local;
+  }
+  return nullptr;
+}
+
+void SortByEnergy(std::vector<QuboSolution>& solutions) {
+  std::sort(solutions.begin(), solutions.end(),
+            [](const QuboSolution& a, const QuboSolution& b) {
+              return a.energy < b.energy;
+            });
+}
+
 }  // namespace
 
 StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
                                            int max_variables) {
   const int n = qubo.num_variables();
   if (n == 0) return Status::InvalidArgument("empty QUBO");
-  if (n > max_variables) {
+  // The Gray-code walk enumerates 2^n states in a uint64_t; n == 64 would
+  // shift by the full word width (undefined behaviour), so the cap is
+  // clamped to 63 regardless of what the caller asks for.
+  const int effective_max = std::min(max_variables, 63);
+  if (n > effective_max) {
     return Status::ResourceExhausted("too many variables for brute force");
   }
   LocalFieldModel model(qubo);
@@ -62,47 +88,65 @@ StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
   return best;
 }
 
+SaSchedule ResolveSaSchedule(const Qubo& qubo, const SaOptions& options) {
+  QJO_CHECK_GT(options.sweeps_per_read, 0);
+  SaSchedule schedule;
+  schedule.t_initial = options.initial_temperature > 0.0
+                           ? options.initial_temperature
+                           : std::max(qubo.MaxAbsCoefficient(), 1.0);
+  schedule.t_final = options.final_temperature > 0.0
+                         ? options.final_temperature
+                         : 1e-3 * schedule.t_initial;
+  // Geometric schedule over sweeps 0..s-1 ending exactly at t_final:
+  // cooling^(s-1) = t_final / t_initial. A single sweep runs at t_initial
+  // (there is no interval to cool over).
+  schedule.cooling =
+      options.sweeps_per_read > 1
+          ? std::pow(schedule.t_final / schedule.t_initial,
+                     1.0 / static_cast<double>(options.sweeps_per_read - 1))
+          : 1.0;
+  return schedule;
+}
+
 std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
                                                       const SaOptions& options,
                                                       Rng& rng) {
   QJO_CHECK_GT(qubo.num_variables(), 0);
   QJO_CHECK_GT(options.num_reads, 0);
   QJO_CHECK_GT(options.sweeps_per_read, 0);
-  LocalFieldModel model(qubo);
+  const LocalFieldModel model(qubo);
   const int n = qubo.num_variables();
+  const SaSchedule schedule = ResolveSaSchedule(qubo, options);
 
-  double t_initial = options.initial_temperature;
-  if (t_initial <= 0.0) t_initial = std::max(qubo.MaxAbsCoefficient(), 1.0);
-  double t_final = options.final_temperature;
-  if (t_final <= 0.0) t_final = 1e-3 * t_initial;
-  const double cooling =
-      std::pow(t_final / t_initial,
-               1.0 / static_cast<double>(options.sweeps_per_read - 1 + 1));
-
-  std::vector<QuboSolution> reads;
-  reads.reserve(options.num_reads);
-  for (int read = 0; read < options.num_reads; ++read) {
+  // One draw from the shared generator keeps successive solver calls on
+  // the same Rng independent; every read then forks stream `read` off the
+  // resulting snapshot, so the set of reads is bit-identical for every
+  // parallelism level and thread interleaving.
+  const Rng base(rng.Next());
+  std::vector<QuboSolution> reads(options.num_reads);
+  const auto run_read = [&](int64_t read) {
+    Rng read_rng = base.Fork(static_cast<uint64_t>(read));
     std::vector<int> x(n);
-    for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    for (int i = 0; i < n; ++i) x[i] = read_rng.Bernoulli(0.5) ? 1 : 0;
     double energy = qubo.Energy(x);
-    double temperature = t_initial;
+    double temperature = schedule.t_initial;
     for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
       for (int i = 0; i < n; ++i) {
         const double delta = model.FlipDelta(x, i);
         if (delta <= 0.0 ||
-            rng.UniformDouble() < std::exp(-delta / temperature)) {
+            read_rng.UniformDouble() < std::exp(-delta / temperature)) {
           x[i] ^= 1;
           energy += delta;
         }
       }
-      temperature *= cooling;
+      temperature *= schedule.cooling;
     }
-    reads.push_back(QuboSolution{std::move(x), energy});
-  }
-  std::sort(reads.begin(), reads.end(),
-            [](const QuboSolution& a, const QuboSolution& b) {
-              return a.energy < b.energy;
-            });
+    reads[read] = QuboSolution{std::move(x), energy};
+  };
+  std::optional<ThreadPool> local_pool;
+  ParallelFor(ResolvePool(options.pool, options.parallelism, local_pool), 0,
+              options.num_reads, run_read);
+  SortByEnergy(reads);
   return reads;
 }
 
@@ -117,42 +161,65 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
       options.tenure > 0
           ? options.tenure
           : static_cast<int>(std::sqrt(static_cast<double>(n))) + 10;
-  LocalFieldModel model(qubo);
+  const LocalFieldModel model(qubo);
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-  std::vector<QuboSolution> restarts;
-  restarts.reserve(options.num_restarts);
-  for (int restart = 0; restart < options.num_restarts; ++restart) {
+  const Rng base(rng.Next());
+  std::vector<QuboSolution> restarts(options.num_restarts);
+  const auto run_restart = [&](int64_t restart) {
+    Rng restart_rng = base.Fork(static_cast<uint64_t>(restart));
     std::vector<int> x(n);
-    for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    for (int i = 0; i < n; ++i) x[i] = restart_rng.Bernoulli(0.5) ? 1 : 0;
     double energy = qubo.Energy(x);
     QuboSolution incumbent{x, energy};
     std::vector<int> tabu_until(n, -1);
+    std::vector<double> deltas(n);
     for (int it = 0; it < options.iterations_per_restart; ++it) {
-      int best_flip = -1;
-      double best_delta = std::numeric_limits<double>::infinity();
+      double best_delta = kInfinity;
+      int tie_count = 0;
       for (int i = 0; i < n; ++i) {
-        const double delta = model.FlipDelta(x, i);
+        deltas[i] = model.FlipDelta(x, i);
         const bool tabu = tabu_until[i] > it;
         // Aspiration: a tabu move is allowed if it beats the incumbent.
-        if (tabu && energy + delta >= incumbent.energy - 1e-12) continue;
-        if (delta < best_delta ||
-            (delta == best_delta && rng.Bernoulli(0.5))) {
-          best_delta = delta;
-          best_flip = i;
+        if (tabu && energy + deltas[i] >= incumbent.energy - 1e-12) {
+          deltas[i] = kInfinity;  // mark ineligible for the pick scan
+          continue;
+        }
+        if (deltas[i] < best_delta) {
+          best_delta = deltas[i];
+          tie_count = 1;
+        } else if (deltas[i] == best_delta) {
+          ++tie_count;
         }
       }
-      if (best_flip < 0) break;  // everything tabu and non-aspiring
+      if (tie_count == 0) break;  // everything tabu and non-aspiring
+      // Uniform tie-break with at most one draw per iteration: the draw
+      // count depends only on the multiset of deltas, never on the order
+      // candidates were scanned in — a precondition for reproducible
+      // forked-RNG runs.
+      int pick = tie_count > 1
+                     ? static_cast<int>(restart_rng.UniformInt(
+                           static_cast<uint64_t>(tie_count)))
+                     : 0;
+      int best_flip = -1;
+      for (int i = 0; i < n; ++i) {
+        if (deltas[i] == best_delta && pick-- == 0) {
+          best_flip = i;
+          break;
+        }
+      }
+      QJO_CHECK_GE(best_flip, 0);
       x[best_flip] ^= 1;
       energy += best_delta;
       tabu_until[best_flip] = it + tenure;
       if (energy < incumbent.energy) incumbent = QuboSolution{x, energy};
     }
-    restarts.push_back(std::move(incumbent));
-  }
-  std::sort(restarts.begin(), restarts.end(),
-            [](const QuboSolution& a, const QuboSolution& b) {
-              return a.energy < b.energy;
-            });
+    restarts[restart] = std::move(incumbent);
+  };
+  std::optional<ThreadPool> local_pool;
+  ParallelFor(ResolvePool(options.pool, options.parallelism, local_pool), 0,
+              options.num_restarts, run_restart);
+  SortByEnergy(restarts);
   return restarts;
 }
 

@@ -5,6 +5,7 @@
 
 #include "qubo/qubo.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/statusor.h"
 
 namespace qjo {
@@ -16,7 +17,9 @@ struct QuboSolution {
 };
 
 /// Exact minimisation by Gray-code enumeration with incremental energy
-/// updates: O(2^n * avg_degree). Fails beyond `max_variables` (default 28).
+/// updates: O(2^n * avg_degree). Fails beyond `max_variables` (default 28,
+/// clamped to 63: the Gray-code walk indexes states with a uint64_t and
+/// `1 << 64` is undefined behaviour).
 StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
                                            int max_variables = 28);
 
@@ -28,9 +31,33 @@ struct SaOptions {
   int sweeps_per_read = 1000;    ///< full-variable Metropolis sweeps
   double initial_temperature = 0.0;  ///< 0 = auto (max |coefficient|)
   double final_temperature = 0.0;    ///< 0 = auto (1e-3 * initial)
+  /// Threads used for the per-read loop (caller included); 1 = serial.
+  /// Results are bit-identical for every value: each read draws from its
+  /// own forked RNG stream and lands in its own result slot.
+  int parallelism = 1;
+  /// Optional externally-owned pool (shared across solver calls, e.g. by
+  /// OptimizeJoinOrderBatch). Null = create a transient pool on demand.
+  ThreadPool* pool = nullptr;
 };
 
+/// The resolved geometric cooling schedule: sweep k of a read runs at
+/// temperature t_initial * cooling^k, and the *final* sweep
+/// (k = sweeps_per_read - 1) runs exactly at t_final. Exposed so tests
+/// can pin the schedule endpoints.
+struct SaSchedule {
+  double t_initial = 0.0;
+  double t_final = 0.0;
+  double cooling = 1.0;  ///< factor applied after each sweep
+};
+
+/// Resolves the auto temperature defaults and the cooling factor for
+/// `qubo`. With sweeps_per_read == 1 the single sweep runs at t_initial
+/// and cooling degenerates to 1.
+SaSchedule ResolveSaSchedule(const Qubo& qubo, const SaOptions& options);
+
 /// Runs classical simulated annealing; returns all reads, best first.
+/// Reads run in parallel per `options.parallelism`; output is independent
+/// of thread count and scheduling for a fixed `rng` state.
 std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
                                                       const SaOptions& options,
                                                       Rng& rng);
@@ -42,11 +69,17 @@ struct TabuOptions {
   int iterations_per_restart = 2000;
   /// Tabu tenure; 0 = auto (~ sqrt(n) + 10).
   int tenure = 0;
+  /// Threads for the per-restart loop; same determinism contract as
+  /// SaOptions::parallelism.
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;  ///< optional shared pool (not owned)
 };
 
 /// Tabu search: steepest-descent single-bit flips with a recency-based
-/// tabu list and incumbent aspiration. Returns one solution per restart,
-/// best first.
+/// tabu list and incumbent aspiration. Ties on the best move are broken
+/// uniformly with a single RNG draw per iteration (tie counting), so the
+/// number of draws never depends on candidate scan order. Returns one
+/// solution per restart, best first.
 std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
                                               const TabuOptions& options,
                                               Rng& rng);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
 #include "util/check.h"
 
@@ -41,26 +43,32 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
   const double gamma0 = options.relative_initial_field * scale;
   const Adjacency adjacency(ising);
 
-  std::vector<SqaSample> samples;
-  samples.reserve(options.num_reads);
+  // One draw off the shared generator, then one forked stream per read:
+  // the sample set is bit-identical for every parallelism level and
+  // thread interleaving (reads land in pre-sized slots).
+  const Rng base(rng.Next());
+  std::vector<SqaSample> samples(options.num_reads);
 
-  // Per-read perturbed coefficients (ICE noise).
-  std::vector<double> h(ising.h);
-  std::vector<double> coupling_weights(ising.couplings.size());
+  const auto run_read = [&](int64_t read) {
+    Rng read_rng = base.Fork(static_cast<uint64_t>(read));
 
-  for (int read = 0; read < options.num_reads; ++read) {
+    // Per-read perturbed coefficients (ICE noise), drawn from the read's
+    // own stream so noise realisations stay attached to their read.
+    std::vector<double> h(ising.h);
+    std::vector<double> coupling_weights(ising.couplings.size());
     const double sigma = options.ice_sigma * scale;
     for (int i = 0; i < n; ++i) {
-      h[i] = ising.h[i] + (sigma > 0.0 ? sigma * rng.Gaussian() : 0.0);
+      h[i] = ising.h[i] + (sigma > 0.0 ? sigma * read_rng.Gaussian() : 0.0);
     }
     for (size_t e = 0; e < ising.couplings.size(); ++e) {
-      coupling_weights[e] = std::get<2>(ising.couplings[e]) +
-                            (sigma > 0.0 ? sigma * rng.Gaussian() : 0.0);
+      coupling_weights[e] =
+          std::get<2>(ising.couplings[e]) +
+          (sigma > 0.0 ? sigma * read_rng.Gaussian() : 0.0);
     }
 
     // spins[p * n + i] in {-1, +1}.
     std::vector<int8_t> spins(static_cast<size_t>(slices) * n);
-    for (auto& s : spins) s = rng.Bernoulli(0.5) ? 1 : -1;
+    for (auto& s : spins) s = read_rng.Bernoulli(0.5) ? 1 : -1;
 
     for (int sweep = 0; sweep < num_sweeps; ++sweep) {
       const double s_frac =
@@ -89,7 +97,7 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
           delta += 2.0 * static_cast<double>(slice[i]) * j_perp *
                    (static_cast<double>(up[i]) + static_cast<double>(down[i]));
           if (delta <= 0.0 ||
-              rng.UniformDouble() < std::exp(-delta / temperature)) {
+              read_rng.UniformDouble() < std::exp(-delta / temperature)) {
             slice[i] = static_cast<int8_t>(-slice[i]);
           }
         }
@@ -110,8 +118,16 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
         best.spins = candidate;
       }
     }
-    samples.push_back(std::move(best));
+    samples[read] = std::move(best);
+  };
+
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.parallelism > 1) {
+    local_pool.emplace(options.parallelism);
+    pool = &*local_pool;
   }
+  ParallelFor(pool, 0, options.num_reads, run_read);
   return samples;
 }
 

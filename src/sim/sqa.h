@@ -5,6 +5,7 @@
 
 #include "qubo/ising.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/statusor.h"
 
 namespace qjo {
@@ -30,6 +31,13 @@ struct SqaOptions {
   /// ICE noise: sigma of the Gaussian perturbation on every h_i and J_ij,
   /// relative to the largest |coefficient|. 0 disables noise.
   double ice_sigma = 0.0;
+  /// Threads used for the per-read loop (caller included); 1 = serial.
+  /// Every read — its ICE perturbation, spin init and Metropolis sweeps —
+  /// draws from its own forked RNG stream and writes its own result slot,
+  /// so samples are bit-identical regardless of thread count.
+  int parallelism = 1;
+  /// Optional externally-owned pool shared across calls (not owned).
+  ThreadPool* pool = nullptr;
 };
 
 /// One annealing read: the sampled spin configuration (+1/-1 per site)
@@ -39,8 +47,9 @@ struct SqaSample {
   double energy = 0.0;
 };
 
-/// Runs `options.num_reads` independent anneals of `ising`. Fails on an
-/// empty model or non-positive schedule parameters.
+/// Runs `options.num_reads` independent anneals of `ising`, in parallel
+/// per `options.parallelism`. Fails on an empty model or non-positive
+/// schedule parameters.
 StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
                                         const SqaOptions& options, Rng& rng);
 

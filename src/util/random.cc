@@ -97,4 +97,16 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::Fork(uint64_t stream_id) const {
+  // Collapse the 256-bit state into 64 bits, then run two SplitMix64
+  // finalisations over state and stream id so that consecutive stream ids
+  // land in well-separated regions of the seed space.
+  uint64_t x = state_[0] ^ Rotl(state_[1], 13) ^ Rotl(state_[2], 29) ^
+               Rotl(state_[3], 43);
+  uint64_t seed = SplitMix64(x);
+  x ^= (stream_id + 1) * 0x9e3779b97f4a7c15ull;
+  seed ^= SplitMix64(x);
+  return Rng(seed);
+}
+
 }  // namespace qjo

@@ -53,8 +53,16 @@ class Rng {
   }
 
   /// Forks an independently-seeded child generator; used to give each
-  /// repetition of an experiment its own stream.
+  /// repetition of an experiment its own stream. Advances this generator.
   Rng Fork();
+
+  /// Forks the child generator for stream `stream_id` without advancing
+  /// this generator: the child seed is a SplitMix64 mix of the current
+  /// state and the stream id. Two distinct stream ids yield independent
+  /// streams, and the same (state, stream_id) pair always yields the same
+  /// child — the basis for bit-identical parallel solver runs regardless
+  /// of thread count or scheduling (each read forks stream `read_index`).
+  Rng Fork(uint64_t stream_id) const;
 
  private:
   uint64_t state_[4];

@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace qjo {
+
+ThreadPool::ThreadPool(int parallelism) {
+  num_workers_ = std::max(parallelism, 1) - 1;
+  workers_.reserve(num_workers_);
+  for (int w = 0; w < num_workers_; ++w) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(std::move(stop)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) worker.request_stop();
+  work_available_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void ThreadPool::WorkerLoop(std::stop_token stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, stop, [this] { return !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop requested and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& body) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  if (num_workers_ == 0 || total == 1) {
+    for (int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Shared claim counter: every participating thread grabs the next
+  // un-run index. Which thread runs an index is scheduling-dependent;
+  // what each index computes is not (callers fork per-index RNG streams
+  // and write to per-index slots).
+  struct LoopState {
+    std::atomic<int64_t> next;
+    std::atomic<int64_t> done{0};
+    int64_t end = 0;
+    int64_t total = 0;
+    const std::function<void(int64_t)>* body = nullptr;
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->total = total;
+  state->body = &body;
+
+  // Runner shared by workers and the caller. A queued runner that wakes
+  // after the loop already completed sees next >= end and exits without
+  // touching `body`, so the dangling-reference window is closed by the
+  // claim counter itself.
+  auto run = [state] {
+    for (;;) {
+      const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->end) break;
+      (*state->body)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  const int64_t helpers =
+      std::min<int64_t>(num_workers_, total - 1);  // caller takes one share
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t h = 0; h < helpers; ++h) tasks_.push(run);
+  }
+  work_available_.notify_all();
+
+  run();  // participate: guarantees progress even if no worker is free
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body) {
+  if (pool != nullptr && pool->parallelism() > 1) {
+    pool->ParallelFor(begin, end, body);
+  } else {
+    for (int64_t i = begin; i < end; ++i) body(i);
+  }
+}
+
+}  // namespace qjo

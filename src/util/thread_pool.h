@@ -1,0 +1,60 @@
+#ifndef QJO_UTIL_THREAD_POOL_H_
+#define QJO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qjo {
+
+/// Fixed-size pool of std::jthread workers fed from a plain FIFO queue.
+/// Deliberately work-stealing-free: scheduling must never be able to
+/// influence results. Determinism of the stochastic solvers comes from
+/// seed-splitting (Rng::Fork(stream_id)) plus slot-indexed result
+/// collection, so any interleaving produces bit-identical output.
+///
+/// `parallelism` counts the calling thread: ThreadPool(8) spawns 7
+/// workers, and ParallelFor runs loop bodies on the caller as well.
+/// ThreadPool(1) spawns no threads and degenerates to a serial loop.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int parallelism);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency including the calling thread (always >= 1).
+  int parallelism() const { return num_workers_ + 1; }
+
+  /// Runs body(i) for every i in [begin, end) and blocks until all
+  /// iterations have finished. The calling thread participates, which
+  /// guarantees progress even when every worker is busy — nested
+  /// ParallelFor calls from inside a loop body are therefore safe.
+  /// `body` must not throw (the library is exception-free by design).
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& body);
+
+ private:
+  void WorkerLoop(std::stop_token stop);
+
+  int num_workers_ = 0;
+  std::mutex mutex_;
+  std::condition_variable_any work_available_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest
+};
+
+/// Pool-optional ParallelFor: runs on `pool` when it actually provides
+/// extra threads, otherwise as a plain serial loop. Lets callers thread an
+/// optional shared pool through without branching at every call site.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& body);
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_THREAD_POOL_H_

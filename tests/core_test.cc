@@ -1,3 +1,4 @@
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -246,6 +247,50 @@ TEST(AnnealerBackendTest, EmbedsAndSolvesThreeRelations) {
   EXPECT_GT(report->max_chain_length, 0);
   EXPECT_GT(report->stats.total, 0);
   EXPECT_TRUE(report->found_valid);
+}
+
+TEST(BatchTest, MatchesSingleQueryRunsExactly) {
+  // Batch slot i must be bit-identical to OptimizeJoinOrder(queries[i]):
+  // sharing one pool across queries and read loops never changes results.
+  std::vector<Query> queries;
+  queries.push_back(MakePaperInstance(0));
+  queries.push_back(MakePaperInstance(1));
+  queries.push_back(MakePaperInstance(2));
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 160;
+  config.seed = 71;
+  const auto batch = OptimizeJoinOrderBatch(queries, config, 4);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(batch[i].ok()) << "slot " << i;
+    const auto single = OptimizeJoinOrder(queries[i], config);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch[i]->best_cost, single->best_cost) << "slot " << i;
+    EXPECT_EQ(batch[i]->best_order, single->best_order);
+    EXPECT_EQ(batch[i]->stats.valid, single->stats.valid);
+    EXPECT_EQ(batch[i]->stats.optimal, single->stats.optimal);
+  }
+}
+
+TEST(BatchTest, FailedSlotsDoNotPoisonOthers) {
+  Query bad;  // 1 relation: rejected by OptimizeJoinOrder
+  bad.AddRelation("R", 10);
+  std::vector<Query> queries;
+  queries.push_back(MakePaperInstance(1));
+  queries.push_back(bad);
+  QjoConfig config;
+  config.backend = QjoBackend::kExact;
+  const auto batch = OptimizeJoinOrderBatch(queries, config, 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].ok());
+  EXPECT_FALSE(batch[1].ok());
+}
+
+TEST(BatchTest, EmptyBatchReturnsEmpty) {
+  QjoConfig config;
+  EXPECT_TRUE(
+      OptimizeJoinOrderBatch(std::span<const Query>{}, config, 4).empty());
 }
 
 TEST(CoreTest, RejectsTinyQueries) {

@@ -110,6 +110,18 @@ TEST(BruteForceTest, RejectsOversizedProblems) {
   EXPECT_FALSE(SolveQuboBruteForce(q, 28).ok());
 }
 
+TEST(BruteForceTest, RejectsSixtyFourVariablesEvenWithRaisedLimit) {
+  // The Gray-code walk enumerates 2^n states through a uint64_t;
+  // `uint64_t{1} << 64` is UB, so 64 variables must be rejected no matter
+  // how high the caller raises max_variables.
+  Qubo q(64);
+  q.AddLinear(0, 1.0);
+  const auto at_limit = SolveQuboBruteForce(q, 64);
+  ASSERT_FALSE(at_limit.ok());
+  EXPECT_EQ(at_limit.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(SolveQuboBruteForce(q, 100).ok());
+}
+
 TEST(SimulatedAnnealingTest, SolvesSmallProblems) {
   Rng rng(11);
   for (int trial = 0; trial < 3; ++trial) {
@@ -261,6 +273,97 @@ TEST(TabuSearchTest, EscapesLocalMinima) {
   options.num_restarts = 4;
   const auto restarts = SolveQuboTabuSearch(qubo, options, rng);
   EXPECT_NEAR(restarts.front().energy, exact->energy, 1e-9);
+}
+
+TEST(SaScheduleTest, FinalSweepRunsAtFinalTemperature) {
+  // Regression: the cooling exponent used to be 1/sweeps instead of
+  // 1/(sweeps - 1), so the last sweep ran one cooling step short of
+  // t_final. Pin the endpoints of the resolved geometric schedule.
+  Qubo q(4);
+  q.AddLinear(0, 2.0);
+  SaOptions options;
+  options.sweeps_per_read = 50;
+  options.initial_temperature = 8.0;
+  options.final_temperature = 0.25;
+  const SaSchedule schedule = ResolveSaSchedule(q, options);
+  EXPECT_DOUBLE_EQ(schedule.t_initial, 8.0);
+  EXPECT_DOUBLE_EQ(schedule.t_final, 0.25);
+  double temperature = schedule.t_initial;
+  for (int sweep = 1; sweep < options.sweeps_per_read; ++sweep) {
+    temperature *= schedule.cooling;
+  }
+  EXPECT_NEAR(temperature, schedule.t_final, 1e-12);
+}
+
+TEST(SaScheduleTest, SingleSweepDegeneratesToInitialTemperature) {
+  Qubo q(4);
+  q.AddLinear(0, 2.0);
+  SaOptions options;
+  options.sweeps_per_read = 1;
+  options.initial_temperature = 8.0;
+  options.final_temperature = 0.25;
+  const SaSchedule schedule = ResolveSaSchedule(q, options);
+  EXPECT_DOUBLE_EQ(schedule.cooling, 1.0);
+}
+
+TEST(SaScheduleTest, AutoTemperaturesTrackCoefficients) {
+  Qubo q(4);
+  q.AddLinear(0, -6.0);
+  q.AddQuadratic(1, 2, 3.0);
+  const SaSchedule schedule = ResolveSaSchedule(q, SaOptions{});
+  EXPECT_DOUBLE_EQ(schedule.t_initial, 6.0);
+  EXPECT_DOUBLE_EQ(schedule.t_final, 6.0 * 1e-3);
+  EXPECT_LT(schedule.cooling, 1.0);
+  EXPECT_GT(schedule.cooling, 0.0);
+}
+
+TEST(SimulatedAnnealingTest, DeterministicAcrossParallelism) {
+  Rng make_rng(29);
+  const Qubo qubo = RandomQubo(24, 0.3, make_rng);
+  SaOptions options;
+  options.num_reads = 16;
+  options.sweeps_per_read = 120;
+  std::vector<std::vector<QuboSolution>> runs;
+  for (int parallelism : {1, 2, 8}) {
+    options.parallelism = parallelism;
+    Rng rng(31);
+    runs.push_back(SolveQuboSimulatedAnnealing(qubo, options, rng));
+    // The solver consumes exactly one draw from the caller's RNG no
+    // matter the thread count, so follow-up draws stay aligned too.
+    Rng reference(31);
+    reference.Next();  // the draw the solver consumed
+    EXPECT_EQ(rng.Next(), reference.Next());
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].energy, runs[0][i].energy)
+          << "run " << run << " read " << i;
+      EXPECT_EQ(runs[run][i].assignment, runs[0][i].assignment);
+    }
+  }
+}
+
+TEST(TabuSearchTest, DeterministicAcrossParallelism) {
+  Rng make_rng(37);
+  const Qubo qubo = RandomQubo(20, 0.35, make_rng);
+  TabuOptions options;
+  options.num_restarts = 12;
+  options.iterations_per_restart = 300;
+  std::vector<std::vector<QuboSolution>> runs;
+  for (int parallelism : {1, 2, 8}) {
+    options.parallelism = parallelism;
+    Rng rng(41);
+    runs.push_back(SolveQuboTabuSearch(qubo, options, rng));
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].energy, runs[0][i].energy)
+          << "run " << run << " restart " << i;
+      EXPECT_EQ(runs[run][i].assignment, runs[0][i].assignment);
+    }
+  }
 }
 
 TEST(QuboTest, MaxAbsCoefficient) {

@@ -434,6 +434,33 @@ TEST(SqaTest, IceNoiseDegradesSolutionQuality) {
   EXPECT_LT(clean_mean, noisy_mean);
 }
 
+TEST(SqaTest, DeterministicAcrossParallelism) {
+  Rng make_rng(59);
+  const IsingModel ising = RandomIsing(12, 0.4, make_rng);
+  SqaOptions options;
+  options.num_reads = 12;
+  options.annealing_time_us = 10.0;
+  options.sweeps_per_us = 5.0;
+  options.trotter_slices = 6;
+  options.ice_sigma = 0.02;  // per-read noise draws must fork too
+  std::vector<std::vector<SqaSample>> runs;
+  for (int parallelism : {1, 2, 8}) {
+    options.parallelism = parallelism;
+    Rng rng(61);
+    auto samples = RunSqa(ising, options, rng);
+    ASSERT_TRUE(samples.ok());
+    runs.push_back(*std::move(samples));
+  }
+  for (size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].energy, runs[0][i].energy)
+          << "run " << run << " read " << i;
+      EXPECT_EQ(runs[run][i].spins, runs[0][i].spins);
+    }
+  }
+}
+
 TEST(SqaTest, RejectsBadOptions) {
   IsingModel empty;
   SqaOptions options;

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -11,6 +12,7 @@
 #include "util/status.h"
 #include "util/statusor.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
@@ -164,6 +166,91 @@ TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(31);
   Rng b = a.Fork();
   EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, StreamForkIsDeterministic) {
+  const Rng a(33);
+  const Rng b(33);
+  for (uint64_t stream : {0ull, 1ull, 7ull, 1000ull}) {
+    Rng fa = a.Fork(stream);
+    Rng fb = b.Fork(stream);
+    for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+  }
+}
+
+TEST(RngTest, StreamForkDoesNotAdvanceParent) {
+  Rng forked(35);
+  Rng untouched(35);
+  (void)forked.Fork(0);
+  (void)forked.Fork(99);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(forked.Next(), untouched.Next());
+}
+
+TEST(RngTest, StreamForksAreMutuallyIndependent) {
+  // Different stream ids (and different parents) must give different
+  // streams — the property the parallel read loops rely on.
+  const Rng parent(37);
+  std::set<uint64_t> first_draws;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    first_draws.insert(parent.Fork(stream).Next());
+  }
+  EXPECT_EQ(first_draws.size(), 64u);
+  const Rng other(38);
+  EXPECT_NE(parent.Fork(5).Next(), other.Fork(5).Next());
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.parallelism(), 4);
+  constexpr int kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(0, kCount, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.parallelism(), 1);
+  int sum = 0;  // no atomics needed: everything runs on this thread
+  pool.ParallelFor(0, 100, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 0, [&](int64_t) { ++calls; });
+  pool.ParallelFor(5, 3, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // The batch entry point nests query-level ParallelFor over read-level
+  // ParallelFor on one shared pool; the caller-participates design must
+  // keep making progress even when all workers are busy.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, [&](int64_t) {
+    pool.ParallelFor(0, 16, [&](int64_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, FreeFunctionFallsBackToSerialWithoutPool) {
+  int sum = 0;
+  ParallelFor(nullptr, 0, 10, [&](int64_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 20, [&](int64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 20) << "round " << round;
+  }
 }
 
 TEST(StatsTest, MeanAndStdDev) {
