@@ -4,9 +4,24 @@
 // construction, and the parallel read loops of the stochastic solvers
 // (items/sec = reads/sec; the per-read fan-out is the paper's classical
 // sampling bottleneck).
+//
+// On top of the google-benchmark registrations, a hand-rolled kernel
+// suite times the incremental-vs-reference annealing kernels and the
+// serial-vs-pooled 2^n simulator loops and writes the numbers to
+// BENCH_kernels.json (machine-readable evidence for the kernel rework).
+// Run with --kernels_only to skip the google-benchmark part; set
+// QJO_KERNEL_BENCH_FAST=1 for the quick ctest smoke configuration and
+// QJO_BENCH_KERNELS_JSON to redirect the output file.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/qaoa_builder.h"
@@ -22,6 +37,7 @@
 #include "topology/vendor_topologies.h"
 #include "transpiler/transpiler.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
@@ -253,7 +269,222 @@ void BM_MinorEmbedding(benchmark::State& state) {
 }
 BENCHMARK(BM_MinorEmbedding)->Arg(4)->Arg(8)->Arg(12);
 
+// --- Hand-rolled kernel suite: BENCH_kernels.json -------------------------
+
+/// Best-of-`repeats` wall time of fn(), in seconds.
+template <typename Fn>
+double BestSeconds(Fn&& fn, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct KernelMetric {
+  std::string name;
+  double value;
+};
+
+void RunKernelBenchSuite() {
+  const bool fast = std::getenv("QJO_KERNEL_BENCH_FAST") != nullptr;
+  int parallelism = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* p = std::getenv("QJO_BENCH_PARALLELISM")) {
+    parallelism = std::atoi(p);
+  }
+  parallelism = std::max(parallelism, 2);
+  const int repeats = fast ? 2 : 3;
+  std::vector<KernelMetric> metrics;
+  metrics.push_back({"parallelism", static_cast<double>(parallelism)});
+  metrics.push_back({"fast_mode", fast ? 1.0 : 0.0});
+  double sink = 0.0;  // keeps the timed work observable
+
+  // SA proposals/sec, incremental local fields vs O(degree) scan, on a
+  // fully dense QUBO (the regime the persistent fields target).
+  {
+    const int n = 128;
+    const int reads = fast ? 2 : 8;
+    const int sweeps = fast ? 30 : 200;
+    const Qubo qubo = MakeRandomQubo(n, 1.0, 31);
+    qubo.Csr();  // build the CSR outside the timed region
+    const double proposals =
+        static_cast<double>(reads) * sweeps * n;
+    const auto time_kernel = [&](SolverKernel kernel) {
+      return BestSeconds(
+          [&] {
+            SaOptions options;
+            options.num_reads = reads;
+            options.sweeps_per_read = sweeps;
+            options.kernel = kernel;
+            Rng rng(33);
+            sink += SolveQuboSimulatedAnnealing(qubo, options, rng)
+                        .front()
+                        .energy;
+          },
+          repeats);
+    };
+    const double t_ref = time_kernel(SolverKernel::kReference);
+    const double t_inc = time_kernel(SolverKernel::kIncremental);
+    metrics.push_back({"sa_dense_n", static_cast<double>(n)});
+    metrics.push_back({"sa_proposals_per_sec_reference", proposals / t_ref});
+    metrics.push_back({"sa_proposals_per_sec_incremental", proposals / t_inc});
+    metrics.push_back({"sa_incremental_speedup", t_ref / t_inc});
+  }
+
+  // Tabu move rate under the same comparison (each move re-reads all n
+  // deltas; the incremental kernel serves them from the field cache).
+  {
+    const int n = 128;
+    const int restarts = fast ? 2 : 6;
+    const int iterations = fast ? 60 : 300;
+    const Qubo qubo = MakeRandomQubo(n, 1.0, 37);
+    qubo.Csr();
+    const double moves = static_cast<double>(restarts) * iterations;
+    const auto time_kernel = [&](SolverKernel kernel) {
+      return BestSeconds(
+          [&] {
+            TabuOptions options;
+            options.num_restarts = restarts;
+            options.iterations_per_restart = iterations;
+            options.kernel = kernel;
+            Rng rng(41);
+            sink += SolveQuboTabuSearch(qubo, options, rng).front().energy;
+          },
+          repeats);
+    };
+    const double t_ref = time_kernel(SolverKernel::kReference);
+    const double t_inc = time_kernel(SolverKernel::kIncremental);
+    metrics.push_back({"tabu_moves_per_sec_reference", moves / t_ref});
+    metrics.push_back({"tabu_moves_per_sec_incremental", moves / t_inc});
+    metrics.push_back({"tabu_incremental_speedup", t_ref / t_inc});
+  }
+
+  // SQA per-slice spin updates/sec across the two kernels.
+  {
+    const int n = 96;
+    const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.5, 43));
+    SqaOptions base;
+    base.num_reads = fast ? 2 : 6;
+    base.annealing_time_us = fast ? 5.0 : 10.0;
+    base.sweeps_per_us = 2.0;
+    base.trotter_slices = 8;
+    const int sweeps = std::max(
+        8, static_cast<int>(base.annealing_time_us * base.sweeps_per_us));
+    const double updates = static_cast<double>(base.num_reads) * sweeps *
+                           base.trotter_slices * n;
+    const auto time_kernel = [&](SolverKernel kernel) {
+      return BestSeconds(
+          [&] {
+            SqaOptions options = base;
+            options.kernel = kernel;
+            Rng rng(47);
+            sink += RunSqa(ising, options, rng)->front().energy;
+          },
+          repeats);
+    };
+    const double t_ref = time_kernel(SolverKernel::kReference);
+    const double t_inc = time_kernel(SolverKernel::kIncremental);
+    metrics.push_back({"sqa_spin_updates_per_sec_reference", updates / t_ref});
+    metrics.push_back(
+        {"sqa_spin_updates_per_sec_incremental", updates / t_inc});
+    metrics.push_back({"sqa_incremental_speedup", t_ref / t_inc});
+  }
+
+  // QAOA 2^n loops, serial vs pooled, at the paper-scale qubit count.
+  {
+    const int nq = fast ? 16 : 20;
+    const IsingModel ising = QuboToIsing(MakeRandomQubo(nq, 0.3, 53));
+    auto sim = QaoaSimulator::Create(ising);
+    QaoaParameters params;
+    params.gammas = {0.2};
+    params.betas = {0.7};
+    // Amplitudes touched per Run: cost phase + nq mixer butterflies +
+    // the expectation reduction, each a full 2^nq sweep.
+    const double amplitudes =
+        static_cast<double>(uint64_t{1} << nq) * (nq + 2);
+    const double t_serial =
+        BestSeconds([&] { sink += sim->Run(params); }, repeats);
+    ThreadPool pool(parallelism);
+    sim->set_pool(&pool);
+    const double t_parallel =
+        BestSeconds([&] { sink += sim->Run(params); }, repeats);
+    metrics.push_back({"qaoa_qubits", static_cast<double>(nq)});
+    metrics.push_back({"qaoa_amplitudes_per_sec_serial", amplitudes / t_serial});
+    metrics.push_back(
+        {"qaoa_amplitudes_per_sec_parallel", amplitudes / t_parallel});
+    metrics.push_back({"qaoa_parallel_speedup", t_serial / t_parallel});
+  }
+
+  // SA reads/sec through the pooled per-read fan-out (end-to-end rate the
+  // paper's sampling experiments consume).
+  {
+    const int n = 96;
+    const int reads = fast ? 16 : 64;
+    const Qubo qubo = MakeRandomQubo(n, 0.3, 59);
+    qubo.Csr();
+    const auto time_reads = [&](int threads) {
+      return BestSeconds(
+          [&] {
+            SaOptions options;
+            options.num_reads = reads;
+            options.sweeps_per_read = fast ? 32 : 64;
+            options.parallelism = threads;
+            Rng rng(61);
+            sink += SolveQuboSimulatedAnnealing(qubo, options, rng)
+                        .front()
+                        .energy;
+          },
+          repeats);
+    };
+    metrics.push_back({"sa_reads_per_sec_serial", reads / time_reads(1)});
+    metrics.push_back(
+        {"sa_reads_per_sec_parallel", reads / time_reads(parallelism)});
+  }
+
+  const char* json_path = std::getenv("QJO_BENCH_KERNELS_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_kernels.json";
+  std::ofstream out(path);
+  out << "{\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out << "  \"" << metrics[i].name << "\": " << metrics[i].value
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  out.close();
+
+  std::cout << "kernel bench suite (" << (fast ? "fast" : "full")
+            << " mode), sink=" << sink << ":\n";
+  for (const KernelMetric& m : metrics) {
+    std::cout << "  " << m.name << " = " << m.value << "\n";
+  }
+  std::cout << "wrote " << path << std::endl;
+}
+
 }  // namespace
 }  // namespace qjo
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool kernels_only = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--kernels_only") {
+      kernels_only = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  qjo::RunKernelBenchSuite();
+  if (kernels_only) return 0;
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

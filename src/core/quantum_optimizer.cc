@@ -139,6 +139,16 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       }
       const IsingModel ising = QuboToIsing(encoding.qubo);
       QJO_ASSIGN_OR_RETURN(QaoaSimulator sim, QaoaSimulator::Create(ising));
+      // The 2^n amplitude loops run blocked on the shared pool (or a
+      // transient one); chunking is thread-count-independent, so the
+      // report does not depend on the parallelism setting.
+      std::optional<ThreadPool> sim_pool;
+      ThreadPool* pool = config.pool;
+      if (pool == nullptr && config.parallelism > 1) {
+        sim_pool.emplace(config.parallelism);
+        pool = &*sim_pool;
+      }
+      sim.set_pool(pool);
       const QaoaAngles angles =
           OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
       report.gamma = angles.gamma;

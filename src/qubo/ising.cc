@@ -30,22 +30,32 @@ double IsingModel::MaxAbsCoefficient() const {
 }
 
 IsingModel QuboToIsing(const Qubo& qubo) {
-  const int n = qubo.num_variables();
+  const QuboCsr& csr = qubo.Csr();
+  const int n = csr.num_variables();
   IsingModel ising;
   ising.h.assign(n, 0.0);
-  ising.offset = qubo.offset();
+  ising.offset = csr.offset;
   // x_i = (1 - z_i)/2:
   //   c_i x_i            -> c_i/2 - (c_i/2) z_i
   //   c_ij x_i x_j       -> c_ij/4 (1 - z_i - z_j + z_i z_j)
   for (int i = 0; i < n; ++i) {
-    ising.offset += qubo.linear(i) / 2.0;
-    ising.h[i] -= qubo.linear(i) / 2.0;
+    ising.offset += csr.linear[i] / 2.0;
+    ising.h[i] -= csr.linear[i] / 2.0;
   }
-  for (const auto& [i, j, w] : qubo.QuadraticTerms()) {
-    ising.offset += w / 4.0;
-    ising.h[i] -= w / 4.0;
-    ising.h[j] -= w / 4.0;
-    ising.couplings.emplace_back(i, j, w / 4.0);
+  // Upper triangle of the CSR in row-major order — the same (i, j)
+  // sequence (and therefore the same floating-point accumulation order)
+  // as the sorted QuadraticTerms() list it replaces.
+  ising.couplings.reserve(csr.num_entries() / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int32_t k = csr.offsets[i]; k < csr.offsets[i + 1]; ++k) {
+      const int j = csr.columns[k];
+      if (j < i) continue;
+      const double w = csr.weights[k];
+      ising.offset += w / 4.0;
+      ising.h[i] -= w / 4.0;
+      ising.h[j] -= w / 4.0;
+      ising.couplings.emplace_back(i, j, w / 4.0);
+    }
   }
   return ising;
 }

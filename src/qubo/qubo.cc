@@ -9,6 +9,7 @@ void Qubo::AddLinear(int i, double weight) {
   QJO_CHECK_GE(i, 0);
   QJO_CHECK_LT(i, num_variables());
   linear_[i] += weight;
+  csr_dirty_ = true;
 }
 
 void Qubo::AddQuadratic(int i, int j, double weight) {
@@ -23,9 +24,13 @@ void Qubo::AddQuadratic(int i, int j, double weight) {
   } else if (weight == 0.0) {
     quadratic_.erase(it);
   }
+  csr_dirty_ = true;
 }
 
 double Qubo::quadratic(int i, int j) const {
+  QJO_CHECK_NE(i, j);
+  QJO_CHECK_GE(std::min(i, j), 0);
+  QJO_CHECK_LT(std::max(i, j), num_variables());
   if (i > j) std::swap(i, j);
   auto it = quadratic_.find(Key(i, j));
   return it == quadratic_.end() ? 0.0 : it->second;
@@ -55,26 +60,25 @@ std::vector<std::pair<int, int>> Qubo::Edges() const {
 }
 
 std::vector<std::vector<int>> Qubo::AdjacencyLists() const {
+  const QuboCsr& csr = Csr();
   std::vector<std::vector<int>> adjacency(num_variables());
-  for (const auto& [i, j] : Edges()) {
-    adjacency[i].push_back(j);
-    adjacency[j].push_back(i);
+  for (int i = 0; i < num_variables(); ++i) {
+    adjacency[i].assign(csr.columns.begin() + csr.offsets[i],
+                        csr.columns.begin() + csr.offsets[i + 1]);
   }
   return adjacency;
 }
 
+const QuboCsr& Qubo::Csr() const {
+  if (csr_dirty_) {
+    csr_ = QuboCsr::FromQubo(*this);
+    csr_dirty_ = false;
+  }
+  return csr_;
+}
+
 double Qubo::Energy(const std::vector<int>& assignment) const {
-  QJO_CHECK_EQ(static_cast<int>(assignment.size()), num_variables());
-  double energy = offset_;
-  for (int i = 0; i < num_variables(); ++i) {
-    if (assignment[i]) energy += linear_[i];
-  }
-  for (const auto& [key, weight] : quadratic_) {
-    const int i = static_cast<int>(key >> 32);
-    const int j = static_cast<int>(key & 0xffffffffu);
-    if (assignment[i] && assignment[j]) energy += weight;
-  }
-  return energy;
+  return Csr().Energy(assignment);
 }
 
 double Qubo::MaxAbsCoefficient() const {

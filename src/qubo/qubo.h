@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "qubo/qubo_csr.h"
 #include "util/check.h"
 
 namespace qjo {
@@ -21,12 +22,24 @@ class Qubo {
 
   /// Accumulates into the linear coefficient of variable i.
   void AddLinear(int i, double weight);
-  /// Accumulates into the quadratic coefficient of the pair {i, j}, i != j.
+  /// Accumulates into the quadratic coefficient of the pair {i, j}. The
+  /// pair is canonicalised to i < j, so either argument order addresses
+  /// the same coefficient; i == j (a self-coupling) is a programmer error.
   void AddQuadratic(int i, int j, double weight);
   /// Accumulates into the constant offset.
-  void AddOffset(double weight) { offset_ += weight; }
+  void AddOffset(double weight) {
+    offset_ += weight;
+    csr_dirty_ = true;
+  }
 
-  double linear(int i) const { return linear_[i]; }
+  double linear(int i) const {
+    QJO_CHECK_GE(i, 0);
+    QJO_CHECK_LT(i, num_variables());
+    return linear_[i];
+  }
+  /// Coefficient of the pair {i, j}, in either argument order (0.0 when
+  /// the variables are uncoupled). i == j is a programmer error, matching
+  /// AddQuadratic.
   double quadratic(int i, int j) const;
   double offset() const { return offset_; }
 
@@ -44,7 +57,13 @@ class Qubo {
   /// Adjacency lists of the problem graph.
   std::vector<std::vector<int>> AdjacencyLists() const;
 
-  /// Energy f(x) of an assignment.
+  /// Flat CSR view of the problem (see QuboCsr), built lazily and cached
+  /// until the next mutation. NOT thread-safe while dirty: callers that
+  /// share a Qubo across threads (the parallel solvers) must touch Csr()
+  /// once before fanning out, after which concurrent reads are safe.
+  const QuboCsr& Csr() const;
+
+  /// Energy f(x) of an assignment (evaluated on the CSR view).
   double Energy(const std::vector<int>& assignment) const;
 
   /// Largest absolute coefficient (used for chain-strength heuristics).
@@ -58,6 +77,10 @@ class Qubo {
   std::vector<double> linear_;
   std::unordered_map<uint64_t, double> quadratic_;  // key(i,j) with i < j
   double offset_ = 0.0;
+
+  // Cache of the CSR view; rebuilt on demand after mutations.
+  mutable QuboCsr csr_;
+  mutable bool csr_dirty_ = true;
 };
 
 }  // namespace qjo

@@ -1,0 +1,133 @@
+#include "qubo/qubo_csr.h"
+
+#include "qubo/ising.h"
+#include "qubo/qubo.h"
+#include "util/check.h"
+
+namespace qjo {
+namespace {
+
+/// Counting-sort fill of a symmetric CSR: `degrees` holds per-row entry
+/// counts; returns the offsets array and resets `degrees` to per-row
+/// write cursors.
+std::vector<int32_t> BuildOffsets(std::vector<int32_t>& degrees) {
+  std::vector<int32_t> offsets(degrees.size() + 1, 0);
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    offsets[i + 1] = offsets[i] + degrees[i];
+  }
+  for (size_t i = 0; i < degrees.size(); ++i) degrees[i] = offsets[i];
+  return offsets;
+}
+
+}  // namespace
+
+QuboCsr QuboCsr::FromQubo(const Qubo& qubo) {
+  std::vector<double> linear(qubo.num_variables());
+  for (int i = 0; i < qubo.num_variables(); ++i) linear[i] = qubo.linear(i);
+  return FromTerms(qubo.num_variables(), linear, qubo.QuadraticTerms(),
+                   qubo.offset());
+}
+
+QuboCsr QuboCsr::FromTerms(
+    int num_variables, const std::vector<double>& linear,
+    const std::vector<std::tuple<int, int, double>>& terms, double offset) {
+  QJO_CHECK_EQ(static_cast<int>(linear.size()), num_variables);
+  QuboCsr csr;
+  csr.linear = linear;
+  csr.offset = offset;
+  std::vector<int32_t> cursor(num_variables, 0);
+  for (const auto& [i, j, w] : terms) {
+    (void)w;
+    QJO_CHECK_NE(i, j);
+    ++cursor[i];
+    ++cursor[j];
+  }
+  csr.offsets = BuildOffsets(cursor);
+  csr.columns.resize(csr.offsets.back());
+  csr.weights.resize(csr.offsets.back());
+  for (const auto& [i, j, w] : terms) {
+    csr.columns[cursor[i]] = j;
+    csr.weights[cursor[i]++] = w;
+    csr.columns[cursor[j]] = i;
+    csr.weights[cursor[j]++] = w;
+  }
+  return csr;
+}
+
+double QuboCsr::Energy(const std::vector<int>& x) const {
+  QJO_CHECK_EQ(static_cast<int>(x.size()), num_variables());
+  double energy = offset;
+  for (int i = 0; i < num_variables(); ++i) {
+    if (!x[i]) continue;
+    energy += linear[i];
+    for (int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      const int32_t j = columns[k];
+      if (j > i && x[j]) energy += weights[k];
+    }
+  }
+  return energy;
+}
+
+double QuboCsr::FlipDelta(const std::vector<int>& x, int i) const {
+  double field = linear[i];
+  for (int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+    if (x[columns[k]]) field += weights[k];
+  }
+  return x[i] ? -field : field;
+}
+
+std::vector<double> QuboCsr::LocalFields(const std::vector<int>& x) const {
+  QJO_CHECK_EQ(static_cast<int>(x.size()), num_variables());
+  std::vector<double> fields(linear);
+  for (int i = 0; i < num_variables(); ++i) {
+    double field = fields[i];
+    for (int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      if (x[columns[k]]) field += weights[k];
+    }
+    fields[i] = field;
+  }
+  return fields;
+}
+
+void QuboCsr::ApplyFlip(int i, std::vector<int>& x,
+                        std::vector<double>& fields) const {
+  x[i] ^= 1;
+  if (x[i]) {
+    for (int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      fields[columns[k]] += weights[k];
+    }
+  } else {
+    for (int32_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+      fields[columns[k]] -= weights[k];
+    }
+  }
+}
+
+IsingCsr IsingCsr::FromIsing(const IsingModel& ising) {
+  IsingCsr csr;
+  csr.h = ising.h;
+  csr.offset = ising.offset;
+  std::vector<int32_t> cursor(ising.num_spins(), 0);
+  for (const auto& [i, j, w] : ising.couplings) {
+    (void)w;
+    QJO_CHECK_NE(i, j);
+    ++cursor[i];
+    ++cursor[j];
+  }
+  csr.offsets = BuildOffsets(cursor);
+  csr.columns.resize(csr.offsets.back());
+  csr.edge_ids.resize(csr.offsets.back());
+  csr.weights.resize(csr.offsets.back());
+  for (size_t e = 0; e < ising.couplings.size(); ++e) {
+    const auto& [i, j, w] = ising.couplings[e];
+    csr.columns[cursor[i]] = j;
+    csr.edge_ids[cursor[i]] = static_cast<int32_t>(e);
+    csr.weights[cursor[i]++] = w;
+    csr.columns[cursor[j]] = i;
+    csr.edge_ids[cursor[j]] = static_cast<int32_t>(e);
+    csr.weights[cursor[j]++] = w;
+  }
+  return csr;
+}
+
+}  // namespace qjo

@@ -5,37 +5,11 @@
 #include <limits>
 #include <optional>
 
+#include "qubo/qubo_csr.h"
 #include "util/check.h"
 
 namespace qjo {
 namespace {
-
-/// Dense adjacency representation used by both solvers for O(degree)
-/// energy-delta computation. Read-only after construction, so one
-/// instance is safely shared by all reads of a parallel solve.
-struct LocalFieldModel {
-  explicit LocalFieldModel(const Qubo& qubo)
-      : linear(qubo.num_variables()),
-        neighbors(qubo.num_variables()) {
-    for (int i = 0; i < qubo.num_variables(); ++i) linear[i] = qubo.linear(i);
-    for (const auto& [i, j, w] : qubo.QuadraticTerms()) {
-      neighbors[i].emplace_back(j, w);
-      neighbors[j].emplace_back(i, w);
-    }
-  }
-
-  /// Energy change caused by flipping bit `i` of `x`.
-  double FlipDelta(const std::vector<int>& x, int i) const {
-    double field = linear[i];
-    for (const auto& [j, w] : neighbors[i]) {
-      if (x[j]) field += w;
-    }
-    return x[i] ? -field : field;
-  }
-
-  std::vector<double> linear;
-  std::vector<std::vector<std::pair<int, double>>> neighbors;
-};
 
 /// Resolves the pool to run a per-read loop on: the caller-supplied
 /// shared pool if any, a transient local pool when parallelism asks for
@@ -70,15 +44,17 @@ StatusOr<QuboSolution> SolveQuboBruteForce(const Qubo& qubo,
   if (n > effective_max) {
     return Status::ResourceExhausted("too many variables for brute force");
   }
-  LocalFieldModel model(qubo);
+  const QuboCsr& csr = qubo.Csr();
   std::vector<int> x(n, 0);
-  double energy = qubo.offset();
+  double energy = csr.offset;
   QuboSolution best{x, energy};
-  // Gray-code walk: state k differs from k-1 in bit ctz(k).
+  // Gray-code walk: state k differs from k-1 in bit ctz(k). Every step
+  // flips one bit, so the O(degree) reference scan is already optimal
+  // here — persistent fields would pay the same O(degree) per step.
   const uint64_t total = uint64_t{1} << n;
   for (uint64_t k = 1; k < total; ++k) {
     const int bit = static_cast<int>(__builtin_ctzll(k));
-    energy += model.FlipDelta(x, bit);
+    energy += csr.FlipDelta(x, bit);
     x[bit] ^= 1;
     if (energy < best.energy) {
       best.assignment = x;
@@ -114,9 +90,12 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
   QJO_CHECK_GT(qubo.num_variables(), 0);
   QJO_CHECK_GT(options.num_reads, 0);
   QJO_CHECK_GT(options.sweeps_per_read, 0);
-  const LocalFieldModel model(qubo);
+  // Materialise the CSR on the calling thread; the parallel reads below
+  // only ever read it.
+  const QuboCsr& csr = qubo.Csr();
   const int n = qubo.num_variables();
   const SaSchedule schedule = ResolveSaSchedule(qubo, options);
+  const bool incremental = options.kernel == SolverKernel::kIncremental;
 
   // One draw from the shared generator keeps successive solver calls on
   // the same Rng independent; every read then forks stream `read` off the
@@ -128,18 +107,35 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
     Rng read_rng = base.Fork(static_cast<uint64_t>(read));
     std::vector<int> x(n);
     for (int i = 0; i < n; ++i) x[i] = read_rng.Bernoulli(0.5) ? 1 : 0;
-    double energy = qubo.Energy(x);
+    double energy = csr.Energy(x);
     double temperature = schedule.t_initial;
-    for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
-      for (int i = 0; i < n; ++i) {
-        const double delta = model.FlipDelta(x, i);
-        if (delta <= 0.0 ||
-            read_rng.UniformDouble() < std::exp(-delta / temperature)) {
-          x[i] ^= 1;
-          energy += delta;
+    if (incremental) {
+      // Persistent local fields: delta_i = +-fields[i] per proposal,
+      // neighbour updates only on accepted flips.
+      std::vector<double> fields = csr.LocalFields(x);
+      for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+        for (int i = 0; i < n; ++i) {
+          const double delta = x[i] ? -fields[i] : fields[i];
+          if (delta <= 0.0 ||
+              read_rng.UniformDouble() < std::exp(-delta / temperature)) {
+            csr.ApplyFlip(i, x, fields);
+            energy += delta;
+          }
         }
+        temperature *= schedule.cooling;
       }
-      temperature *= schedule.cooling;
+    } else {
+      for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+        for (int i = 0; i < n; ++i) {
+          const double delta = csr.FlipDelta(x, i);
+          if (delta <= 0.0 ||
+              read_rng.UniformDouble() < std::exp(-delta / temperature)) {
+            x[i] ^= 1;
+            energy += delta;
+          }
+        }
+        temperature *= schedule.cooling;
+      }
     }
     reads[read] = QuboSolution{std::move(x), energy};
   };
@@ -161,7 +157,8 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
       options.tenure > 0
           ? options.tenure
           : static_cast<int>(std::sqrt(static_cast<double>(n))) + 10;
-  const LocalFieldModel model(qubo);
+  const QuboCsr& csr = qubo.Csr();
+  const bool incremental = options.kernel == SolverKernel::kIncremental;
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
   const Rng base(rng.Next());
@@ -170,15 +167,22 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
     Rng restart_rng = base.Fork(static_cast<uint64_t>(restart));
     std::vector<int> x(n);
     for (int i = 0; i < n; ++i) x[i] = restart_rng.Bernoulli(0.5) ? 1 : 0;
-    double energy = qubo.Energy(x);
+    double energy = csr.Energy(x);
     QuboSolution incumbent{x, energy};
     std::vector<int> tabu_until(n, -1);
+    // Incremental kernel: the delta cache is carried across iterations as
+    // persistent local fields, and only the flipped variable's
+    // neighbourhood is touched per move. Reference kernel: all n deltas
+    // are recomputed by O(degree) scans every iteration.
+    std::vector<double> fields;
+    if (incremental) fields = csr.LocalFields(x);
     std::vector<double> deltas(n);
     for (int it = 0; it < options.iterations_per_restart; ++it) {
       double best_delta = kInfinity;
       int tie_count = 0;
       for (int i = 0; i < n; ++i) {
-        deltas[i] = model.FlipDelta(x, i);
+        deltas[i] =
+            incremental ? (x[i] ? -fields[i] : fields[i]) : csr.FlipDelta(x, i);
         const bool tabu = tabu_until[i] > it;
         // Aspiration: a tabu move is allowed if it beats the incumbent.
         if (tabu && energy + deltas[i] >= incumbent.energy - 1e-12) {
@@ -209,7 +213,11 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
         }
       }
       QJO_CHECK_GE(best_flip, 0);
-      x[best_flip] ^= 1;
+      if (incremental) {
+        csr.ApplyFlip(best_flip, x, fields);
+      } else {
+        x[best_flip] ^= 1;
+      }
       energy += best_delta;
       tabu_until[best_flip] = it + tenure;
       if (energy < incumbent.energy) incumbent = QuboSolution{x, energy};

@@ -16,6 +16,21 @@ struct QuboSolution {
   double energy = 0.0;
 };
 
+/// Inner-loop implementation of the stochastic solvers (SA, tabu, SQA).
+/// Both kernels run on the shared CSR problem layout and walk the same
+/// Metropolis/steepest-descent trajectory; they differ only in how the
+/// flip deltas are obtained.
+enum class SolverKernel {
+  /// Persistent local fields h_i = linear_i + sum_j w_ij x_j kept in sync
+  /// with the state: O(1) per proposal, O(degree) per *accepted* flip.
+  /// The default and the production hot path.
+  kIncremental,
+  /// O(degree) neighbourhood scan per proposal (the pre-refactor
+  /// behaviour). Kept as the independent reference implementation for the
+  /// kernel-parity tests and the speedup benchmarks.
+  kReference,
+};
+
 /// Exact minimisation by Gray-code enumeration with incremental energy
 /// updates: O(2^n * avg_degree). Fails beyond `max_variables` (default 28,
 /// clamped to 63: the Gray-code walk indexes states with a uint64_t and
@@ -38,6 +53,8 @@ struct SaOptions {
   /// Optional externally-owned pool (shared across solver calls, e.g. by
   /// OptimizeJoinOrderBatch). Null = create a transient pool on demand.
   ThreadPool* pool = nullptr;
+  /// Inner-loop implementation; kReference is for tests and benches.
+  SolverKernel kernel = SolverKernel::kIncremental;
 };
 
 /// The resolved geometric cooling schedule: sweep k of a read runs at
@@ -73,6 +90,8 @@ struct TabuOptions {
   /// SaOptions::parallelism.
   int parallelism = 1;
   ThreadPool* pool = nullptr;  ///< optional shared pool (not owned)
+  /// Inner-loop implementation; kReference is for tests and benches.
+  SolverKernel kernel = SolverKernel::kIncremental;
 };
 
 /// Tabu search: steepest-descent single-bit flips with a recency-based

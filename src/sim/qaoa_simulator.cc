@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "qubo/qubo_csr.h"
 #include "util/check.h"
+#include "util/sampling.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
+namespace {
+
+/// Fixed block size for the 2^n amplitude loops; see the StateVector
+/// kernels for the determinism rationale (chunk boundaries never depend
+/// on the thread count).
+constexpr int64_t kBlock = int64_t{1} << 14;
+
+}  // namespace
 
 QaoaSimulator::QaoaSimulator(const IsingModel& ising)
     : num_qubits_(ising.num_spins()) {
@@ -24,12 +35,10 @@ void QaoaSimulator::BuildCostSpectrum(const IsingModel& ising) {
   const uint64_t size = uint64_t{1} << n;
   cost_.assign(size, 0.0f);
 
-  // Neighbour lists for O(degree) Gray-code energy deltas.
-  std::vector<std::vector<std::pair<int, double>>> adjacency(n);
-  for (const auto& [i, j, w] : ising.couplings) {
-    adjacency[i].emplace_back(j, w);
-    adjacency[j].emplace_back(i, w);
-  }
+  // Shared flat CSR adjacency for O(degree) Gray-code energy deltas; its
+  // per-row entry order matches the adjacency-list build it replaced, so
+  // the spectrum is bit-identical.
+  const IsingCsr csr = IsingCsr::FromIsing(ising);
 
   // Bit b set in x means spin b is -1 (QUBO bit 1).
   std::vector<int8_t> spins(n, 1);
@@ -47,8 +56,8 @@ void QaoaSimulator::BuildCostSpectrum(const IsingModel& ising) {
     const int bit = static_cast<int>(__builtin_ctzll(k));
     // Flipping spin `bit`: dE = -2 s_bit (h_bit + sum_j J_bj s_j).
     double field = ising.h[bit];
-    for (const auto& [j, w] : adjacency[bit]) {
-      field += w * static_cast<double>(spins[j]);
+    for (int32_t e = csr.offsets[bit]; e < csr.offsets[bit + 1]; ++e) {
+      field += csr.weights[e] * static_cast<double>(spins[csr.columns[e]]);
     }
     energy -= 2.0 * static_cast<double>(spins[bit]) * field;
     spins[bit] = static_cast<int8_t>(-spins[bit]);
@@ -64,37 +73,54 @@ double QaoaSimulator::Run(const QaoaParameters& parameters) {
   const float amp0 = 1.0f / std::sqrt(static_cast<float>(size));
   amplitudes_.assign(size, std::complex<float>(amp0, 0.0f));
 
+  std::complex<float>* amps = amplitudes_.data();
+  const float* cost = cost_.data();
   for (int rep = 0; rep < parameters.p(); ++rep) {
     const float gamma = static_cast<float>(parameters.gammas[rep]);
     // Cost phase: exp(-i gamma E(x)) (the offset is a global phase).
-    for (uint64_t i = 0; i < size; ++i) {
-      const float angle = -gamma * cost_[i];
-      amplitudes_[i] *= std::complex<float>(std::cos(angle), std::sin(angle));
-    }
-    // Mixer: RX(2 beta) on every qubit.
+    ParallelForBlocks(pool_, 0, static_cast<int64_t>(size), kBlock,
+                      [&](int64_t begin, int64_t end) {
+                        for (int64_t i = begin; i < end; ++i) {
+                          const float angle = -gamma * cost[i];
+                          amps[i] *= std::complex<float>(std::cos(angle),
+                                                         std::sin(angle));
+                        }
+                      });
+    // Mixer: RX(2 beta) on every qubit, over the compressed index space
+    // (k with a zero spliced in at the qubit's bit position).
     const float beta = static_cast<float>(parameters.betas[rep]);
     const float c = std::cos(beta);
     const std::complex<float> s(0.0f, -std::sin(beta));
     for (int q = 0; q < num_qubits_; ++q) {
       const uint64_t bit = uint64_t{1} << q;
-      for (uint64_t base = 0; base < size; ++base) {
-        if (base & bit) continue;
-        const uint64_t partner = base | bit;
-        const std::complex<float> a0 = amplitudes_[base];
-        const std::complex<float> a1 = amplitudes_[partner];
-        amplitudes_[base] = c * a0 + s * a1;
-        amplitudes_[partner] = s * a0 + c * a1;
-      }
+      const uint64_t low_mask = bit - 1;
+      ParallelForBlocks(
+          pool_, 0, static_cast<int64_t>(size >> 1), kBlock,
+          [&](int64_t begin, int64_t end) {
+            for (int64_t k = begin; k < end; ++k) {
+              const uint64_t uk = static_cast<uint64_t>(k);
+              const uint64_t base = ((uk & ~low_mask) << 1) | (uk & low_mask);
+              const uint64_t partner = base | bit;
+              const std::complex<float> a0 = amps[base];
+              const std::complex<float> a1 = amps[partner];
+              amps[base] = c * a0 + s * a1;
+              amps[partner] = s * a0 + c * a1;
+            }
+          });
     }
   }
   state_loaded_ = true;
 
-  double expectation = 0.0;
-  for (uint64_t i = 0; i < size; ++i) {
-    expectation += static_cast<double>(std::norm(amplitudes_[i])) *
-                   static_cast<double>(cost_[i]);
-  }
-  return expectation;
+  return ParallelBlockedSum(pool_, static_cast<int64_t>(size), kBlock,
+                            [&](int64_t begin, int64_t end) {
+                              double partial = 0.0;
+                              for (int64_t i = begin; i < end; ++i) {
+                                partial +=
+                                    static_cast<double>(std::norm(amps[i])) *
+                                    static_cast<double>(cost[i]);
+                              }
+                              return partial;
+                            });
 }
 
 double QaoaSimulator::Expectation(double gamma, double beta) {
@@ -123,22 +149,12 @@ std::vector<uint64_t> QaoaSimulator::Sample(int shots, double fidelity,
     }
   }
   if (ideal_shots > 0) {
-    std::vector<double> u(ideal_shots);
-    for (double& v : u) v = rng.UniformDouble();
-    std::sort(u.begin(), u.end());
-    double cumulative = 0.0;
-    size_t next = 0;
-    for (uint64_t i = 0; i < size && next < u.size(); ++i) {
-      cumulative += static_cast<double>(std::norm(amplitudes_[i]));
-      while (next < u.size() && u[next] < cumulative) {
-        samples.push_back(i);
-        ++next;
-      }
-    }
-    while (next < u.size()) {
-      samples.push_back(size - 1);
-      ++next;
-    }
+    SampleByInverseCdf(
+        size,
+        [this](uint64_t i) {
+          return static_cast<double>(std::norm(amplitudes_[i]));
+        },
+        ideal_shots, rng, samples);
   }
   rng.Shuffle(samples);
   return samples;

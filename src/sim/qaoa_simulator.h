@@ -12,18 +12,30 @@
 
 namespace qjo {
 
+class ThreadPool;
+
 /// Specialised QAOA state-vector simulator. Exploits the diagonality of
 /// the cost operator: the full cost spectrum E(x) is computed once by a
-/// Gray-code sweep, after which each circuit evaluation is an element-wise
-/// phase multiplication plus n RX butterflies. Amplitudes are stored in
-/// single precision so 27-qubit problems (the paper's largest gate-based
-/// instances) fit comfortably in memory.
+/// Gray-code sweep over the CSR coupling graph, after which each circuit
+/// evaluation is an element-wise phase multiplication plus n RX
+/// butterflies. Amplitudes are stored in single precision so 27-qubit
+/// problems (the paper's largest gate-based instances) fit comfortably in
+/// memory.
+///
+/// Run()'s 2^n loops execute blocked on the attached pool with fixed
+/// chunk boundaries and reduction order, so <H_C> and the loaded state
+/// are bit-identical at every parallelism level (and, for <= 2^14
+/// amplitudes, to the pre-parallel serial loops).
 class QaoaSimulator {
  public:
   /// Builds the simulator and cost spectrum. Fails above 27 qubits.
   static StatusOr<QaoaSimulator> Create(const IsingModel& ising);
 
   int num_qubits() const { return num_qubits_; }
+
+  /// Attaches an externally-owned pool for the 2^n amplitude loops
+  /// (nullptr = serial, the default). Not owned.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Cost spectrum E(x) including the Ising offset.
   const std::vector<float>& cost_spectrum() const { return cost_; }
@@ -58,6 +70,7 @@ class QaoaSimulator {
   std::vector<float> cost_;
   std::vector<std::complex<float>> amplitudes_;
   bool state_loaded_ = false;
+  ThreadPool* pool_ = nullptr;  // not owned
 };
 
 }  // namespace qjo

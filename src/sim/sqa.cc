@@ -5,26 +5,10 @@
 #include <limits>
 #include <optional>
 
+#include "qubo/qubo_csr.h"
 #include "util/check.h"
 
 namespace qjo {
-namespace {
-
-struct Adjacency {
-  explicit Adjacency(const IsingModel& ising)
-      : neighbors(ising.num_spins()) {
-    for (size_t e = 0; e < ising.couplings.size(); ++e) {
-      const auto& [i, j, w] = ising.couplings[e];
-      (void)w;
-      neighbors[i].emplace_back(j, static_cast<int>(e));
-      neighbors[j].emplace_back(i, static_cast<int>(e));
-    }
-  }
-  // (neighbor, coupling index) pairs.
-  std::vector<std::vector<std::pair<int, int>>> neighbors;
-};
-
-}  // namespace
 
 StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
                                         const SqaOptions& options, Rng& rng) {
@@ -41,7 +25,10 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
   const double scale = std::max(ising.MaxAbsCoefficient(), 1e-9);
   const double temperature = options.relative_temperature * scale;
   const double gamma0 = options.relative_initial_field * scale;
-  const Adjacency adjacency(ising);
+  // Shared flat adjacency; entries carry the coupling index so each read
+  // can look up its own ICE-perturbed weights through the one structure.
+  const IsingCsr csr = IsingCsr::FromIsing(ising);
+  const bool incremental = options.kernel == SolverKernel::kIncremental;
 
   // One draw off the shared generator, then one forked stream per read:
   // the sample set is bit-identical for every parallelism level and
@@ -70,6 +57,27 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
     std::vector<int8_t> spins(static_cast<size_t>(slices) * n);
     for (auto& s : spins) s = read_rng.Bernoulli(0.5) ? 1 : -1;
 
+    // Incremental kernel: persistent classical local fields per Trotter
+    // slice, fields[p * n + i] = h_i + sum_j J_ij s_pj, updated on
+    // accepted flips only; a proposal is then O(1). The replica term
+    // needs no cache — it reads two spins directly.
+    std::vector<double> fields;
+    if (incremental) {
+      fields.assign(static_cast<size_t>(slices) * n, 0.0);
+      for (int p = 0; p < slices; ++p) {
+        const int8_t* slice = &spins[static_cast<size_t>(p) * n];
+        double* slice_fields = &fields[static_cast<size_t>(p) * n];
+        for (int i = 0; i < n; ++i) {
+          double field = h[i];
+          for (int32_t k = csr.offsets[i]; k < csr.offsets[i + 1]; ++k) {
+            field += coupling_weights[csr.edge_ids[k]] *
+                     static_cast<double>(slice[csr.columns[k]]);
+          }
+          slice_fields[i] = field;
+        }
+      }
+    }
+
     for (int sweep = 0; sweep < num_sweeps; ++sweep) {
       const double s_frac =
           static_cast<double>(sweep) / static_cast<double>(num_sweeps - 1);
@@ -86,11 +94,19 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
         const int8_t* up = &spins[static_cast<size_t>((p + 1) % slices) * n];
         const int8_t* down =
             &spins[static_cast<size_t>((p + slices - 1) % slices) * n];
+        double* slice_fields =
+            incremental ? &fields[static_cast<size_t>(p) * n] : nullptr;
         for (int i = 0; i < n; ++i) {
           // Classical field (scaled by 1/P) + replica field.
-          double field = h[i];
-          for (const auto& [j, e] : adjacency.neighbors[i]) {
-            field += coupling_weights[e] * static_cast<double>(slice[j]);
+          double field;
+          if (incremental) {
+            field = slice_fields[i];
+          } else {
+            field = h[i];
+            for (int32_t k = csr.offsets[i]; k < csr.offsets[i + 1]; ++k) {
+              field += coupling_weights[csr.edge_ids[k]] *
+                       static_cast<double>(slice[csr.columns[k]]);
+            }
           }
           double delta =
               -2.0 * static_cast<double>(slice[i]) * field / slices;
@@ -99,6 +115,15 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
           if (delta <= 0.0 ||
               read_rng.UniformDouble() < std::exp(-delta / temperature)) {
             slice[i] = static_cast<int8_t>(-slice[i]);
+            if (incremental) {
+              // Neighbour fields lose J * old_s and gain J * new_s:
+              // += 2 J new_s.
+              const double two_s = 2.0 * static_cast<double>(slice[i]);
+              for (int32_t k = csr.offsets[i]; k < csr.offsets[i + 1]; ++k) {
+                slice_fields[csr.columns[k]] +=
+                    two_s * coupling_weights[csr.edge_ids[k]];
+              }
+            }
           }
         }
       }

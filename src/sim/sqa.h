@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "qubo/ising.h"
+#include "qubo/solvers.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/statusor.h"
@@ -38,6 +39,10 @@ struct SqaOptions {
   int parallelism = 1;
   /// Optional externally-owned pool shared across calls (not owned).
   ThreadPool* pool = nullptr;
+  /// Inner-loop implementation: persistent per-slice local fields
+  /// (kIncremental, default) or the O(degree) scan per proposal
+  /// (kReference, for parity tests and benches).
+  SolverKernel kernel = SolverKernel::kIncremental;
 };
 
 /// One annealing read: the sampled spin configuration (+1/-1 per site)

@@ -4,11 +4,20 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/sampling.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
 
 constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+/// Block size for the amplitude loops. Fixed (never derived from the
+/// thread count) so chunk boundaries — and therefore reduction partials —
+/// are identical at every parallelism level. 2^14 amplitudes per chunk is
+/// large enough to amortise dispatch and keeps every state of <= 14
+/// qubits in a single chunk, i.e. bit-identical to the old serial loops.
+constexpr int64_t kBlock = int64_t{1} << 14;
 
 using Complex = std::complex<double>;
 
@@ -30,46 +39,72 @@ StatusOr<StateVector> StateVector::Create(int num_qubits) {
 void StateVector::ApplySingleQubitMatrix(int qubit,
                                          const Complex m[2][2]) {
   const uint64_t bit = uint64_t{1} << qubit;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t base = 0; base < size; ++base) {
-    if (base & bit) continue;
-    const uint64_t partner = base | bit;
-    const Complex a0 = amplitudes_[base];
-    const Complex a1 = amplitudes_[partner];
-    amplitudes_[base] = m[0][0] * a0 + m[0][1] * a1;
-    amplitudes_[partner] = m[1][0] * a0 + m[1][1] * a1;
-  }
+  const uint64_t low_mask = bit - 1;
+  // Compressed index space: k in [0, size/2) enumerates exactly the
+  // bases with `bit` clear (base = k with a zero spliced in at the bit
+  // position), so no iteration is wasted skipping partners and the range
+  // splits into equal-work chunks.
+  const int64_t half = static_cast<int64_t>(amplitudes_.size() >> 1);
+  const Complex m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
+  Complex* amps = amplitudes_.data();
+  ParallelForBlocks(pool_, 0, half, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t k = begin; k < end; ++k) {
+      const uint64_t uk = static_cast<uint64_t>(k);
+      const uint64_t base = ((uk & ~low_mask) << 1) | (uk & low_mask);
+      const uint64_t partner = base | bit;
+      const Complex a0 = amps[base];
+      const Complex a1 = amps[partner];
+      amps[base] = m00 * a0 + m01 * a1;
+      amps[partner] = m10 * a0 + m11 * a1;
+    }
+  });
 }
 
 void StateVector::ApplyCx(int control, int target) {
   const uint64_t cbit = uint64_t{1} << control;
   const uint64_t tbit = uint64_t{1} << target;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t i = 0; i < size; ++i) {
-    if ((i & cbit) && !(i & tbit)) {
-      std::swap(amplitudes_[i], amplitudes_[i | tbit]);
+  const int64_t size = static_cast<int64_t>(amplitudes_.size());
+  Complex* amps = amplitudes_.data();
+  // Only i with control set / target clear is enumerated; its partner
+  // i | tbit never is, so chunks write disjoint pairs.
+  ParallelForBlocks(pool_, 0, size, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const uint64_t i = static_cast<uint64_t>(s);
+      if ((i & cbit) && !(i & tbit)) {
+        std::swap(amps[i], amps[i | tbit]);
+      }
     }
-  }
+  });
 }
 
 void StateVector::ApplyCz(int a, int b) {
   const uint64_t abit = uint64_t{1} << a;
   const uint64_t bbit = uint64_t{1} << b;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t i = 0; i < size; ++i) {
-    if ((i & abit) && (i & bbit)) amplitudes_[i] = -amplitudes_[i];
-  }
+  const int64_t size = static_cast<int64_t>(amplitudes_.size());
+  Complex* amps = amplitudes_.data();
+  ParallelForBlocks(pool_, 0, size, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const uint64_t i = static_cast<uint64_t>(s);
+      if ((i & abit) && (i & bbit)) amps[i] = -amps[i];
+    }
+  });
 }
 
 void StateVector::ApplySwap(int a, int b) {
   const uint64_t abit = uint64_t{1} << a;
   const uint64_t bbit = uint64_t{1} << b;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t i = 0; i < size; ++i) {
-    if ((i & abit) && !(i & bbit)) {
-      std::swap(amplitudes_[i], amplitudes_[(i & ~abit) | bbit]);
+  const int64_t size = static_cast<int64_t>(amplitudes_.size());
+  Complex* amps = amplitudes_.data();
+  // Enumerated i has a set / b clear; the partner has a clear / b set and
+  // is never enumerated, so chunks write disjoint pairs.
+  ParallelForBlocks(pool_, 0, size, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const uint64_t i = static_cast<uint64_t>(s);
+      if ((i & abit) && !(i & bbit)) {
+        std::swap(amps[i], amps[(i & ~abit) | bbit]);
+      }
     }
-  }
+  });
 }
 
 void StateVector::ApplyRzz(int a, int b, double theta) {
@@ -79,12 +114,16 @@ void StateVector::ApplyRzz(int a, int b, double theta) {
   const Complex diff = std::polar(1.0, theta / 2.0);
   const uint64_t abit = uint64_t{1} << a;
   const uint64_t bbit = uint64_t{1} << b;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t i = 0; i < size; ++i) {
-    const bool ba = i & abit;
-    const bool bb = i & bbit;
-    amplitudes_[i] *= (ba == bb) ? same : diff;
-  }
+  const int64_t size = static_cast<int64_t>(amplitudes_.size());
+  Complex* amps = amplitudes_.data();
+  ParallelForBlocks(pool_, 0, size, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t s = begin; s < end; ++s) {
+      const uint64_t i = static_cast<uint64_t>(s);
+      const bool ba = i & abit;
+      const bool bb = i & bbit;
+      amps[i] *= (ba == bb) ? same : diff;
+    }
+  });
 }
 
 void StateVector::ApplyMs(int a, int b, double theta) {
@@ -94,15 +133,21 @@ void StateVector::ApplyMs(int a, int b, double theta) {
   const uint64_t abit = uint64_t{1} << a;
   const uint64_t bbit = uint64_t{1} << b;
   const uint64_t mask = abit | bbit;
-  const uint64_t size = amplitudes_.size();
-  for (uint64_t i = 0; i < size; ++i) {
-    const uint64_t j = i ^ mask;
-    if (j < i) continue;
-    const Complex ai = amplitudes_[i];
-    const Complex aj = amplitudes_[j];
-    amplitudes_[i] = c * ai + s * aj;
-    amplitudes_[j] = s * ai + c * aj;
-  }
+  const int64_t size = static_cast<int64_t>(amplitudes_.size());
+  Complex* amps = amplitudes_.data();
+  // Each pair {i, i ^ mask} is owned by its smaller member, so chunks
+  // write disjoint pairs.
+  ParallelForBlocks(pool_, 0, size, kBlock, [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      const uint64_t i = static_cast<uint64_t>(t);
+      const uint64_t j = i ^ mask;
+      if (j < i) continue;
+      const Complex ai = amps[i];
+      const Complex aj = amps[j];
+      amps[i] = c * ai + s * aj;
+      amps[j] = s * ai + c * aj;
+    }
+  });
 }
 
 void StateVector::Apply(const Gate& gate) {
@@ -179,27 +224,24 @@ double StateVector::Probability(uint64_t basis) const {
 
 std::vector<double> StateVector::Probabilities() const {
   std::vector<double> probs(amplitudes_.size());
-  for (size_t i = 0; i < amplitudes_.size(); ++i) {
-    probs[i] = std::norm(amplitudes_[i]);
-  }
+  const Complex* amps = amplitudes_.data();
+  double* out = probs.data();
+  ParallelForBlocks(pool_, 0, static_cast<int64_t>(amplitudes_.size()), kBlock,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        out[i] = std::norm(amps[i]);
+                      }
+                    });
   return probs;
 }
 
 std::vector<uint64_t> StateVector::Sample(int shots, Rng& rng) const {
   QJO_CHECK_GT(shots, 0);
-  // Sorted uniforms + one cumulative pass: O(2^n + shots log shots).
-  std::vector<double> u(shots);
-  for (double& v : u) v = rng.UniformDouble();
-  std::sort(u.begin(), u.end());
-  std::vector<uint64_t> samples(shots);
-  double cumulative = 0.0;
-  size_t next = 0;
-  for (uint64_t i = 0; i < amplitudes_.size() && next < u.size(); ++i) {
-    cumulative += std::norm(amplitudes_[i]);
-    while (next < u.size() && u[next] < cumulative) samples[next++] = i;
-  }
-  // Rounding slack: assign the last basis state.
-  while (next < u.size()) samples[next++] = amplitudes_.size() - 1;
+  std::vector<uint64_t> samples;
+  SampleByInverseCdf(
+      amplitudes_.size(),
+      [this](uint64_t i) { return std::norm(amplitudes_[i]); }, shots, rng,
+      samples);
   // Return in random order (the sorted order is an artefact).
   rng.Shuffle(samples);
   return samples;
@@ -207,24 +249,37 @@ std::vector<uint64_t> StateVector::Sample(int shots, Rng& rng) const {
 
 double StateVector::ExpectationZ(int qubit) const {
   const uint64_t bit = uint64_t{1} << qubit;
-  double expectation = 0.0;
-  for (uint64_t i = 0; i < amplitudes_.size(); ++i) {
-    const double p = std::norm(amplitudes_[i]);
-    expectation += (i & bit) ? -p : p;
-  }
-  return expectation;
+  const Complex* amps = amplitudes_.data();
+  return ParallelBlockedSum(
+      pool_, static_cast<int64_t>(amplitudes_.size()), kBlock,
+      [&](int64_t begin, int64_t end) {
+        double partial = 0.0;
+        for (int64_t s = begin; s < end; ++s) {
+          const uint64_t i = static_cast<uint64_t>(s);
+          const double p = std::norm(amps[i]);
+          partial += (i & bit) ? -p : p;
+        }
+        return partial;
+      });
 }
 
 double StateVector::ExpectationZZ(int a, int b) const {
   const uint64_t abit = uint64_t{1} << a;
   const uint64_t bbit = uint64_t{1} << b;
-  double expectation = 0.0;
-  for (uint64_t i = 0; i < amplitudes_.size(); ++i) {
-    const double p = std::norm(amplitudes_[i]);
-    const bool same = static_cast<bool>(i & abit) == static_cast<bool>(i & bbit);
-    expectation += same ? p : -p;
-  }
-  return expectation;
+  const Complex* amps = amplitudes_.data();
+  return ParallelBlockedSum(
+      pool_, static_cast<int64_t>(amplitudes_.size()), kBlock,
+      [&](int64_t begin, int64_t end) {
+        double partial = 0.0;
+        for (int64_t s = begin; s < end; ++s) {
+          const uint64_t i = static_cast<uint64_t>(s);
+          const double p = std::norm(amps[i]);
+          const bool same =
+              static_cast<bool>(i & abit) == static_cast<bool>(i & bbit);
+          partial += same ? p : -p;
+        }
+        return partial;
+      });
 }
 
 double StateVector::Overlap(const StateVector& other) const {

@@ -10,9 +10,17 @@
 
 namespace qjo {
 
+class ThreadPool;
+
 /// Dense state-vector simulator. Intended for verification and small-scale
 /// sampling (<= ~24 qubits); the specialised QaoaSimulator handles the
 /// larger QAOA workloads.
+///
+/// All 2^n-amplitude loops (gate kernels, Probabilities, expectations) run
+/// blocked over contiguous index ranges on the attached pool, with block
+/// boundaries and reduction order fixed independently of the thread count
+/// — results are bit-identical at every parallelism level, and for states
+/// of <= 2^14 amplitudes bit-identical to the pre-parallel serial loops.
 class StateVector {
  public:
   /// Initialises |0...0> over `num_qubits` qubits (<= 28).
@@ -22,6 +30,10 @@ class StateVector {
   const std::vector<std::complex<double>>& amplitudes() const {
     return amplitudes_;
   }
+
+  /// Attaches an externally-owned pool for the amplitude loops (nullptr =
+  /// serial, the default). Not owned; must outlive this object's use.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Applies one gate in place.
   void Apply(const Gate& gate);
@@ -62,6 +74,7 @@ class StateVector {
 
   int num_qubits_;
   std::vector<std::complex<double>> amplitudes_;
+  ThreadPool* pool_ = nullptr;  // not owned
 };
 
 /// Unitary of a small circuit (n <= 10) as a dense column-major matrix of

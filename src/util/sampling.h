@@ -1,0 +1,61 @@
+#ifndef QJO_UTIL_SAMPLING_H_
+#define QJO_UTIL_SAMPLING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace qjo {
+
+/// Draws `shots` indices from the distribution prob(0..size-1) by inverse
+/// CDF with sorted uniforms: O(size + shots log shots) total instead of a
+/// binary search per shot over a materialised CDF. `prob` is any callable
+/// uint64_t -> double; it is evaluated once per index, so callers can pass
+/// a lambda over amplitudes without building a probability array.
+///
+/// Uniforms that land past the accumulated total (rounding slack — the
+/// probabilities sum to 1 only up to floating-point error) are assigned to
+/// the last index with nonzero probability, not blindly to size - 1: a
+/// distribution whose support ends early must never emit an index that has
+/// probability zero. If the whole distribution is empty the slack falls
+/// back to size - 1.
+///
+/// Samples are appended to `out` in ascending index order (an artefact of
+/// the sorted uniforms) — callers that need exchangeable draws shuffle
+/// afterwards.
+template <typename ProbabilityFn>
+void SampleByInverseCdf(uint64_t size, ProbabilityFn&& prob, int shots,
+                        Rng& rng, std::vector<uint64_t>& out) {
+  QJO_CHECK_GT(size, 0u);
+  QJO_CHECK_GT(shots, 0);
+  std::vector<double> u(shots);
+  for (double& v : u) v = rng.UniformDouble();
+  std::sort(u.begin(), u.end());
+
+  out.reserve(out.size() + static_cast<size_t>(shots));
+  double cumulative = 0.0;
+  size_t next = 0;
+  uint64_t last_support = size - 1;
+  for (uint64_t i = 0; i < size && next < u.size(); ++i) {
+    const double p = prob(i);
+    if (p > 0.0) last_support = i;
+    cumulative += p;
+    while (next < u.size() && u[next] < cumulative) {
+      out.push_back(i);
+      ++next;
+    }
+  }
+  // Slack can only remain once the loop has scanned the full range, so
+  // last_support is final by the time it is used here.
+  while (next < u.size()) {
+    out.push_back(last_support);
+    ++next;
+  }
+}
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_SAMPLING_H_

@@ -105,4 +105,20 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
   }
 }
 
+void ParallelForBlocks(ThreadPool* pool, int64_t begin, int64_t end,
+                       int64_t block,
+                       const std::function<void(int64_t, int64_t)>& body) {
+  if (end <= begin) return;
+  block = std::max<int64_t>(block, 1);
+  // Chunk boundaries are a pure function of (begin, end, block): chunk c
+  // covers [begin + c * block, min(begin + (c + 1) * block, end)). The
+  // pool only decides which thread runs a chunk, never what the chunk is.
+  const int64_t num_chunks = (end - begin + block - 1) / block;
+  ParallelFor(pool, 0, num_chunks, [&](int64_t chunk) {
+    const int64_t chunk_begin = begin + chunk * block;
+    const int64_t chunk_end = std::min(chunk_begin + block, end);
+    body(chunk_begin, chunk_end);
+  });
+}
+
 }  // namespace qjo

@@ -1,6 +1,7 @@
 #ifndef QJO_UTIL_THREAD_POOL_H_
 #define QJO_UTIL_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -54,6 +55,43 @@ class ThreadPool {
 /// optional shared pool through without branching at every call site.
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
                  const std::function<void(int64_t)>& body);
+
+/// Runs body(chunk_begin, chunk_end) over consecutive chunks of
+/// [begin, end), each `block` indices long (the last one possibly
+/// shorter). Chunk boundaries depend only on (begin, end, block) — never
+/// on the pool or thread count — so per-chunk partial results (e.g.
+/// reduction partials indexed by chunk) are identical at every
+/// parallelism level, including serial. This is the data-parallel
+/// substrate of the 2^n-amplitude simulator loops: big contiguous chunks
+/// amortise the per-task dispatch cost and keep the index space
+/// cache-friendly.
+void ParallelForBlocks(ThreadPool* pool, int64_t begin, int64_t end,
+                       int64_t block,
+                       const std::function<void(int64_t, int64_t)>& body);
+
+/// Deterministic parallel reduction over [0, size): each fixed-size block
+/// computes partial(block_begin, block_end) into its own slot, and the
+/// partials are combined left to right afterwards. Both the block
+/// boundaries and the combine order are independent of the pool, so the
+/// floating-point result is bit-identical at every parallelism level;
+/// with size <= block it degenerates to the plain serial left-to-right
+/// sum the pre-parallel code computed.
+template <typename PartialFn>
+double ParallelBlockedSum(ThreadPool* pool, int64_t size, int64_t block,
+                          PartialFn&& partial) {
+  if (size <= 0) return 0.0;
+  block = std::max<int64_t>(block, 1);
+  const int64_t num_blocks = (size + block - 1) / block;
+  std::vector<double> partials(static_cast<size_t>(num_blocks), 0.0);
+  ParallelForBlocks(pool, 0, size, block,
+                    [&](int64_t chunk_begin, int64_t chunk_end) {
+                      partials[static_cast<size_t>(chunk_begin / block)] =
+                          partial(chunk_begin, chunk_end);
+                    });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
 
 }  // namespace qjo
 

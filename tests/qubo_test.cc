@@ -9,6 +9,7 @@
 #include "qubo/bilp_to_qubo.h"
 #include "qubo/ising.h"
 #include "qubo/qubo.h"
+#include "qubo/qubo_csr.h"
 #include "qubo/solvers.h"
 #include "util/random.h"
 
@@ -371,6 +372,162 @@ TEST(QuboTest, MaxAbsCoefficient) {
   q.AddLinear(0, -5.0);
   q.AddQuadratic(1, 2, 3.0);
   EXPECT_DOUBLE_EQ(q.MaxAbsCoefficient(), 5.0);
+}
+
+TEST(QuboDeathTest, QuadraticRejectsDiagonalAndOutOfRange) {
+  Qubo q(3);
+  q.AddQuadratic(0, 1, 1.0);
+  EXPECT_DEATH(q.quadratic(1, 1), "CHECK failed");
+  EXPECT_DEATH(q.quadratic(-1, 0), "CHECK failed");
+  EXPECT_DEATH(q.quadratic(0, 3), "CHECK failed");
+  EXPECT_DEATH(q.AddQuadratic(2, 2, 1.0), "CHECK failed");
+  EXPECT_DEATH(q.AddQuadratic(-1, 1, 1.0), "CHECK failed");
+  EXPECT_DEATH(q.AddQuadratic(1, 3, 1.0), "CHECK failed");
+}
+
+/// Reference energy straight off the term list — deliberately independent
+/// of both the CSR layout and Qubo::Energy.
+double TermListEnergy(const Qubo& q, const std::vector<int>& x) {
+  double energy = q.offset();
+  for (int i = 0; i < q.num_variables(); ++i) {
+    if (x[i]) energy += q.linear(i);
+  }
+  for (const auto& [i, j, w] : q.QuadraticTerms()) {
+    if (x[i] && x[j]) energy += w;
+  }
+  return energy;
+}
+
+TEST(QuboCsrTest, EnergyAndFlipDeltaMatchTermListReference) {
+  Rng rng(77);
+  for (int trial = 0; trial < 16; ++trial) {
+    const int n = 2 + static_cast<int>(rng.UniformInt(24));
+    const Qubo qubo = RandomQubo(n, 0.4, rng);
+    const QuboCsr& csr = qubo.Csr();
+    ASSERT_EQ(csr.num_variables(), n);
+    ASSERT_EQ(csr.num_entries(), 2 * qubo.num_quadratic_terms());
+    for (int s = 0; s < 8; ++s) {
+      std::vector<int> x(n);
+      for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+      EXPECT_NEAR(csr.Energy(x), TermListEnergy(qubo, x), 1e-9);
+      const std::vector<double> fields = csr.LocalFields(x);
+      for (int i = 0; i < n; ++i) {
+        std::vector<int> flipped = x;
+        flipped[i] ^= 1;
+        const double expected = TermListEnergy(qubo, flipped) -
+                                TermListEnergy(qubo, x);
+        EXPECT_NEAR(csr.FlipDelta(x, i), expected, 1e-9)
+            << "trial " << trial << " flip " << i;
+        // O(1) proposal off the persistent fields must agree with the
+        // O(degree) scan.
+        EXPECT_NEAR(x[i] ? -fields[i] : fields[i], expected, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(QuboCsrTest, ApplyFlipKeepsFieldsAndEnergyInSync) {
+  Rng rng(83);
+  const int n = 24;
+  const Qubo qubo = RandomQubo(n, 0.5, rng);
+  const QuboCsr& csr = qubo.Csr();
+  std::vector<int> x(n);
+  for (int i = 0; i < n; ++i) x[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  std::vector<double> fields = csr.LocalFields(x);
+  double energy = csr.Energy(x);
+  for (int step = 0; step < 300; ++step) {
+    const int i = static_cast<int>(rng.UniformInt(n));
+    energy += x[i] ? -fields[i] : fields[i];
+    csr.ApplyFlip(i, x, fields);
+  }
+  EXPECT_NEAR(energy, csr.Energy(x), 1e-9);
+  const std::vector<double> fresh = csr.LocalFields(x);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(fields[i], fresh[i], 1e-9) << "field " << i;
+  }
+}
+
+/// Random QUBO whose coefficients are multiples of 1/64 with small
+/// magnitude: every sum the kernels form is exactly representable, so
+/// floating-point addition is associative on these problems and the
+/// incremental kernel must reproduce the reference kernel's trajectory
+/// bit for bit, not merely approximately.
+Qubo DyadicRandomQubo(int n, double edge_probability, Rng& rng) {
+  Qubo q(n);
+  const auto dyadic = [&rng] {
+    return (static_cast<double>(rng.UniformInt(257)) - 128.0) / 64.0;
+  };
+  for (int i = 0; i < n; ++i) {
+    q.AddLinear(i, dyadic());
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_probability)) q.AddQuadratic(i, j, dyadic());
+    }
+  }
+  return q;
+}
+
+TEST(SimulatedAnnealingTest, KernelsBitIdenticalOnDyadicProblems) {
+  Rng make_rng(91);
+  const Qubo qubo = DyadicRandomQubo(40, 0.5, make_rng);
+  SaOptions options;
+  options.num_reads = 8;
+  options.sweeps_per_read = 100;
+  for (int parallelism : {1, 4}) {
+    options.parallelism = parallelism;
+    options.kernel = SolverKernel::kIncremental;
+    Rng rng_inc(19);
+    const auto incremental = SolveQuboSimulatedAnnealing(qubo, options, rng_inc);
+    options.kernel = SolverKernel::kReference;
+    Rng rng_ref(19);
+    const auto reference = SolveQuboSimulatedAnnealing(qubo, options, rng_ref);
+    ASSERT_EQ(incremental.size(), reference.size());
+    for (size_t i = 0; i < incremental.size(); ++i) {
+      EXPECT_EQ(incremental[i].energy, reference[i].energy)
+          << "parallelism " << parallelism << " read " << i;
+      EXPECT_EQ(incremental[i].assignment, reference[i].assignment);
+    }
+  }
+}
+
+TEST(TabuSearchTest, KernelsBitIdenticalOnDyadicProblems) {
+  Rng make_rng(97);
+  const Qubo qubo = DyadicRandomQubo(32, 0.5, make_rng);
+  TabuOptions options;
+  options.num_restarts = 6;
+  options.iterations_per_restart = 250;
+  for (int parallelism : {1, 4}) {
+    options.parallelism = parallelism;
+    options.kernel = SolverKernel::kIncremental;
+    Rng rng_inc(23);
+    const auto incremental = SolveQuboTabuSearch(qubo, options, rng_inc);
+    options.kernel = SolverKernel::kReference;
+    Rng rng_ref(23);
+    const auto reference = SolveQuboTabuSearch(qubo, options, rng_ref);
+    ASSERT_EQ(incremental.size(), reference.size());
+    for (size_t i = 0; i < incremental.size(); ++i) {
+      EXPECT_EQ(incremental[i].energy, reference[i].energy)
+          << "parallelism " << parallelism << " restart " << i;
+      EXPECT_EQ(incremental[i].assignment, reference[i].assignment);
+    }
+  }
+}
+
+TEST(SimulatedAnnealingTest, KernelsConvergeEquallyOnContinuousProblems) {
+  // On continuous weights the trajectories may drift apart by rounding,
+  // but both kernels must still find the same optimum of a small problem.
+  Rng make_rng(101);
+  const Qubo qubo = RandomQubo(14, 0.5, make_rng);
+  const QuboSolution exact = *SolveQuboBruteForce(qubo);
+  SaOptions options;
+  options.num_reads = 24;
+  options.sweeps_per_read = 400;
+  for (SolverKernel kernel : {SolverKernel::kIncremental,
+                              SolverKernel::kReference}) {
+    options.kernel = kernel;
+    Rng rng(29);
+    const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+    EXPECT_NEAR(reads.front().energy, exact.energy, 1e-6);
+  }
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include "sim/sqa.h"
 #include "sim/statevector.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
@@ -473,6 +474,109 @@ TEST(SqaTest, RejectsBadOptions) {
   options.num_reads = 1;
   options.trotter_slices = 1;
   EXPECT_FALSE(RunSqa(one, options, rng).ok());
+}
+
+/// Random Ising model whose coefficients are multiples of 1/64: all field
+/// sums are exact, so the incremental per-slice local fields must equal
+/// the reference O(degree) scans bit for bit (see the dyadic QUBO kernel
+/// tests for the same argument).
+IsingModel DyadicRandomIsing(int n, double edge_probability, Rng& rng) {
+  IsingModel ising;
+  const auto dyadic = [&rng] {
+    return (static_cast<double>(rng.UniformInt(129)) - 64.0) / 64.0;
+  };
+  ising.h.assign(n, 0.0);
+  for (int i = 0; i < n; ++i) ising.h[i] = dyadic();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        ising.couplings.emplace_back(i, j, dyadic());
+      }
+    }
+  }
+  return ising;
+}
+
+TEST(SqaTest, KernelsBitIdenticalOnDyadicProblems) {
+  Rng make_rng(67);
+  const IsingModel ising = DyadicRandomIsing(20, 0.4, make_rng);
+  SqaOptions options;
+  options.num_reads = 6;
+  options.annealing_time_us = 10.0;
+  options.sweeps_per_us = 4.0;
+  options.trotter_slices = 8;
+  options.ice_sigma = 0.0;  // noise would perturb the dyadic coefficients
+  for (int parallelism : {1, 4}) {
+    options.parallelism = parallelism;
+    options.kernel = SolverKernel::kIncremental;
+    Rng rng_inc(71);
+    auto incremental = RunSqa(ising, options, rng_inc);
+    options.kernel = SolverKernel::kReference;
+    Rng rng_ref(71);
+    auto reference = RunSqa(ising, options, rng_ref);
+    ASSERT_TRUE(incremental.ok());
+    ASSERT_TRUE(reference.ok());
+    ASSERT_EQ(incremental->size(), reference->size());
+    for (size_t i = 0; i < incremental->size(); ++i) {
+      EXPECT_EQ((*incremental)[i].energy, (*reference)[i].energy)
+          << "parallelism " << parallelism << " read " << i;
+      EXPECT_EQ((*incremental)[i].spins, (*reference)[i].spins);
+    }
+  }
+}
+
+TEST(StateVectorTest, DeterministicAcrossParallelism) {
+  // 15 qubits = 32768 amplitudes = two blocks: the blocked kernels and
+  // reductions must produce the same bits with and without a pool.
+  const int n = 15;
+  QuantumCircuit circuit(n);
+  for (int q = 0; q < n; ++q) circuit.H(q);
+  for (int q = 0; q + 1 < n; ++q) circuit.Rzz(q, q + 1, 0.3 + 0.01 * q);
+  for (int q = 0; q < n; ++q) circuit.Rx(q, 0.7 - 0.02 * q);
+  circuit.Cx(0, n - 1);
+  circuit.Swap(2, 9);
+  circuit.Ms(3, 11, 0.4);
+
+  StateVector serial = *StateVector::Create(n);
+  serial.ApplyCircuit(circuit);
+
+  ThreadPool pool(4);
+  StateVector parallel = *StateVector::Create(n);
+  parallel.set_pool(&pool);
+  parallel.ApplyCircuit(circuit);
+
+  ASSERT_EQ(serial.amplitudes().size(), parallel.amplitudes().size());
+  for (size_t i = 0; i < serial.amplitudes().size(); ++i) {
+    ASSERT_EQ(serial.amplitudes()[i], parallel.amplitudes()[i]) << "amp " << i;
+  }
+  EXPECT_EQ(serial.ExpectationZ(4), parallel.ExpectationZ(4));
+  EXPECT_EQ(serial.ExpectationZZ(1, 13), parallel.ExpectationZZ(1, 13));
+  EXPECT_EQ(serial.Probabilities(), parallel.Probabilities());
+}
+
+TEST(QaoaSimulatorTest, DeterministicAcrossParallelism) {
+  Rng make_rng(73);
+  const IsingModel ising = RandomIsing(16, 0.3, make_rng);
+  QaoaParameters params;
+  params.gammas = {0.4, 0.15};
+  params.betas = {0.9, 0.35};
+
+  auto serial = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(serial.ok());
+  const double serial_expectation = serial->Run(params);
+
+  ThreadPool pool(4);
+  auto parallel = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(parallel.ok());
+  parallel->set_pool(&pool);
+  const double parallel_expectation = parallel->Run(params);
+
+  EXPECT_EQ(serial_expectation, parallel_expectation);
+  const uint64_t size = uint64_t{1} << 16;
+  for (uint64_t basis = 0; basis < size; basis += 257) {
+    ASSERT_EQ(serial->Probability(basis), parallel->Probability(basis))
+        << "basis " << basis;
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "util/random.h"
+#include "util/sampling.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -251,6 +252,97 @@ TEST(ThreadPoolTest, ReusableAcrossManyLoops) {
     pool.ParallelFor(0, 20, [&](int64_t) { count.fetch_add(1); });
     ASSERT_EQ(count.load(), 20) << "round " << round;
   }
+}
+
+TEST(ThreadPoolTest, BlockedLoopChunksAreThreadCountInvariant) {
+  // Chunk boundaries must be a pure function of (begin, end, block): the
+  // serial and pooled runs have to observe the identical chunk set.
+  const auto collect = [](ThreadPool* pool) {
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    std::mutex mutex;
+    ParallelForBlocks(pool, 3, 50, 8, [&](int64_t begin, int64_t end) {
+      std::lock_guard<std::mutex> lock(mutex);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = collect(nullptr);
+  ThreadPool pool(4);
+  const auto pooled = collect(&pool);
+  const std::vector<std::pair<int64_t, int64_t>> expected = {
+      {3, 11}, {11, 19}, {19, 27}, {27, 35}, {35, 43}, {43, 50}};
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(pooled, expected);
+}
+
+TEST(ThreadPoolTest, BlockedSumIsBitIdenticalAcrossParallelism) {
+  // Sums of irrational-ish terms are rounding-order sensitive; the fixed
+  // block boundaries and left-to-right combine make every parallelism
+  // level produce the same bits.
+  constexpr int64_t kCount = 100000;
+  const auto partial = [](int64_t begin, int64_t end) {
+    double sum = 0.0;
+    for (int64_t i = begin; i < end; ++i) {
+      sum += 1.0 / std::sqrt(static_cast<double>(i) + 1.0);
+    }
+    return sum;
+  };
+  const double serial = ParallelBlockedSum(nullptr, kCount, 1 << 10, partial);
+  ThreadPool two(2), eight(8);
+  EXPECT_EQ(serial, ParallelBlockedSum(&two, kCount, 1 << 10, partial));
+  EXPECT_EQ(serial, ParallelBlockedSum(&eight, kCount, 1 << 10, partial));
+  // Single-block degenerates to the plain serial left-to-right sum.
+  EXPECT_EQ(partial(0, 100), ParallelBlockedSum(&eight, 100, 1 << 10, partial));
+}
+
+TEST(SamplingTest, MatchesDistribution) {
+  const std::vector<double> probs = {0.5, 0.25, 0.125, 0.125};
+  Rng rng(11);
+  std::vector<uint64_t> samples;
+  constexpr int kShots = 40000;
+  SampleByInverseCdf(
+      probs.size(), [&](uint64_t i) { return probs[i]; }, kShots, rng, samples);
+  ASSERT_EQ(samples.size(), static_cast<size_t>(kShots));
+  std::vector<int> counts(probs.size(), 0);
+  for (uint64_t s : samples) {
+    ASSERT_LT(s, probs.size());
+    ++counts[s];
+  }
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kShots, probs[i], 0.02)
+        << "state " << i;
+  }
+}
+
+TEST(SamplingTest, AppendsInAscendingOrder) {
+  Rng rng(13);
+  std::vector<uint64_t> samples = {42};  // pre-existing content is kept
+  SampleByInverseCdf(
+      8, [](uint64_t) { return 0.125; }, 100, rng, samples);
+  ASSERT_EQ(samples.size(), 101u);
+  EXPECT_EQ(samples[0], 42u);
+  EXPECT_TRUE(std::is_sorted(samples.begin() + 1, samples.end()));
+}
+
+TEST(SamplingTest, RoundingSlackGoesToLastSupportedState) {
+  // The distribution deliberately sums to 0.9 with a zero-probability
+  // tail state: the ~10% of uniforms that land past the total must be
+  // assigned to the last state with support (2), never to the
+  // zero-probability state 3.
+  const std::vector<double> probs = {0.3, 0.3, 0.3, 0.0};
+  Rng rng(17);
+  std::vector<uint64_t> samples;
+  constexpr int kShots = 2000;
+  SampleByInverseCdf(
+      probs.size(), [&](uint64_t i) { return probs[i]; }, kShots, rng, samples);
+  int last_support_hits = 0;
+  for (uint64_t s : samples) {
+    ASSERT_NE(s, 3u) << "sampled a zero-probability state";
+    if (s == 2) ++last_support_hits;
+  }
+  // State 2 receives its own 30% plus the 10% slack.
+  EXPECT_NEAR(static_cast<double>(last_support_hits) / kShots, 0.4, 0.05);
 }
 
 TEST(StatsTest, MeanAndStdDev) {
