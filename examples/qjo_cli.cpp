@@ -3,7 +3,8 @@
 //
 // Usage:
 //   qjo_cli [--relations N] [--graph chain|star|cycle|clique]
-//           [--predicates P] [--backend exact|sa|qaoa|annealer]
+//           [--predicates P] [--backend exact|sa|qaoa|annealer|portfolio]
+//           [--portfolio] [--deadline-ms D] [--sweep-budget B]
 //           [--thresholds R] [--omega W] [--shots S] [--seed X]
 //           [--parallelism T] [--noiseless] [--verbose]
 
@@ -31,6 +32,8 @@ struct CliArgs {
   int parallelism = 1;
   bool noiseless = false;
   bool verbose = false;
+  double deadline_ms = -1.0;  // <0: portfolio runs on its sweep budget
+  int64_t sweep_budget = 4096;
 };
 
 int Fail(const char* message) {
@@ -44,7 +47,13 @@ void PrintHelp() {
       "  --relations N     number of relations (default 3)\n"
       "  --graph TYPE      chain|star|cycle|clique (default chain)\n"
       "  --predicates P    override predicate count (chain-first order)\n"
-      "  --backend B       exact|sa|qaoa|annealer (default exact)\n"
+      "  --backend B       exact|sa|qaoa|annealer|portfolio (default exact)\n"
+      "  --portfolio       shorthand for --backend portfolio\n"
+      "  --deadline-ms D   portfolio wall-clock budget; 0 = skip the race\n"
+      "                    and answer with the classical fallback plan\n"
+      "                    (default: none — bounded by --sweep-budget)\n"
+      "  --sweep-budget B  portfolio per-strand sweep budget (default 4096;\n"
+      "                    0 = unlimited, needs --deadline-ms)\n"
       "  --thresholds R    cardinality thresholds (default 2)\n"
       "  --omega W         discretisation precision (default 1.0)\n"
       "  --shots S         samples/reads for stochastic backends\n"
@@ -81,6 +90,8 @@ int RunCli(const CliArgs& args) {
   config.noiseless = args.noiseless;
   config.seed = args.seed;
   config.parallelism = args.parallelism;
+  config.portfolio.deadline_ms = args.deadline_ms;
+  config.portfolio.sweep_budget = args.sweep_budget;
 
   auto report = OptimizeJoinOrder(*query, config);
   if (!report.ok()) {
@@ -153,9 +164,21 @@ int main(int argc, char** argv) {
         args.backend = QjoBackend::kQaoaSimulator;
       } else if (!std::strcmp(v, "annealer")) {
         args.backend = QjoBackend::kQuantumAnnealerSim;
+      } else if (!std::strcmp(v, "portfolio")) {
+        args.backend = QjoBackend::kPortfolio;
       } else {
         return Fail("unknown backend");
       }
+    } else if (flag == "--portfolio") {
+      args.backend = QjoBackend::kPortfolio;
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return Fail("--deadline-ms needs a value");
+      args.deadline_ms = std::atof(v);
+    } else if (flag == "--sweep-budget") {
+      const char* v = next();
+      if (!v) return Fail("--sweep-budget needs a value");
+      args.sweep_budget = std::strtoll(v, nullptr, 10);
     } else if (flag == "--thresholds") {
       const char* v = next();
       if (!v) return Fail("--thresholds needs a value");

@@ -1,0 +1,430 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/postprocess.h"
+#include "jo/classical.h"
+#include "qubo/ising.h"
+#include "sim/qaoa_analytic.h"
+#include "sim/qaoa_simulator.h"
+#include "util/strings.h"
+
+namespace qjo {
+
+const char* PortfolioStrandName(PortfolioStrand strand) {
+  switch (strand) {
+    case PortfolioStrand::kExact:
+      return "exact";
+    case PortfolioStrand::kSa:
+      return "sa";
+    case PortfolioStrand::kTabu:
+      return "tabu";
+    case PortfolioStrand::kSqa:
+      return "sqa";
+    case PortfolioStrand::kQaoa:
+      return "qaoa";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Mutable race state of one strand: the published outcome plus the
+/// feasible incumbent's assignment. Owned exclusively by the strand's
+/// loop body until the ParallelFor join barrier.
+struct StrandState {
+  StrandOutcome outcome;
+  std::vector<int> best_feasible_assignment;
+};
+
+/// Tolerance for "incumbent matches the known lower bound".
+bool MatchesBound(double energy, double bound) {
+  if (std::isnan(bound)) return false;
+  return energy <= bound + 1e-9 * std::max(1.0, std::abs(bound));
+}
+
+/// Folds one sample into the strand's incumbents. `energy` must be the
+/// sample's QUBO energy (offset included) so strands stay comparable.
+void AbsorbSample(const PortfolioOptions& options, Clock::time_point start,
+                  const std::vector<int>& assignment, double energy,
+                  StrandState& state) {
+  state.outcome.best_energy = std::min(state.outcome.best_energy, energy);
+  double score = energy;
+  if (options.score) {
+    score = options.score(assignment);
+    if (std::isnan(score)) return;  // domain-infeasible sample
+  }
+  if (!state.outcome.feasible || score < state.outcome.best_score) {
+    // The timestamp tracks *material* improvements only: float-level
+    // wiggles (common when strands saturate to the same optimum) would
+    // otherwise push time-to-incumbent into the wind-down after a
+    // deadline expires.
+    const bool material =
+        !state.outcome.feasible ||
+        score < state.outcome.best_score -
+                    1e-9 * std::max(1.0, std::abs(score));
+    state.outcome.feasible = true;
+    state.outcome.best_score = score;
+    state.best_feasible_assignment = assignment;
+    if (material) state.outcome.time_to_incumbent_ms = MsSince(start);
+  }
+}
+
+}  // namespace
+
+StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
+                                           const PortfolioOptions& options,
+                                           Rng& rng) {
+  const int n = qubo.num_variables();
+  if (n == 0) return Status::InvalidArgument("empty QUBO");
+  if (options.deadline_ms < 0.0 && options.sweep_budget <= 0) {
+    return Status::InvalidArgument(
+        "unbounded portfolio: need a deadline or a sweep budget");
+  }
+  if (options.reads_per_round <= 0 || options.sweeps_per_round <= 0) {
+    return Status::InvalidArgument("portfolio round sizes must be positive");
+  }
+
+  // Materialise the shared CSR before any fan-out (see Qubo::Csr()).
+  qubo.Csr();
+
+  QuboRaceResult result;
+  const Clock::time_point start = Clock::now();
+
+  // Fixed strand universe: the vector index doubles as the deterministic
+  // winner tie-break and matches the enum (= RNG stream id).
+  const PortfolioStrand kStrands[] = {
+      PortfolioStrand::kExact, PortfolioStrand::kSa, PortfolioStrand::kTabu,
+      PortfolioStrand::kSqa, PortfolioStrand::kQaoa};
+  std::vector<StrandState> states(std::size(kStrands));
+  for (size_t s = 0; s < std::size(kStrands); ++s) {
+    StrandOutcome& outcome = states[s].outcome;
+    outcome.strand = kStrands[s];
+    switch (kStrands[s]) {
+      case PortfolioStrand::kExact:
+        outcome.eligible = options.enable_exact &&
+                           n <= std::min(options.max_exact_variables, 63);
+        break;
+      case PortfolioStrand::kSa:
+        outcome.eligible = options.enable_sa;
+        break;
+      case PortfolioStrand::kTabu:
+        outcome.eligible = options.enable_tabu;
+        break;
+      case PortfolioStrand::kSqa:
+        outcome.eligible = options.enable_sqa;
+        break;
+      case PortfolioStrand::kQaoa:
+        // The simulator itself refuses above 27 qubits.
+        outcome.eligible = options.enable_qaoa &&
+                           n <= std::min(options.max_qaoa_variables, 27);
+        break;
+    }
+  }
+
+  if (options.deadline_ms == 0.0) {
+    // Zero budget: answer immediately with an empty race. The JO layer
+    // degrades to the classical plan.
+    result.deadline_expired = true;
+    for (StrandState& state : states) {
+      result.strands.push_back(state.outcome);
+    }
+    return result;
+  }
+
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = options.pool;
+  if (pool == nullptr && options.parallelism > 1) {
+    local_pool.emplace(options.parallelism);
+    pool = &*local_pool;
+  }
+
+  std::atomic<bool> stop{false};
+  // Early exit (lower-bound hit, exact strand finished) only cancels the
+  // race in deadline mode: cancellation truncates other strands at a
+  // wall-clock-dependent point, which would break the bit-reproducibility
+  // contract of pure sweep-budget runs.
+  const bool deadline_mode = options.deadline_ms > 0.0;
+  const auto request_stop = [&] {
+    if (deadline_mode) stop.store(true, std::memory_order_relaxed);
+  };
+
+  // Deadline watchdog: flips the stop token when the budget expires, or
+  // exits silently when the race finishes first.
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool race_done = false;
+  bool deadline_expired = false;
+  std::optional<std::jthread> watchdog;
+  if (deadline_mode) {
+    watchdog.emplace([&] {
+      std::unique_lock<std::mutex> lock(watchdog_mutex);
+      if (!watchdog_cv.wait_for(
+              lock, std::chrono::duration<double, std::milli>(
+                        options.deadline_ms),
+              [&] { return race_done; })) {
+        deadline_expired = true;
+        stop.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const Rng base(rng.Next());
+  const auto stop_requested = [&] {
+    return stop.load(std::memory_order_relaxed);
+  };
+
+  const auto run_strand = [&](int64_t s) {
+    StrandState& state = states[s];
+    StrandOutcome& outcome = state.outcome;
+    if (!outcome.eligible) return;
+    const Clock::time_point strand_start = Clock::now();
+    Rng strand_rng = base.Fork(static_cast<uint64_t>(outcome.strand));
+    const int64_t round_sweeps = static_cast<int64_t>(options.reads_per_round) *
+                                 options.sweeps_per_round;
+    const auto budget_left = [&] {
+      return options.sweep_budget <= 0 ||
+             outcome.sweeps_completed < options.sweep_budget;
+    };
+    const auto absorb = [&](const std::vector<int>& assignment,
+                            double energy) {
+      AbsorbSample(options, start, assignment, energy, state);
+      if (MatchesBound(outcome.best_energy, options.lower_bound)) {
+        outcome.hit_lower_bound = true;
+        request_stop();
+      }
+    };
+
+    switch (outcome.strand) {
+      case PortfolioStrand::kExact: {
+        if (stop_requested()) break;
+        auto best = SolveQuboBruteForce(qubo, options.max_exact_variables);
+        if (!best.ok()) break;
+        absorb(best->assignment, best->energy);
+        outcome.rounds_completed = 1;
+        outcome.sweeps_completed = int64_t{1} << n;  // states enumerated
+        // The exact minimum *is* a proven lower bound: nothing can beat
+        // it on energy, so in deadline mode the race ends here.
+        outcome.hit_lower_bound = true;
+        request_stop();
+        break;
+      }
+      case PortfolioStrand::kSa: {
+        SaOptions sa;
+        sa.num_reads = options.reads_per_round;
+        sa.sweeps_per_read = options.sweeps_per_round;
+        sa.parallelism = options.parallelism;
+        sa.pool = pool;
+        sa.stop = &stop;
+        while (!stop_requested() && budget_left()) {
+          const auto reads = SolveQuboSimulatedAnnealing(qubo, sa, strand_rng);
+          for (const QuboSolution& read : reads) {
+            absorb(read.assignment, read.energy);
+          }
+          ++outcome.rounds_completed;
+          outcome.sweeps_completed += round_sweeps;
+        }
+        break;
+      }
+      case PortfolioStrand::kTabu: {
+        TabuOptions tabu;
+        tabu.num_restarts = options.reads_per_round;
+        tabu.iterations_per_restart = options.sweeps_per_round;
+        tabu.parallelism = options.parallelism;
+        tabu.pool = pool;
+        tabu.stop = &stop;
+        while (!stop_requested() && budget_left()) {
+          const auto restarts = SolveQuboTabuSearch(qubo, tabu, strand_rng);
+          for (const QuboSolution& restart : restarts) {
+            absorb(restart.assignment, restart.energy);
+          }
+          ++outcome.rounds_completed;
+          outcome.sweeps_completed += round_sweeps;
+        }
+        break;
+      }
+      case PortfolioStrand::kSqa: {
+        const IsingModel ising = QuboToIsing(qubo);
+        SqaOptions sqa = options.sqa;
+        sqa.num_reads = options.reads_per_round;
+        // One Monte-Carlo sweep per "microsecond" maps the round budget
+        // directly onto SQA sweeps (RunSqa clamps to at least 8).
+        sqa.annealing_time_us = options.sweeps_per_round;
+        sqa.sweeps_per_us = 1.0;
+        sqa.parallelism = options.parallelism;
+        sqa.pool = pool;
+        sqa.stop = &stop;
+        const int64_t sqa_round_sweeps =
+            static_cast<int64_t>(options.reads_per_round) *
+            std::max(8, options.sweeps_per_round);
+        while (!stop_requested() && budget_left()) {
+          auto samples = RunSqa(ising, sqa, strand_rng);
+          if (!samples.ok()) break;
+          for (const SqaSample& sample : *samples) {
+            // ising.Energy(z) == qubo.Energy(SpinsToBits(z)): directly
+            // comparable with the other strands.
+            absorb(SpinsToBits(sample.spins), sample.energy);
+          }
+          ++outcome.rounds_completed;
+          outcome.sweeps_completed += sqa_round_sweeps;
+        }
+        break;
+      }
+      case PortfolioStrand::kQaoa: {
+        if (stop_requested()) break;
+        const IsingModel ising = QuboToIsing(qubo);
+        auto sim = QaoaSimulator::Create(ising);
+        if (!sim.ok()) break;
+        sim->set_pool(pool);
+        const QaoaAngles angles =
+            OptimizeQaoaAngles(ising, options.qaoa_iterations, strand_rng);
+        QaoaParameters params;
+        params.gammas = {angles.gamma};
+        params.betas = {angles.beta};
+        sim->Run(params);
+        const std::vector<uint64_t> raw =
+            sim->Sample(options.qaoa_shots, /*fidelity=*/1.0, strand_rng);
+        std::vector<int> bits(n);
+        for (uint64_t basis : raw) {
+          for (int i = 0; i < n; ++i) {
+            bits[i] = static_cast<int>((basis >> i) & 1);
+          }
+          absorb(bits, qubo.Energy(bits));
+        }
+        outcome.rounds_completed = 1;
+        outcome.sweeps_completed = options.qaoa_shots;
+        break;
+      }
+    }
+    outcome.total_ms = MsSince(strand_start);
+  };
+
+  ParallelFor(pool, 0, static_cast<int64_t>(states.size()), run_strand);
+
+  // Retire the watchdog before reading its verdict.
+  if (watchdog.has_value()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex);
+      race_done = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.reset();  // joins
+  }
+  result.deadline_expired = deadline_expired;
+
+  // Winner: best (lowest) domain score among feasible strands; strand
+  // order breaks ties, so the pick is deterministic.
+  for (size_t s = 0; s < states.size(); ++s) {
+    const StrandOutcome& outcome = states[s].outcome;
+    if (!outcome.feasible) continue;
+    if (result.winner < 0 || outcome.best_score < result.best_score) {
+      result.winner = static_cast<int>(s);
+      result.best_score = outcome.best_score;
+      result.best_energy = outcome.best_energy;
+      result.best_assignment = states[s].best_feasible_assignment;
+    }
+  }
+  if (result.winner >= 0) {
+    states[result.winner].outcome.won = true;
+  }
+  for (StrandState& state : states) {
+    result.strands.push_back(std::move(state.outcome));
+  }
+  result.elapsed_ms = MsSince(start);
+  return result;
+}
+
+StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
+                                         const JoQuboEncoding& encoding,
+                                         const PortfolioOptions& options,
+                                         Rng& rng) {
+  const Clock::time_point start = Clock::now();
+  PortfolioReport report;
+
+  PortfolioOptions race_options = options;
+  race_options.score =
+      [&encoding, &query](const std::vector<int>& bits) -> double {
+    const auto order = DecodeSample(encoding.milp, bits);
+    if (!order.ok()) return std::numeric_limits<double>::quiet_NaN();
+    return Cost(query, *order);
+  };
+  QJO_ASSIGN_OR_RETURN(
+      report.race, RaceQuboPortfolio(encoding.encoding.qubo, race_options, rng));
+
+  if (report.race.winner >= 0) {
+    const auto order = DecodeSample(encoding.milp, report.race.best_assignment);
+    if (order.ok()) {
+      report.found_valid = true;
+      report.best_order = *order;
+      report.best_cost = report.race.best_score;
+      report.winner = PortfolioStrandName(
+          report.race.strands[report.race.winner].strand);
+    }
+  }
+
+  if (!report.found_valid) {
+    // Graceful degradation: the DP oracle (exact for <= 25 relations),
+    // then the greedy heuristic beyond — a valid join tree regardless of
+    // what the race produced.
+    auto plan = OptimizeDp(query);
+    if (!plan.ok()) plan = OptimizeGreedy(query);
+    QJO_RETURN_IF_ERROR(plan.status());
+    report.found_valid = true;
+    report.best_order = plan->order;
+    report.best_cost = plan->cost;
+    report.used_classical_fallback = true;
+    report.winner = "classical_fallback";
+  }
+  report.elapsed_ms = MsSince(start);
+  return report;
+}
+
+std::string PortfolioReport::Summary() const {
+  std::ostringstream os;
+  os << "portfolio winner: " << winner
+     << (used_classical_fallback ? " (fallback)" : "") << ", cost "
+     << best_cost << ", " << FormatDouble(elapsed_ms, 2) << " ms";
+  if (race.deadline_expired) os << ", deadline expired";
+  if (cache_hits + cache_misses > 0) {
+    os << ", cache hit rate " << FormatPercent(cache_hit_rate);
+  }
+  os << "\n";
+  for (const StrandOutcome& s : race.strands) {
+    os << "  " << PortfolioStrandName(s.strand) << ": ";
+    if (!s.eligible) {
+      os << "not eligible\n";
+      continue;
+    }
+    os << s.rounds_completed << " rounds, " << s.sweeps_completed
+       << " sweeps, best energy " << s.best_energy;
+    if (s.feasible) {
+      os << ", cost " << s.best_score << ", incumbent at "
+         << FormatDouble(s.time_to_incumbent_ms, 2) << " ms";
+    } else {
+      os << ", no valid plan";
+    }
+    os << ", total " << FormatDouble(s.total_ms, 2) << " ms";
+    if (s.hit_lower_bound) os << ", hit lower bound";
+    if (s.won) os << " [winner]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qjo

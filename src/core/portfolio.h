@@ -1,0 +1,182 @@
+#ifndef QJO_CORE_PORTFOLIO_H_
+#define QJO_CORE_PORTFOLIO_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/qubo_cache.h"
+#include "jo/join_tree.h"
+#include "jo/query.h"
+#include "qubo/qubo.h"
+#include "qubo/solvers.h"
+#include "sim/sqa.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace qjo {
+
+/// Solver strands a portfolio can race. Strand order is fixed (it is the
+/// deterministic tie-break for winner selection and the RNG stream id of
+/// each strand).
+enum class PortfolioStrand { kExact, kSa, kTabu, kSqa, kQaoa };
+
+const char* PortfolioStrandName(PortfolioStrand strand);
+
+/// Configuration of a portfolio race. Two budget dimensions compose:
+///
+///  * `deadline_ms` — wall-clock budget. A watchdog flips a shared stop
+///    token on expiry; every strand winds down cooperatively (the solvers'
+///    new `stop` hooks) and the best incumbent wins. Wall-clock cut-offs
+///    are inherently scheduling-dependent, so deadline-bounded runs are
+///    *not* bit-reproducible.
+///  * `sweep_budget` — total sweeps per strand (SA sweeps summed over
+///    reads, tabu iterations summed over restarts, SQA Monte-Carlo sweeps
+///    summed over reads). A run bounded only by sweeps (deadline_ms < 0)
+///    is bit-identical at every parallelism level: strands fork disjoint
+///    RNG streams and never communicate except through the stop token,
+///    which stays unset.
+struct PortfolioOptions {
+  /// > 0: wall-clock budget in milliseconds. 0: zero budget — the race is
+  /// skipped entirely (the JO layer answers with the classical fallback).
+  /// < 0: no deadline; `sweep_budget` must then be positive.
+  double deadline_ms = -1.0;
+  /// Total sweeps each strand may spend; 0 = unlimited (requires a
+  /// positive deadline). The budget is checked between rounds, so the
+  /// last round may run to completion past it.
+  int64_t sweep_budget = 4096;
+
+  /// Work per round: every stochastic strand alternates solver rounds of
+  /// `reads_per_round` restarts x `sweeps_per_round` sweeps with
+  /// incumbent/budget/stop checks. Smaller rounds react faster to the
+  /// deadline; larger rounds amortise dispatch overhead.
+  int reads_per_round = 4;
+  int sweeps_per_round = 64;
+
+  /// Threads shared by the strand fan-out and the solvers' inner read
+  /// loops (nested ParallelFor on one pool); results never depend on it.
+  int parallelism = 1;
+  ThreadPool* pool = nullptr;  ///< optional externally-owned pool
+
+  // --- Strand selection. ---
+  bool enable_exact = true;
+  bool enable_sa = true;
+  bool enable_tabu = true;
+  bool enable_sqa = true;
+  bool enable_qaoa = true;
+  /// The exact (Gray-code brute force) strand only joins the race for
+  /// instances of at most this many variables.
+  int max_exact_variables = 20;
+  /// Likewise for the QAOA-simulator strand (2^n amplitudes + spectrum).
+  int max_qaoa_variables = 20;
+  int qaoa_shots = 128;
+  int qaoa_iterations = 10;
+  /// Template for the SQA strand (trotter slices, temperatures, ICE
+  /// noise). num_reads, the sweep schedule, parallelism/pool/stop are
+  /// overridden per round.
+  SqaOptions sqa;
+
+  /// Known lower bound on the QUBO energy (e.g. from a previous exact
+  /// solve of the same fingerprint). In deadline mode a strand whose
+  /// incumbent reaches it stops the whole race; in pure sweep-budget mode
+  /// it is only recorded (stopping on a wall-clock event would break
+  /// bit-reproducibility). NaN = unknown.
+  double lower_bound = std::numeric_limits<double>::quiet_NaN();
+
+  /// Optional domain scorer, called on every sample a strand produces:
+  /// returns the domain objective (lower is better — e.g. the C_out cost
+  /// of the decoded join order) or NaN when the sample is infeasible in
+  /// the domain. Null = every sample is feasible with score = QUBO
+  /// energy. Must be thread-safe: strands call it concurrently.
+  std::function<double(const std::vector<int>&)> score;
+};
+
+/// Per-strand outcome statistics of one race.
+struct StrandOutcome {
+  PortfolioStrand strand = PortfolioStrand::kSa;
+  /// False when the strand was disabled or the instance exceeded its size
+  /// gate; such strands report zero rounds and never win.
+  bool eligible = false;
+  int rounds_completed = 0;
+  int64_t sweeps_completed = 0;
+  /// Best QUBO energy over every sample the strand produced.
+  double best_energy = std::numeric_limits<double>::infinity();
+  /// True once the strand produced a domain-feasible sample.
+  bool feasible = false;
+  /// Domain score of the feasible incumbent (NaN while infeasible).
+  double best_score = std::numeric_limits<double>::quiet_NaN();
+  /// Wall time from race start to the last *material* improvement of the
+  /// feasible incumbent (relative 1e-9; float-level wiggles don't reset
+  /// the clock).
+  double time_to_incumbent_ms = 0.0;
+  double total_ms = 0.0;
+  /// The strand matched the known lower bound (or, for the exact strand,
+  /// proved the optimum) and triggered the early exit.
+  bool hit_lower_bound = false;
+  bool won = false;
+};
+
+/// Result of a QUBO-level portfolio race.
+struct QuboRaceResult {
+  /// Feasible incumbent of the winning strand; empty when no strand
+  /// produced a feasible sample (the JO layer then degrades to the
+  /// classical plan).
+  std::vector<int> best_assignment;
+  double best_energy = std::numeric_limits<double>::infinity();
+  double best_score = std::numeric_limits<double>::quiet_NaN();
+  int winner = -1;  ///< index into `strands`; -1 = no feasible strand
+  std::vector<StrandOutcome> strands;
+  double elapsed_ms = 0.0;
+  bool deadline_expired = false;
+};
+
+/// Races the configured strands on one QUBO over the shared pool. Each
+/// strand runs on its own forked RNG stream (stream id = strand enum
+/// value), so a sweep-budget-bounded race is bit-identical at every
+/// parallelism level. The winner is the strand with the best (lowest)
+/// domain score, ties broken by strand order. Fails on an empty QUBO or
+/// when neither budget dimension bounds the run.
+StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
+                                           const PortfolioOptions& options,
+                                           Rng& rng);
+
+/// Everything the JO layer learned from one portfolio run.
+struct PortfolioReport {
+  /// Always true on a successful run: when no strand produced a valid
+  /// join tree (or the budget was zero), the classical fallback plan is
+  /// returned instead.
+  bool found_valid = false;
+  LeftDeepOrder best_order;
+  double best_cost = 0.0;
+  /// The plan came from the classical DP/greedy baseline, not a strand.
+  bool used_classical_fallback = false;
+  /// Name of the winning strand, or "classical_fallback".
+  std::string winner;
+  QuboRaceResult race;
+  /// QUBO-build cache counters (filled by the pipeline owner when a cache
+  /// is attached; zero otherwise).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  double elapsed_ms = 0.0;
+
+  std::string Summary() const;
+};
+
+/// Runs a deadline-aware portfolio race for one join-ordering query on
+/// its prebuilt encoding: strands race on the QUBO, samples are decoded
+/// through the MILP metadata, the winner is the valid join order with the
+/// lowest C_out cost, and when the race yields no valid plan (or
+/// deadline_ms == 0) the classical DP baseline (greedy beyond the DP size
+/// limit) supplies one — a valid join tree is always returned.
+StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
+                                         const JoQuboEncoding& encoding,
+                                         const PortfolioOptions& options,
+                                         Rng& rng);
+
+}  // namespace qjo
+
+#endif  // QJO_CORE_PORTFOLIO_H_

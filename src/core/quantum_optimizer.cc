@@ -33,6 +33,8 @@ const char* QjoBackendName(QjoBackend backend) {
       return "qaoa_simulator";
     case QjoBackend::kQuantumAnnealerSim:
       return "quantum_annealer_sim";
+    case QjoBackend::kPortfolio:
+      return "portfolio";
   }
   return "unknown";
 }
@@ -60,6 +62,9 @@ std::string QjoReport::Summary() const {
   } else {
     os << "no valid solution sampled (optimum " << optimal_cost << ")";
   }
+  if (!portfolio.winner.empty()) {
+    os << "\n" << portfolio.Summary();
+  }
   return os.str();
 }
 
@@ -83,20 +88,22 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   }
   Rng rng(config.seed);
 
-  // --- Encode: JO -> MILP -> BILP -> QUBO (Sec. 3). ---
-  JoMilpOptions milp_options;
-  milp_options.thresholds =
-      config.thresholds.empty()
-          ? MakeGeometricThresholds(query, config.num_thresholds)
-          : config.thresholds;
-  milp_options.omega = config.omega;
-  QJO_ASSIGN_OR_RETURN(JoMilpModel milp, EncodeJoAsMilp(query, milp_options));
-  QJO_ASSIGN_OR_RETURN(BilpModel bilp,
-                       LowerToBilp(milp.model(), config.omega));
-  QuboConversionOptions qubo_options;
-  qubo_options.omega = config.omega;
-  QJO_ASSIGN_OR_RETURN(QuboEncoding encoding,
-                       ConvertBilpToQubo(bilp, qubo_options));
+  // --- Encode: JO -> MILP -> BILP -> QUBO (Sec. 3), via the memoizing
+  // cache when one is attached (repeated fingerprints skip the rebuild).
+  JoEncodingOptions encode_options;
+  encode_options.thresholds = config.thresholds;
+  encode_options.num_thresholds = config.num_thresholds;
+  encode_options.omega = config.omega;
+  std::shared_ptr<const JoQuboEncoding> entry;
+  if (config.qubo_cache != nullptr) {
+    QJO_ASSIGN_OR_RETURN(entry,
+                         config.qubo_cache->GetOrBuild(query, encode_options));
+  } else {
+    QJO_ASSIGN_OR_RETURN(entry, BuildJoQuboEncoding(query, encode_options));
+  }
+  const JoMilpModel& milp = entry->milp;
+  const BilpModel& bilp = entry->bilp;
+  const QuboEncoding& encoding = entry->encoding;
 
   QjoReport report;
   report.milp_variables = milp.model().num_variables();
@@ -223,12 +230,36 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       }
       break;
     }
+    case QjoBackend::kPortfolio: {
+      PortfolioOptions race = config.portfolio;
+      if (race.parallelism <= 1) race.parallelism = config.parallelism;
+      if (race.pool == nullptr) race.pool = config.pool;
+      QJO_ASSIGN_OR_RETURN(report.portfolio,
+                           RunJoPortfolio(query, *entry, race, rng));
+      if (config.qubo_cache != nullptr) {
+        const QuboBuildCache::Stats cache = config.qubo_cache->stats();
+        report.portfolio.cache_hits = cache.hits;
+        report.portfolio.cache_misses = cache.misses;
+        report.portfolio.cache_hit_rate = cache.hit_rate();
+      }
+      if (!report.portfolio.race.best_assignment.empty()) {
+        samples.push_back(report.portfolio.race.best_assignment);
+      }
+      break;
+    }
   }
 
   report.stats = EvaluateSamples(milp, samples, oracle.cost, &bilp);
   report.found_valid = report.stats.found_valid;
   report.best_order = report.stats.best_order;
   report.best_cost = report.stats.best_cost;
+  if (config.backend == QjoBackend::kPortfolio) {
+    // The portfolio guarantees a plan (classical fallback included) even
+    // when its best QUBO sample decodes as invalid.
+    report.found_valid = report.portfolio.found_valid;
+    report.best_order = report.portfolio.best_order;
+    report.best_cost = report.portfolio.best_cost;
+  }
   return report;
 }
 
@@ -254,6 +285,15 @@ std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
   QjoConfig per_query = config;
   per_query.pool = pool;
   per_query.parallelism = std::max(config.parallelism, parallelism);
+
+  // Batch-wide QUBO-build cache: repeated query shapes (same
+  // cardinalities, predicates, thresholds, omega) encode once. Cached
+  // entries are deterministic, so sharing cannot change any result.
+  std::optional<QuboBuildCache> owned_cache;
+  if (per_query.qubo_cache == nullptr) {
+    owned_cache.emplace();
+    per_query.qubo_cache = &*owned_cache;
+  }
   ParallelFor(pool, 0, static_cast<int64_t>(queries.size()),
               [&](int64_t i) {
                 reports[i] = OptimizeJoinOrder(queries[i], per_query);

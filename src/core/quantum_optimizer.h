@@ -6,7 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "core/portfolio.h"
 #include "core/postprocess.h"
+#include "core/qubo_cache.h"
 #include "embedding/embedded_qubo.h"
 #include "embedding/minor_embedding.h"
 #include "jo/join_tree.h"
@@ -35,6 +37,11 @@ enum class QjoBackend {
   /// Annealer flow: minor-embed onto a Pegasus graph and run SQA with ICE
   /// noise (Table 3 setup).
   kQuantumAnnealerSim,
+  /// Deadline-aware portfolio: races exact, SA, tabu, SQA and QAOA strands
+  /// over one pool and returns the best valid plan found within the
+  /// budget, degrading to the classical DP/greedy plan when nothing valid
+  /// was sampled (a valid join tree is always returned).
+  kPortfolio,
 };
 
 const char* QjoBackendName(QjoBackend backend);
@@ -79,6 +86,15 @@ struct QjoConfig {
   /// MakePegasus(16) for the full Advantage scale).
   std::optional<CouplingGraph> annealer_topology;
 
+  // --- Portfolio options (kPortfolio backend). ---
+  /// Strand selection and budgets; parallelism/pool fall back to the
+  /// fields above when left at their defaults.
+  PortfolioOptions portfolio;
+  /// Optional memoizing QUBO-build cache shared across runs (not owned).
+  /// Null = every run encodes from scratch; OptimizeJoinOrderBatch
+  /// supplies a batch-wide cache automatically.
+  QuboBuildCache* qubo_cache = nullptr;
+
   QjoConfig();
 };
 
@@ -113,6 +129,10 @@ struct QjoReport {
   int max_chain_length = 0;
   double chain_strength = 0.0;
   double mean_chain_break_fraction = 0.0;
+
+  /// Per-strand race statistics (kPortfolio backend only; `winner` is
+  /// empty otherwise).
+  PortfolioReport portfolio;
 
   std::string Summary() const;
 };

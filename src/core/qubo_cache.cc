@@ -1,0 +1,110 @@
+#include "core/qubo_cache.h"
+
+#include <bit>
+#include <sstream>
+#include <utility>
+
+namespace qjo {
+namespace {
+
+/// Bit-exact rendering of a double (hex of its IEEE-754 pattern): two
+/// fingerprints match iff every keyed double is identical to the bit.
+void AppendDouble(std::ostringstream& os, double value) {
+  os << std::hex << std::bit_cast<uint64_t>(value) << std::dec;
+}
+
+std::vector<double> ResolveThresholds(const Query& query,
+                                      const JoEncodingOptions& options) {
+  return options.thresholds.empty()
+             ? MakeGeometricThresholds(query, options.num_thresholds)
+             : options.thresholds;
+}
+
+}  // namespace
+
+std::string JoEncodingFingerprint(const Query& query,
+                                  const JoEncodingOptions& options) {
+  std::ostringstream os;
+  os << "T" << query.num_relations() << ";R";
+  for (const Relation& r : query.relations()) {
+    AppendDouble(os, r.cardinality);
+    os << ",";
+  }
+  os << ";P";
+  for (const Predicate& p : query.predicates()) {
+    os << p.left << "-" << p.right << ":";
+    AppendDouble(os, p.selectivity);
+    os << ",";
+  }
+  os << ";TH";
+  for (double t : ResolveThresholds(query, options)) {
+    AppendDouble(os, t);
+    os << ",";
+  }
+  os << ";W";
+  AppendDouble(os, options.omega);
+  return os.str();
+}
+
+StatusOr<std::shared_ptr<const JoQuboEncoding>> BuildJoQuboEncoding(
+    const Query& query, const JoEncodingOptions& options) {
+  JoMilpOptions milp_options;
+  milp_options.thresholds = ResolveThresholds(query, options);
+  milp_options.omega = options.omega;
+  QJO_ASSIGN_OR_RETURN(JoMilpModel milp, EncodeJoAsMilp(query, milp_options));
+  QJO_ASSIGN_OR_RETURN(BilpModel bilp,
+                       LowerToBilp(milp.model(), options.omega));
+  QuboConversionOptions qubo_options;
+  qubo_options.omega = options.omega;
+  QJO_ASSIGN_OR_RETURN(QuboEncoding encoding,
+                       ConvertBilpToQubo(bilp, qubo_options));
+  auto entry = std::make_shared<JoQuboEncoding>();
+  entry->milp = std::move(milp);
+  entry->bilp = std::move(bilp);
+  entry->encoding = std::move(encoding);
+  // Materialise the CSR while the entry is still private: after this the
+  // QUBO is only ever read, so sharing across solver threads is safe.
+  entry->encoding.qubo.Csr();
+  return std::shared_ptr<const JoQuboEncoding>(std::move(entry));
+}
+
+QuboBuildCache::QuboBuildCache(size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
+    const Query& query, const JoEncodingOptions& options) {
+  const std::string key = JoEncodingFingerprint(query, options);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Build outside the lock: a slow encode must not serialise unrelated
+  // queries of a batch. A concurrent miss on the same key builds the same
+  // (deterministic) entry; the first insert wins.
+  QJO_ASSIGN_OR_RETURN(std::shared_ptr<const JoQuboEncoding> built,
+                       BuildJoQuboEncoding(query, options));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= max_entries_) entries_.clear();
+  auto [it, inserted] = entries_.emplace(key, std::move(built));
+  return it->second;
+}
+
+QuboBuildCache::Stats QuboBuildCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  return s;
+}
+
+size_t QuboBuildCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace qjo

@@ -1,0 +1,94 @@
+#ifndef QJO_CORE_QUBO_CACHE_H_
+#define QJO_CORE_QUBO_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jo/query.h"
+#include "lp/bilp.h"
+#include "lp/jo_encoder.h"
+#include "qubo/bilp_to_qubo.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Everything the JO -> MILP -> BILP -> QUBO pipeline (Sec. 3) produces
+/// for one query: the decode metadata (milp), the constraint bookkeeping
+/// (bilp) and the QUBO with its CSR view already materialised — so an
+/// entry can be shared read-only across threads without touching the lazy
+/// CSR rebuild path.
+struct JoQuboEncoding {
+  JoMilpModel milp;
+  BilpModel bilp;
+  QuboEncoding encoding;
+};
+
+/// The QjoConfig slice that determines the encoding pipeline's output.
+struct JoEncodingOptions {
+  /// Cardinality threshold values; empty = geometric defaults derived
+  /// from the query (MakeGeometricThresholds).
+  std::vector<double> thresholds;
+  int num_thresholds = 1;  ///< used when `thresholds` is empty
+  double omega = 1.0;      ///< discretisation precision
+};
+
+/// Runs the MILP -> BILP -> QUBO pipeline once, outside any cache. The
+/// returned entry has its CSR built, so concurrent readers are safe.
+StatusOr<std::shared_ptr<const JoQuboEncoding>> BuildJoQuboEncoding(
+    const Query& query, const JoEncodingOptions& options);
+
+/// Fingerprint of (query, options) over every input of the encoding
+/// pipeline: relation cardinalities, predicates (endpoints and
+/// selectivity), the *resolved* threshold grid, and omega — doubles are
+/// keyed bit-exactly, so no two distinct encodings can collide. Relation
+/// names are deliberately excluded (they never influence the encoding),
+/// and an explicit threshold vector equal to the geometric defaults maps
+/// to the same key as the defaults themselves.
+std::string JoEncodingFingerprint(const Query& query,
+                                  const JoEncodingOptions& options);
+
+/// Memoizing, thread-safe cache of encoding pipeline results keyed by
+/// JoEncodingFingerprint: repeated or batched queries skip the MILP ->
+/// BILP -> QUBO rebuild and share one immutable entry. Failures are never
+/// cached. When the map would exceed `max_entries` it is cleared wholesale
+/// (entries already handed out stay alive through their shared_ptr) —
+/// a deliberately simple bound that keeps long-running services from
+/// growing without limit.
+class QuboBuildCache {
+ public:
+  explicit QuboBuildCache(size_t max_entries = 1024);
+
+  /// Returns the cached entry for (query, options), building and
+  /// inserting it on a miss. Concurrent misses on the same key may build
+  /// twice; exactly one result is retained.
+  StatusOr<std::shared_ptr<const JoQuboEncoding>> GetOrBuild(
+      const Query& query, const JoEncodingOptions& options);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+
+  size_t size() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<const JoQuboEncoding>>
+      entries_;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_CORE_QUBO_CACHE_H_

@@ -24,6 +24,13 @@ ThreadPool* ResolvePool(ThreadPool* shared, int parallelism,
   return nullptr;
 }
 
+/// True once a caller-supplied stop token has been set. The relaxed load
+/// is enough: the token only gates how much work is done, never which
+/// memory a read observes (each read owns its state and result slot).
+bool StopRequested(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_relaxed);
+}
+
 void SortByEnergy(std::vector<QuboSolution>& solutions) {
   std::sort(solutions.begin(), solutions.end(),
             [](const QuboSolution& a, const QuboSolution& b) {
@@ -114,6 +121,7 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
       // neighbour updates only on accepted flips.
       std::vector<double> fields = csr.LocalFields(x);
       for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+        if (StopRequested(options.stop)) break;
         for (int i = 0; i < n; ++i) {
           const double delta = x[i] ? -fields[i] : fields[i];
           if (delta <= 0.0 ||
@@ -126,6 +134,7 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
       }
     } else {
       for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+        if (StopRequested(options.stop)) break;
         for (int i = 0; i < n; ++i) {
           const double delta = csr.FlipDelta(x, i);
           if (delta <= 0.0 ||
@@ -178,6 +187,7 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
     if (incremental) fields = csr.LocalFields(x);
     std::vector<double> deltas(n);
     for (int it = 0; it < options.iterations_per_restart; ++it) {
+      if (StopRequested(options.stop)) break;
       double best_delta = kInfinity;
       int tie_count = 0;
       for (int i = 0; i < n; ++i) {

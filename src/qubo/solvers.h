@@ -1,6 +1,7 @@
 #ifndef QJO_QUBO_SOLVERS_H_
 #define QJO_QUBO_SOLVERS_H_
 
+#include <atomic>
 #include <vector>
 
 #include "qubo/qubo.h"
@@ -55,6 +56,14 @@ struct SaOptions {
   ThreadPool* pool = nullptr;
   /// Inner-loop implementation; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kIncremental;
+  /// Optional cooperative stop token (not owned). Checked between sweeps:
+  /// once set, every read finishes its current sweep and returns whatever
+  /// state it reached (a truncated but valid solution). Null = run the
+  /// full schedule. While the token stays unset the solver's output is
+  /// bit-identical to a run without one; once it fires, results depend on
+  /// how far each read got — callers that need determinism must bound the
+  /// run by sweeps, not by cancellation.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// The resolved geometric cooling schedule: sweep k of a read runs at
@@ -92,6 +101,10 @@ struct TabuOptions {
   ThreadPool* pool = nullptr;  ///< optional shared pool (not owned)
   /// Inner-loop implementation; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kIncremental;
+  /// Optional cooperative stop token (not owned), checked once per
+  /// iteration; the incumbent found so far is returned. Same contract as
+  /// SaOptions::stop.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Tabu search: steepest-descent single-bit flips with a recency-based

@@ -79,6 +79,10 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
     }
 
     for (int sweep = 0; sweep < num_sweeps; ++sweep) {
+      if (options.stop != nullptr &&
+          options.stop->load(std::memory_order_relaxed)) {
+        break;
+      }
       const double s_frac =
           static_cast<double>(sweep) / static_cast<double>(num_sweeps - 1);
       const double gamma = gamma0 * (1.0 - s_frac);

@@ -1,6 +1,7 @@
 #ifndef QJO_SIM_SQA_H_
 #define QJO_SIM_SQA_H_
 
+#include <atomic>
 #include <vector>
 
 #include "qubo/ising.h"
@@ -43,6 +44,10 @@ struct SqaOptions {
   /// (kIncremental, default) or the O(degree) scan per proposal
   /// (kReference, for parity tests and benches).
   SolverKernel kernel = SolverKernel::kIncremental;
+  /// Optional cooperative stop token (not owned), checked between Monte
+  /// Carlo sweeps: a cancelled read stops annealing where it is and still
+  /// returns its best Trotter slice. Same contract as SaOptions::stop.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// One annealing read: the sampled spin configuration (+1/-1 per site)

@@ -1,4 +1,7 @@
+#include <optional>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -309,6 +312,202 @@ TEST(CoreTest, ReportSummaryMentionsKeyNumbers) {
   const std::string summary = report->Summary();
   EXPECT_NE(summary.find("logical qubits"), std::string::npos);
   EXPECT_NE(summary.find("best cost"), std::string::npos);
+}
+
+
+// --- QUBO-build cache. ---
+
+Query MakeChainQuery(int relations) {
+  Query q;
+  for (int i = 0; i < relations; ++i) {
+    q.AddRelation("R" + std::to_string(i), 100.0 * (i + 1));
+  }
+  for (int i = 0; i + 1 < relations; ++i) {
+    EXPECT_TRUE(q.AddPredicate(i, i + 1, 0.1).ok());
+  }
+  return q;
+}
+
+TEST(QuboCacheTest, HitCountingAndEntrySharing) {
+  const Query q = MakeChainQuery(3);
+  QuboBuildCache cache;
+  JoEncodingOptions options;
+  auto first = cache.GetOrBuild(q, options);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrBuild(q, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // one shared immutable entry
+  EXPECT_EQ(cache.size(), 1u);
+  const QuboBuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(QuboCacheTest, FingerprintTracksEncodingInputsOnly) {
+  const Query q = MakeChainQuery(3);
+  JoEncodingOptions options;
+  const std::string base = JoEncodingFingerprint(q, options);
+
+  // Renaming a relation does not change the encoding -> same key.
+  Query renamed;
+  renamed.AddRelation("Alpha", 100.0);
+  renamed.AddRelation("Beta", 200.0);
+  renamed.AddRelation("Gamma", 300.0);
+  ASSERT_TRUE(renamed.AddPredicate(0, 1, 0.1).ok());
+  ASSERT_TRUE(renamed.AddPredicate(1, 2, 0.1).ok());
+  EXPECT_EQ(JoEncodingFingerprint(renamed, options), base);
+
+  // Any selectivity, cardinality, threshold or omega change -> new key.
+  Query selectivity;
+  selectivity.AddRelation("R0", 100.0);
+  selectivity.AddRelation("R1", 200.0);
+  selectivity.AddRelation("R2", 300.0);
+  ASSERT_TRUE(selectivity.AddPredicate(0, 1, 0.2).ok());
+  ASSERT_TRUE(selectivity.AddPredicate(1, 2, 0.1).ok());
+  EXPECT_NE(JoEncodingFingerprint(selectivity, options), base);
+  JoEncodingOptions omega = options;
+  omega.omega = 2.0;
+  EXPECT_NE(JoEncodingFingerprint(q, omega), base);
+  JoEncodingOptions more_thresholds = options;
+  more_thresholds.num_thresholds = 3;
+  EXPECT_NE(JoEncodingFingerprint(q, more_thresholds), base);
+}
+
+TEST(QuboCacheTest, ExplicitGeometricThresholdsShareTheDefaultKey) {
+  const Query q = MakeChainQuery(3);
+  JoEncodingOptions defaults;
+  JoEncodingOptions explicit_options;
+  explicit_options.thresholds =
+      MakeGeometricThresholds(q, defaults.num_thresholds);
+  EXPECT_EQ(JoEncodingFingerprint(q, explicit_options),
+            JoEncodingFingerprint(q, defaults));
+}
+
+// --- Portfolio backend. ---
+
+TEST(PortfolioTest, ZeroDeadlineReturnsClassicalFallback) {
+  const Query q = MakeChainQuery(4);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.deadline_ms = 0.0;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  // Zero budget: no strand ran, yet a valid plan (the DP fallback, which
+  // is optimal at this size) came back.
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_TRUE(report->portfolio.used_classical_fallback);
+  EXPECT_EQ(report->portfolio.winner, "classical_fallback");
+  EXPECT_DOUBLE_EQ(report->best_cost, report->optimal_cost);
+  EXPECT_EQ(report->best_order.order(), report->optimal_order.order());
+  for (const StrandOutcome& strand : report->portfolio.race.strands) {
+    EXPECT_EQ(strand.rounds_completed, 0);
+  }
+}
+
+TEST(PortfolioTest, RejectsUnboundedConfiguration) {
+  const Query q = MakeChainQuery(3);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.deadline_ms = -1.0;
+  config.portfolio.sweep_budget = 0;  // no deadline and no sweep bound
+  EXPECT_FALSE(OptimizeJoinOrder(q, config).ok());
+}
+
+TEST(PortfolioTest, ExactStrandWinsSmallInstances) {
+  const Query q = MakePaperInstance(2);  // 18 logical qubits
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.sweep_budget = 256;
+  config.portfolio.max_exact_variables = 28;  // paper instance: 22 qubits
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_FALSE(report->portfolio.used_classical_fallback);
+  ASSERT_FALSE(report->portfolio.race.strands.empty());
+  const StrandOutcome& exact = report->portfolio.race.strands[0];
+  EXPECT_EQ(exact.strand, PortfolioStrand::kExact);
+  ASSERT_TRUE(exact.eligible);
+  // The exact strand proves the optimum; no strand can beat its score and
+  // ties break in its favour.
+  EXPECT_TRUE(exact.hit_lower_bound);
+  EXPECT_TRUE(exact.won);
+  EXPECT_EQ(report->portfolio.winner, "exact");
+  EXPECT_DOUBLE_EQ(report->best_cost, report->optimal_cost);
+}
+
+TEST(PortfolioTest, DeadlineExpiryStillReturnsValidPlan) {
+  const Query q = MakeChainQuery(5);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.deadline_ms = 30.0;
+  config.portfolio.sweep_budget = 0;  // unlimited: only the deadline stops it
+  config.parallelism = 4;             // race strands concurrently
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_EQ(report->best_order.order().size(), 5u);
+  EXPECT_GT(report->best_cost, 0.0);
+}
+
+TEST(PortfolioTest, DeterministicAcrossParallelism) {
+  const Query q = MakeChainQuery(4);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.sweep_budget = 512;  // pure sweep-budget mode
+  std::optional<QjoReport> baseline;
+  for (int parallelism : {1, 4, 16}) {
+    config.parallelism = parallelism;
+    auto report = OptimizeJoinOrder(q, config);
+    ASSERT_TRUE(report.ok()) << "parallelism " << parallelism;
+    ASSERT_TRUE(report->found_valid);
+    if (!baseline.has_value()) {
+      baseline = *std::move(report);
+      continue;
+    }
+    // Everything except wall-clock timings must be bit-identical.
+    EXPECT_EQ(report->best_order.order(), baseline->best_order.order());
+    EXPECT_EQ(report->best_cost, baseline->best_cost);
+    EXPECT_EQ(report->portfolio.winner, baseline->portfolio.winner);
+    EXPECT_EQ(report->portfolio.race.winner, baseline->portfolio.race.winner);
+    EXPECT_EQ(report->portfolio.race.best_assignment,
+              baseline->portfolio.race.best_assignment);
+    EXPECT_EQ(report->portfolio.race.best_energy,
+              baseline->portfolio.race.best_energy);
+    ASSERT_EQ(report->portfolio.race.strands.size(),
+              baseline->portfolio.race.strands.size());
+    for (size_t s = 0; s < baseline->portfolio.race.strands.size(); ++s) {
+      const StrandOutcome& got = report->portfolio.race.strands[s];
+      const StrandOutcome& want = baseline->portfolio.race.strands[s];
+      EXPECT_EQ(got.eligible, want.eligible) << "strand " << s;
+      EXPECT_EQ(got.rounds_completed, want.rounds_completed) << "strand " << s;
+      EXPECT_EQ(got.sweeps_completed, want.sweeps_completed) << "strand " << s;
+      EXPECT_EQ(got.best_energy, want.best_energy) << "strand " << s;
+      EXPECT_EQ(got.feasible, want.feasible) << "strand " << s;
+      if (got.feasible) {
+        EXPECT_EQ(got.best_score, want.best_score) << "strand " << s;
+      }
+      EXPECT_EQ(got.won, want.won) << "strand " << s;
+    }
+  }
+}
+
+TEST(BatchTest, SharedCacheEncodesRepeatedQueriesOnce) {
+  const Query q = MakeChainQuery(3);
+  std::vector<Query> queries = {q, q, q};
+  QuboBuildCache cache;
+  QjoConfig config;
+  config.backend = QjoBackend::kExact;
+  config.qubo_cache = &cache;
+  const auto reports =
+      OptimizeJoinOrderBatch(queries, config, /*parallelism=*/1);
+  ASSERT_EQ(reports.size(), 3u);
+  for (const auto& report : reports) ASSERT_TRUE(report.ok());
+  // Serial batch: the first lookup misses, the other two hit.
+  const QuboBuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 }  // namespace

@@ -1,4 +1,7 @@
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -527,6 +530,113 @@ TEST(SimulatedAnnealingTest, KernelsConvergeEquallyOnContinuousProblems) {
     Rng rng(29);
     const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
     EXPECT_NEAR(reads.front().energy, exact.energy, 1e-6);
+  }
+}
+
+
+// --- Cooperative cancellation (the portfolio stop token). ---
+
+TEST(SimulatedAnnealingTest, StopTokenCancelsLongRun) {
+  Rng make_rng(131);
+  const Qubo qubo = RandomQubo(64, 0.5, make_rng);
+  SaOptions options;
+  options.num_reads = 4;
+  options.sweeps_per_read = 50'000'000;  // hours of work if uncancelled
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  Rng rng(31);
+  const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+  canceller.join();
+  // The run returned (that is the point); truncated reads are still valid
+  // assignments with consistent energies.
+  ASSERT_EQ(reads.size(), 4u);
+  for (const auto& read : reads) {
+    ASSERT_EQ(read.assignment.size(), 64u);
+    // The incremental kernel tracks energy by flip deltas; allow the
+    // rounding drift of thousands of sweeps.
+    EXPECT_NEAR(read.energy, qubo.Energy(read.assignment),
+                1e-9 * (1.0 + std::abs(read.energy)) * 1e3);
+  }
+}
+
+TEST(SimulatedAnnealingTest, PreSetStopTokenReturnsImmediately) {
+  Rng make_rng(137);
+  const Qubo qubo = RandomQubo(32, 0.5, make_rng);
+  SaOptions options;
+  options.num_reads = 2;
+  options.sweeps_per_read = 50'000'000;
+  std::atomic<bool> stop{true};
+  options.stop = &stop;
+  Rng rng(37);
+  const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
+  ASSERT_EQ(reads.size(), 2u);
+  for (const auto& read : reads) {
+    EXPECT_DOUBLE_EQ(read.energy, qubo.Energy(read.assignment));
+  }
+}
+
+TEST(SimulatedAnnealingTest, UnsetStopTokenMatchesNoToken) {
+  Rng make_rng(139);
+  const Qubo qubo = RandomQubo(24, 0.5, make_rng);
+  SaOptions options;
+  options.num_reads = 6;
+  options.sweeps_per_read = 200;
+  Rng rng_plain(41);
+  const auto plain = SolveQuboSimulatedAnnealing(qubo, options, rng_plain);
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  Rng rng_token(41);
+  const auto with_token = SolveQuboSimulatedAnnealing(qubo, options, rng_token);
+  ASSERT_EQ(plain.size(), with_token.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].energy, with_token[i].energy);
+    EXPECT_EQ(plain[i].assignment, with_token[i].assignment);
+  }
+}
+
+TEST(TabuSearchTest, StopTokenCancelsLongRun) {
+  Rng make_rng(149);
+  const Qubo qubo = RandomQubo(64, 0.5, make_rng);
+  TabuOptions options;
+  options.num_restarts = 4;
+  options.iterations_per_restart = 50'000'000;
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  Rng rng(43);
+  const auto restarts = SolveQuboTabuSearch(qubo, options, rng);
+  canceller.join();
+  ASSERT_EQ(restarts.size(), 4u);
+  for (const auto& restart : restarts) {
+    ASSERT_EQ(restart.assignment.size(), 64u);
+    EXPECT_NEAR(restart.energy, qubo.Energy(restart.assignment),
+                1e-9 * (1.0 + std::abs(restart.energy)) * 1e3);
+  }
+}
+
+TEST(TabuSearchTest, UnsetStopTokenMatchesNoToken) {
+  Rng make_rng(151);
+  const Qubo qubo = RandomQubo(24, 0.5, make_rng);
+  TabuOptions options;
+  options.num_restarts = 4;
+  options.iterations_per_restart = 150;
+  Rng rng_plain(47);
+  const auto plain = SolveQuboTabuSearch(qubo, options, rng_plain);
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  Rng rng_token(47);
+  const auto with_token = SolveQuboTabuSearch(qubo, options, rng_token);
+  ASSERT_EQ(plain.size(), with_token.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].energy, with_token[i].energy);
+    EXPECT_EQ(plain[i].assignment, with_token[i].assignment);
   }
 }
 

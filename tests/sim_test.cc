@@ -1,5 +1,8 @@
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -576,6 +579,55 @@ TEST(QaoaSimulatorTest, DeterministicAcrossParallelism) {
   for (uint64_t basis = 0; basis < size; basis += 257) {
     ASSERT_EQ(serial->Probability(basis), parallel->Probability(basis))
         << "basis " << basis;
+  }
+}
+
+
+// --- Cooperative cancellation (the portfolio stop token). ---
+
+TEST(SqaTest, StopTokenCancelsLongRun) {
+  Rng make_rng(157);
+  const IsingModel ising = RandomIsing(48, 0.5, make_rng);
+  SqaOptions options;
+  options.num_reads = 2;
+  options.annealing_time_us = 1e7;  // ~1e7 sweeps: hours if uncancelled
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true, std::memory_order_relaxed);
+  });
+  Rng rng(53);
+  const auto samples = RunSqa(ising, options, rng);
+  canceller.join();
+  ASSERT_TRUE(samples.ok());
+  // Cancelled reads still report their best Trotter slice with a
+  // consistent energy.
+  ASSERT_EQ(samples->size(), 2u);
+  for (const auto& sample : *samples) {
+    ASSERT_EQ(sample.spins.size(), 48u);
+    EXPECT_DOUBLE_EQ(sample.energy, ising.Energy(sample.spins));
+  }
+}
+
+TEST(SqaTest, UnsetStopTokenMatchesNoToken) {
+  Rng make_rng(163);
+  const IsingModel ising = RandomIsing(20, 0.5, make_rng);
+  SqaOptions options;
+  options.num_reads = 4;
+  options.annealing_time_us = 20.0;
+  Rng rng_plain(59);
+  const auto plain = RunSqa(ising, options, rng_plain);
+  ASSERT_TRUE(plain.ok());
+  std::atomic<bool> stop{false};
+  options.stop = &stop;
+  Rng rng_token(59);
+  const auto with_token = RunSqa(ising, options, rng_token);
+  ASSERT_TRUE(with_token.ok());
+  ASSERT_EQ(plain->size(), with_token->size());
+  for (size_t i = 0; i < plain->size(); ++i) {
+    EXPECT_EQ((*plain)[i].energy, (*with_token)[i].energy);
+    EXPECT_EQ((*plain)[i].spins, (*with_token)[i].spins);
   }
 }
 
