@@ -5,6 +5,7 @@
 // *effective* quality collapses.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "circuit/qaoa_builder.h"
@@ -67,14 +68,25 @@ void Run() {
     for (int sweep = 0; sweep < 4; ++sweep) {
       for (int rep = 0; rep < p; ++rep) {
         for (double* angle : {&params.gammas[rep], &params.betas[rep]}) {
-          for (double scale : {0.6, 0.85, 1.2, 1.6}) {
-            const double saved = *angle;
+          // All four candidate scalings of this angle go through one
+          // batched evaluation and the best improving one is accepted.
+          // (The pre-batch code evaluated the scales sequentially and
+          // let accepted moves compound within the candidate loop; the
+          // batched form is best-of-four per coordinate, which the
+          // outer sweeps iterate the same way.)
+          const double saved = *angle;
+          const double scales[] = {0.6, 0.85, 1.2, 1.6};
+          std::vector<QaoaParameters> candidates;
+          for (double scale : scales) {
             *angle = saved * scale;
-            const double value = sim->Run(params);
-            if (value < expectation - 1e-9) {
-              expectation = value;
-            } else {
-              *angle = saved;
+            candidates.push_back(params);
+          }
+          *angle = saved;
+          const std::vector<double> values = sim->EvaluateBatch(candidates);
+          for (size_t c = 0; c < values.size(); ++c) {
+            if (values[c] < expectation - 1e-9) {
+              expectation = values[c];
+              *angle = saved * scales[c];
             }
           }
         }

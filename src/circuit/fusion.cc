@@ -1,0 +1,49 @@
+#include "circuit/fusion.h"
+
+namespace qjo {
+namespace {
+
+/// True if `gate` can extend a single-qubit run: one operand, below the
+/// cache-block boundary. (Diagonal single-qubit gates are classified as
+/// diagonal first — the diagonal sweep is cheaper than a butterfly.)
+bool FitsSingleQubitRun(const Gate& gate) {
+  return gate.qubits.size() == 1 && gate.qubits[0] < kFusionBlockQubits;
+}
+
+}  // namespace
+
+bool IsDiagonalGate(GateType type) {
+  switch (type) {
+    case GateType::kRz:
+    case GateType::kRzz:
+    case GateType::kCz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FusedCircuit FuseCircuit(const QuantumCircuit& circuit) {
+  FusedCircuit fused;
+  fused.num_qubits = circuit.num_qubits();
+  fused.num_gates = circuit.num_gates();
+  for (const Gate& gate : circuit.gates()) {
+    FusedOpKind kind = FusedOpKind::kGate;
+    if (IsDiagonalGate(gate.type)) {
+      kind = FusedOpKind::kDiagonalRun;
+    } else if (FitsSingleQubitRun(gate)) {
+      kind = FusedOpKind::kSingleQubitRun;
+    }
+    const bool extends = !fused.ops.empty() &&
+                         fused.ops.back().kind == kind &&
+                         kind != FusedOpKind::kGate;
+    if (extends) {
+      fused.ops.back().gates.push_back(gate);
+    } else {
+      fused.ops.push_back(FusedOp{kind, {gate}});
+    }
+  }
+  return fused;
+}
+
+}  // namespace qjo

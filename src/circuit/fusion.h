@@ -1,0 +1,54 @@
+#ifndef QJO_CIRCUIT_FUSION_H_
+#define QJO_CIRCUIT_FUSION_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qjo {
+
+/// Qubit-index boundary of the fused single-qubit kernel: a butterfly on
+/// qubit q pairs amplitudes 2^q apart, so every pair stays inside one
+/// 2^kFusionBlockQubits-amplitude cache block iff q < kFusionBlockQubits.
+/// Matches the fixed dispatch block of the simulator loops (2^14).
+inline constexpr int kFusionBlockQubits = 14;
+
+enum class FusedOpKind {
+  /// Run of adjacent single-qubit gates, every operand qubit below
+  /// kFusionBlockQubits: applied gate-by-gate inside one cache-blocked
+  /// sweep (one pass over the state instead of one per gate).
+  kSingleQubitRun,
+  /// Run of adjacent diagonal gates (RZ / RZZ / CZ, any qubits): applied
+  /// per amplitude in gate order inside a single element-wise sweep.
+  kDiagonalRun,
+  /// Single gate applied through the reference kernel (non-diagonal
+  /// two-qubit gates, and single-qubit gates on high qubits).
+  kGate,
+};
+
+/// One op of a fused circuit: the original gates, in original order.
+struct FusedOp {
+  FusedOpKind kind = FusedOpKind::kGate;
+  std::vector<Gate> gates;
+};
+
+/// Order-preserving partition of a circuit into fused ops. Concatenating
+/// ops[i].gates in order reproduces the input gate sequence exactly.
+struct FusedCircuit {
+  int num_qubits = 0;
+  std::vector<FusedOp> ops;
+  int num_gates = 0;
+};
+
+/// True for gates that are diagonal in the computational basis.
+bool IsDiagonalGate(GateType type);
+
+/// Greedy adjacent-only fusion pass. Gates are never reordered — not even
+/// across disjoint qubits — because reordering regroups floating-point
+/// sums and breaks bit-parity with the gate-by-gate reference kernel; a
+/// run simply extends while consecutive gates remain mergeable.
+FusedCircuit FuseCircuit(const QuantumCircuit& circuit);
+
+}  // namespace qjo
+
+#endif  // QJO_CIRCUIT_FUSION_H_

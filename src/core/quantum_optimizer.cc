@@ -160,9 +160,36 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
           OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
       report.gamma = angles.gamma;
       report.beta = angles.beta;
+      if (config.qaoa_grid > 1) {
+        // Local grid refinement around the analytic angles: one batched
+        // sweep over a gamma-major qaoa_grid^2 grid in [0.5, 1.5] x the
+        // analytic values. Gamma-major order maximises phase-table reuse
+        // inside EvaluateBatch; the argmin takes the lowest index on
+        // ties, so the result is parallelism-independent.
+        const int g = config.qaoa_grid;
+        std::vector<QaoaParameters> grid;
+        grid.reserve(static_cast<size_t>(g) * g);
+        for (int i = 0; i < g; ++i) {
+          const double sg = 0.5 + 1.0 * i / (g - 1);
+          for (int j = 0; j < g; ++j) {
+            const double sb = 0.5 + 1.0 * j / (g - 1);
+            QaoaParameters candidate;
+            candidate.gammas = {angles.gamma * sg};
+            candidate.betas = {angles.beta * sb};
+            grid.push_back(std::move(candidate));
+          }
+        }
+        const std::vector<double> energies = sim.EvaluateBatch(grid);
+        size_t best = 0;
+        for (size_t i = 1; i < energies.size(); ++i) {
+          if (energies[i] < energies[best]) best = i;
+        }
+        report.gamma = grid[best].gammas[0];
+        report.beta = grid[best].betas[0];
+      }
       QaoaParameters params;
-      params.gammas = {angles.gamma};
-      params.betas = {angles.beta};
+      params.gammas = {report.gamma};
+      params.betas = {report.beta};
       sim.Run(params);
 
       // Transpile the circuit for the device to obtain depth and fidelity.

@@ -71,6 +71,11 @@ struct QjoConfig {
   // --- Gate-based options. ---
   int shots = 1024;
   int qaoa_iterations = 20;
+  /// When > 1, refine the analytic QAOA angles over a qaoa_grid x
+  /// qaoa_grid (gamma, beta) grid spanning [0.5, 1.5] x the analytic
+  /// values, evaluated in one batched sweep (QaoaSimulator::
+  /// EvaluateBatch). 0 or 1 = analytic angles only (paper setup).
+  int qaoa_grid = 0;
   DeviceProperties device;        ///< defaults to IBM Q Auckland
   TranspileOptions transpile;     ///< gate set defaults to IBM
   /// Topology for transpilation; empty = IBM Falcon 27.

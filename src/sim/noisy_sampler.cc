@@ -8,21 +8,58 @@
 namespace qjo {
 namespace {
 
-/// Applies a uniformly random non-identity Pauli to `qubit`.
-void ApplyRandomPauli(StateVector& state, int qubit, Rng& rng) {
+/// Appends a uniformly random non-identity Pauli on `qubit` to the
+/// trajectory circuit. The rng draw order matches the pre-fusion
+/// implementation that applied the gates directly, draw for draw.
+void AppendRandomPauli(QuantumCircuit& trajectory, int qubit, Rng& rng) {
   switch (rng.UniformInt(3)) {
     case 0:
-      state.Apply(Gate::Single(GateType::kX, qubit));
+      trajectory.X(qubit);
       break;
     case 1:
       // Y = i X Z: global phase is irrelevant for sampling.
-      state.Apply(Gate::Single(GateType::kRz, qubit, 3.14159265358979323846));
-      state.Apply(Gate::Single(GateType::kX, qubit));
+      trajectory.Rz(qubit, 3.14159265358979323846);
+      trajectory.X(qubit);
       break;
     default:
-      state.Apply(Gate::Single(GateType::kRz, qubit, 3.14159265358979323846));
+      trajectory.Rz(qubit, 3.14159265358979323846);
       break;
   }
+}
+
+/// Builds one stochastic trajectory: the base circuit with the drawn
+/// gate-error Paulis and idle-decoherence flips spliced in after each
+/// gate, in the order the pre-fusion implementation applied them.
+QuantumCircuit BuildTrajectory(const QuantumCircuit& circuit,
+                               const NoiseModel& noise, double pz, double px,
+                               Rng& rng) {
+  QuantumCircuit trajectory(circuit.num_qubits());
+  // Track layer boundaries the same way Depth() does; when a qubit's
+  // layer advances, it idles for one layer -> decoherence channel.
+  std::vector<int> level(circuit.num_qubits(), 0);
+  for (const Gate& gate : circuit.gates()) {
+    trajectory.Append(gate);
+    // Gate error.
+    const double error_rate = gate.qubits.size() == 2 ? noise.two_qubit_pauli
+                                                      : noise.one_qubit_pauli;
+    for (int q : gate.qubits) {
+      if (rng.Bernoulli(error_rate)) AppendRandomPauli(trajectory, q, rng);
+    }
+    // Idle decoherence for the layer each operand just spent.
+    int layer = 0;
+    for (int q : gate.qubits) layer = std::max(layer, level[q]);
+    ++layer;
+    for (int q : gate.qubits) {
+      level[q] = layer;
+      if (pz > 0.0 && rng.Bernoulli(pz)) {
+        trajectory.Rz(q, 3.14159265358979323846);
+      }
+      if (px > 0.0 && rng.Bernoulli(px)) {
+        trajectory.X(q);
+      }
+    }
+  }
+  return trajectory;
 }
 
 }  // namespace
@@ -58,7 +95,7 @@ uint64_t ApplyReadoutError(uint64_t basis, int num_qubits, double flip_prob,
 
 StatusOr<std::vector<uint64_t>> SampleWithTrajectories(
     const QuantumCircuit& circuit, const NoiseModel& noise, int shots,
-    Rng& rng, int max_qubits) {
+    Rng& rng, int max_qubits, SimKernel kernel) {
   if (circuit.num_qubits() > max_qubits) {
     return Status::ResourceExhausted(
         "trajectory sampling is capped; use the global depolarising model "
@@ -74,32 +111,9 @@ StatusOr<std::vector<uint64_t>> SampleWithTrajectories(
   for (int shot = 0; shot < shots; ++shot) {
     QJO_ASSIGN_OR_RETURN(StateVector state,
                          StateVector::Create(circuit.num_qubits()));
-    // Track layer boundaries the same way Depth() does; when a qubit's
-    // layer advances, it idles for one layer -> decoherence channel.
-    std::vector<int> level(circuit.num_qubits(), 0);
-    for (const Gate& gate : circuit.gates()) {
-      state.Apply(gate);
-      // Gate error.
-      const double error_rate = gate.qubits.size() == 2
-                                    ? noise.two_qubit_pauli
-                                    : noise.one_qubit_pauli;
-      for (int q : gate.qubits) {
-        if (rng.Bernoulli(error_rate)) ApplyRandomPauli(state, q, rng);
-      }
-      // Idle decoherence for the layer each operand just spent.
-      int layer = 0;
-      for (int q : gate.qubits) layer = std::max(layer, level[q]);
-      ++layer;
-      for (int q : gate.qubits) {
-        level[q] = layer;
-        if (pz > 0.0 && rng.Bernoulli(pz)) {
-          state.Apply(Gate::Single(GateType::kRz, q, 3.14159265358979323846));
-        }
-        if (px > 0.0 && rng.Bernoulli(px)) {
-          state.Apply(Gate::Single(GateType::kX, q));
-        }
-      }
-    }
+    const QuantumCircuit trajectory =
+        BuildTrajectory(circuit, noise, pz, px, rng);
+    state.ApplyCircuit(trajectory, kernel);
     const std::vector<uint64_t> outcome = state.Sample(1, rng);
     samples.push_back(ApplyReadoutError(outcome[0], circuit.num_qubits(),
                                         noise.readout_flip, rng));

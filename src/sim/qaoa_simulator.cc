@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
@@ -13,8 +18,276 @@ namespace {
 
 /// Fixed block size for the 2^n amplitude loops; see the StateVector
 /// kernels for the determinism rationale (chunk boundaries never depend
-/// on the thread count).
-constexpr int64_t kBlock = int64_t{1} << 14;
+/// on the thread count). A 2^14-amplitude block is 128 KiB of
+/// complex<float> — it fits in L2, which is what makes fusing the phase
+/// multiply with the low-qubit butterflies profitable: the block is
+/// loaded once per layer instead of once per gate.
+constexpr int kBlockQubits = 14;
+constexpr int64_t kBlock = int64_t{1} << kBlockQubits;
+
+/// Column tile (in amplitudes) for the high-qubit mixer sweep: all
+/// qubits with bit >= kBlockQubits are applied to one 2^11-column strip
+/// before moving to the next, so the strip's rows stay cache-resident
+/// across the whole high-qubit pass.
+constexpr int64_t kHighTile = int64_t{1} << 11;
+
+/// Memory budget for the per-gamma phase-factor tables exp(-i gamma
+/// E(x)). A table turns the sincos per amplitude per layer into a load
+/// and is reused verbatim whenever a layer's gamma was seen before
+/// (replicated layers, gamma-major grid sweeps — a depth-p evaluation
+/// needs p live tables for cross-evaluation reuse, hence a small cache
+/// rather than a single slot). The budget caps cache_entries *
+/// 2^n * sizeof(complex<float>): 8 entries up to 20 qubits, dropping to
+/// 0 (inline sincos) above 23.
+constexpr uint64_t kMaxPhaseTableBytes = uint64_t{64} << 20;
+constexpr size_t kMaxPhaseTableEntries = 8;
+
+size_t MaxPhaseTableEntries(int num_qubits) {
+  const uint64_t table_bytes =
+      (uint64_t{1} << num_qubits) * sizeof(std::complex<float>);
+  return std::min(kMaxPhaseTableEntries,
+                  static_cast<size_t>(kMaxPhaseTableBytes / table_bytes));
+}
+
+/// Gates per-sweep parallelism on the state size: below the threshold
+/// the dispatch overhead exceeds the loop body and the sweeps run
+/// serially (see sim/sim_kernel.h).
+ThreadPool* GatedPool(ThreadPool* pool, uint64_t amplitudes) {
+  return amplitudes >= static_cast<uint64_t>(kMinParallelAmplitudes) ? pool
+                                                                     : nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Butterfly kernels. All of them compute exactly
+//   lo' = c*lo + (0,-sn)*hi     hi' = (0,-sn)*lo + c*hi
+// with the same per-component rounding as the std::complex expression in
+// the reference kernel, so fused and reference amplitudes compare equal
+// with operator== (only signs of zeros can differ). The SSE2 variants
+// rely on x86 baseline semantics: one IEEE rounding per lane, no FMA
+// contraction, and XOR of the sign bit being an exact negation.
+// ---------------------------------------------------------------------------
+
+/// Scalar butterfly on interleaved (re, im) floats.
+inline void Butterfly1(float* lo, float* hi, float c, float sn) {
+  const float re0 = lo[0], im0 = lo[1], re1 = hi[0], im1 = hi[1];
+  lo[0] = c * re0 + sn * im1;
+  lo[1] = c * im0 - sn * re1;
+  hi[0] = sn * im0 + c * re1;
+  hi[1] = -(sn * re0) + c * im1;
+}
+
+#if defined(__SSE2__)
+
+/// Negates lanes 1 and 3 (the imaginary components of two interleaved
+/// complex values) by flipping their sign bits.
+inline __m128 NegateOdd(__m128 v) {
+  const __m128 mask =
+      _mm_castsi128_ps(_mm_set_epi32(0x80000000, 0, 0x80000000, 0));
+  return _mm_xor_ps(v, mask);
+}
+
+/// Two butterflies at once: lo/hi each hold two interleaved complex
+/// amplitudes. vc/vs are broadcast cos(beta)/sin(beta).
+inline void ButterflyVec(float* lo, float* hi, __m128 vc, __m128 vs) {
+  const __m128 v0 = _mm_loadu_ps(lo);
+  const __m128 v1 = _mm_loadu_ps(hi);
+  const __m128 sw0 = _mm_shuffle_ps(v0, v0, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 sw1 = _mm_shuffle_ps(v1, v1, _MM_SHUFFLE(2, 3, 0, 1));
+  _mm_storeu_ps(lo, _mm_add_ps(_mm_mul_ps(vc, v0),
+                               NegateOdd(_mm_mul_ps(vs, sw1))));
+  _mm_storeu_ps(hi, _mm_add_ps(NegateOdd(_mm_mul_ps(vs, sw0)),
+                               _mm_mul_ps(vc, v1)));
+}
+
+/// Qubit-0 butterfly: the pair is adjacent, so one vector holds both
+/// amplitudes as [re0 im0 re1 im1]. The lo lanes add c*v first and the
+/// hi lanes add the sine term first, mirroring the scalar operand order.
+inline void ButterflyQ0Vec(float* a, __m128 vc, __m128 vs) {
+  const __m128 v = _mm_loadu_ps(a);
+  const __m128 sw = _mm_shuffle_ps(v, v, _MM_SHUFFLE(0, 1, 2, 3));
+  const __m128 t = _mm_mul_ps(vs, sw);
+  const __m128 mask =
+      _mm_castsi128_ps(_mm_set_epi32(0x80000000, 0, 0x80000000, 0));
+  const __m128 tt = _mm_xor_ps(t, mask);
+  const __m128 cv = _mm_mul_ps(vc, v);
+  const __m128 lo = _mm_add_ps(cv, tt);
+  const __m128 hi = _mm_add_ps(tt, cv);
+  _mm_storeu_ps(a, _mm_shuffle_ps(lo, hi, _MM_SHUFFLE(3, 2, 1, 0)));
+}
+
+/// Element-wise complex multiply of two interleaved amplitudes by two
+/// interleaved table factors: a *= t.
+inline void PhaseVec(float* a, const float* t) {
+  const __m128 va = _mm_loadu_ps(a);
+  const __m128 vt = _mm_loadu_ps(t);
+  const __m128 prpr = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128 pipi = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128 swa = _mm_shuffle_ps(va, va, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 x = _mm_mul_ps(va, prpr);
+  const __m128 y = _mm_mul_ps(swa, pipi);
+  const __m128 mask =
+      _mm_castsi128_ps(_mm_set_epi32(0, 0x80000000, 0, 0x80000000));
+  _mm_storeu_ps(a, _mm_add_ps(x, _mm_xor_ps(y, mask)));
+}
+
+#endif  // __SSE2__
+
+/// Mixer butterflies for all qubits with bit < block_qubits, applied to
+/// one cache-resident block of `bsz` amplitudes starting at `a` (floats,
+/// interleaved). Qubits are applied in ascending order, exactly as the
+/// reference kernel orders its per-qubit sweeps.
+inline void MixerLowBlock(float* a, int64_t bsz, int block_qubits, float c,
+                          float sn) {
+#if defined(__SSE2__)
+  const __m128 vc = _mm_set1_ps(c);
+  const __m128 vs = _mm_set1_ps(sn);
+  const int64_t floats = 2 * bsz;
+  // block_qubits >= 1 always (Create requires n >= 1), so qubit 0 and a
+  // block of at least two amplitudes exist.
+  for (int64_t f = 0; f + 4 <= floats; f += 4) ButterflyQ0Vec(a + f, vc, vs);
+  for (int q = 1; q < block_qubits; ++q) {
+    const int64_t bit = int64_t{1} << q;
+    for (int64_t g = 0; g < bsz; g += 2 * bit) {
+      float* lo = a + 2 * g;
+      float* hi = a + 2 * (g + bit);
+      for (int64_t f = 0; f < 2 * bit; f += 4) ButterflyVec(lo + f, hi + f,
+                                                            vc, vs);
+    }
+  }
+#else
+  for (int q = 0; q < block_qubits; ++q) {
+    const int64_t bit = int64_t{1} << q;
+    for (int64_t g = 0; g < bsz; g += 2 * bit) {
+      for (int64_t l = 0; l < bit; ++l) {
+        Butterfly1(a + 2 * (g + l), a + 2 * (g + l + bit), c, sn);
+      }
+    }
+  }
+#endif
+}
+
+/// Mixer butterflies for all qubits with bit >= block_qubits. Amplitude
+/// index = row * bsz + column; high qubits only pair up row indices at a
+/// fixed column, so the sweep walks 2^11-column strips and applies every
+/// high qubit (ascending, matching the reference order) while the strip
+/// is hot. Strips are independent, which is also the parallel axis.
+void MixerHighSweep(float* amps, int n, int block_qubits, float c, float sn,
+                    ThreadPool* pool) {
+  const int h = n - block_qubits;
+  if (h <= 0) return;
+  const int64_t bsz = int64_t{1} << block_qubits;
+  const int64_t tile = std::min(bsz, kHighTile);
+  const int64_t half_rows = int64_t{1} << (h - 1);
+#if defined(__SSE2__)
+  const __m128 vc = _mm_set1_ps(c);
+  const __m128 vs = _mm_set1_ps(sn);
+#endif
+  ParallelForBlocks(
+      pool, 0, bsz, tile, [&](int64_t col_begin, int64_t col_end) {
+        for (int64_t l0 = col_begin; l0 < col_end; l0 += tile) {
+          const int64_t cols = std::min(tile, col_end - l0);
+          for (int q = 0; q < h; ++q) {
+            const int64_t rbit = int64_t{1} << q;
+            const int64_t rlow = rbit - 1;
+            for (int64_t rk = 0; rk < half_rows; ++rk) {
+              const int64_t row = ((rk & ~rlow) << 1) | (rk & rlow);
+              float* lo = amps + 2 * (row * bsz + l0);
+              float* hi = amps + 2 * ((row | rbit) * bsz + l0);
+#if defined(__SSE2__)
+              for (int64_t f = 0; f < 2 * cols; f += 4) {
+                ButterflyVec(lo + f, hi + f, vc, vs);
+              }
+#else
+              for (int64_t l = 0; l < cols; ++l) {
+                Butterfly1(lo + 2 * l, hi + 2 * l, c, sn);
+              }
+#endif
+            }
+          }
+        }
+      });
+}
+
+/// One fused QAOA layer: per 2^14 block, the cost phase multiply and the
+/// low-qubit mixer run back to back while the block is cache-resident
+/// (one memory pass instead of 1 + block_qubits); the remaining high
+/// qubits follow in the column-tiled sweep. `factors` is the per-gamma
+/// phase table, or nullptr to compute the factors inline (n above the
+/// table cap).
+void FusedLayer(std::complex<float>* amps_c, const float* cost,
+                const std::complex<float>* factors, float gamma, float beta,
+                int n, ThreadPool* pool) {
+  const uint64_t size = uint64_t{1} << n;
+  const int block_qubits = std::min(n, kBlockQubits);
+  const int64_t bsz = int64_t{1} << block_qubits;
+  const float c = std::cos(beta);
+  const float sn = std::sin(beta);
+  float* amps = reinterpret_cast<float*>(amps_c);
+  const float* table = reinterpret_cast<const float*>(factors);
+
+  ParallelForBlocks(
+      pool, 0, static_cast<int64_t>(size), bsz,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t b0 = begin; b0 < end; b0 += bsz) {
+          float* a = amps + 2 * b0;
+          if (table != nullptr) {
+            const float* t = table + 2 * b0;
+#if defined(__SSE2__)
+            for (int64_t f = 0; f + 4 <= 2 * bsz; f += 4) {
+              PhaseVec(a + f, t + f);
+            }
+#else
+            for (int64_t i = b0; i < b0 + bsz; ++i) amps_c[i] *= factors[i];
+#endif
+          } else {
+            for (int64_t i = b0; i < b0 + bsz; ++i) {
+              const float angle = -gamma * cost[i];
+              amps_c[i] *= std::complex<float>(std::cos(angle),
+                                               std::sin(angle));
+            }
+          }
+          MixerLowBlock(a, bsz, block_qubits, c, sn);
+        }
+      });
+  MixerHighSweep(amps, n, block_qubits, c, sn, pool);
+}
+
+/// One pre-fusion QAOA layer, kept verbatim as the kReference kernel:
+/// one full phase sweep, then one full sweep per mixer qubit.
+void ReferenceLayer(std::complex<float>* amps, const float* cost, float gamma,
+                    float beta, int n, ThreadPool* pool) {
+  const uint64_t size = uint64_t{1} << n;
+  // Cost phase: exp(-i gamma E(x)) (the offset is a global phase).
+  ParallelForBlocks(pool, 0, static_cast<int64_t>(size), kBlock,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        const float angle = -gamma * cost[i];
+                        amps[i] *= std::complex<float>(std::cos(angle),
+                                                       std::sin(angle));
+                      }
+                    });
+  // Mixer: RX(2 beta) on every qubit, over the compressed index space
+  // (k with a zero spliced in at the qubit's bit position).
+  const float c = std::cos(beta);
+  const std::complex<float> s(0.0f, -std::sin(beta));
+  for (int q = 0; q < n; ++q) {
+    const uint64_t bit = uint64_t{1} << q;
+    const uint64_t low_mask = bit - 1;
+    ParallelForBlocks(
+        pool, 0, static_cast<int64_t>(size >> 1), kBlock,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t k = begin; k < end; ++k) {
+            const uint64_t uk = static_cast<uint64_t>(k);
+            const uint64_t base = ((uk & ~low_mask) << 1) | (uk & low_mask);
+            const uint64_t partner = base | bit;
+            const std::complex<float> a0 = amps[base];
+            const std::complex<float> a1 = amps[partner];
+            amps[base] = c * a0 + s * a1;
+            amps[partner] = s * a0 + c * a1;
+          }
+        });
+  }
+}
 
 }  // namespace
 
@@ -50,6 +323,8 @@ void QaoaSimulator::BuildCostSpectrum(const IsingModel& ising) {
     energy += w;
   }
   cost_[0] = static_cast<float>(energy);
+  min_cost_ = cost_[0];
+  argmin_ = 0;
 
   uint64_t x = 0;
   for (uint64_t k = 1; k < size; ++k) {
@@ -62,40 +337,172 @@ void QaoaSimulator::BuildCostSpectrum(const IsingModel& ising) {
     energy -= 2.0 * static_cast<double>(spins[bit]) * field;
     spins[bit] = static_cast<int8_t>(-spins[bit]);
     x ^= uint64_t{1} << bit;
-    cost_[x] = static_cast<float>(energy);
+    const float fc = static_cast<float>(energy);
+    cost_[x] = fc;
+    // Running argmin; the tie-break towards the smallest basis index is
+    // load-bearing because the Gray-code walk does not visit x in
+    // ascending order, while the O(2^n) scan this replaces did.
+    if (fc < min_cost_ || (fc == min_cost_ && x < argmin_)) {
+      min_cost_ = fc;
+      argmin_ = x;
+    }
   }
 }
 
-double QaoaSimulator::Run(const QaoaParameters& parameters) {
+const std::complex<float>* QaoaSimulator::PhaseFactors(
+    float gamma, PhaseTableCache& tables, ThreadPool* pool) const {
+  const size_t max_entries = MaxPhaseTableEntries(num_qubits_);
+  if (max_entries == 0) return nullptr;
+  for (const PhaseTable& entry : tables.entries) {
+    if (entry.gamma == gamma) return entry.factors.data();
+  }
+  PhaseTable* slot = nullptr;
+  if (tables.entries.size() < max_entries) {
+    slot = &tables.entries.emplace_back();
+  } else {
+    slot = &tables.entries[tables.next_evict];
+    tables.next_evict = (tables.next_evict + 1) % max_entries;
+  }
+  const uint64_t size = uint64_t{1} << num_qubits_;
+  slot->factors.resize(size);
+  slot->gamma = gamma;
+  std::complex<float>* factors = slot->factors.data();
+  const float* cost = cost_.data();
+  ParallelForBlocks(pool, 0, static_cast<int64_t>(size), kBlock,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        const float angle = -gamma * cost[i];
+                        factors[i] = std::complex<float>(std::cos(angle),
+                                                         std::sin(angle));
+                      }
+                    });
+  return factors;
+}
+
+double QaoaSimulator::RunCore(const QaoaParameters& parameters,
+                              std::vector<std::complex<float>>& amps_vec,
+                              PhaseTableCache& tables, SimKernel kernel,
+                              ThreadPool* pool) const {
   QJO_CHECK_GT(parameters.p(), 0);
   QJO_CHECK_EQ(parameters.gammas.size(), parameters.betas.size());
   const uint64_t size = uint64_t{1} << num_qubits_;
   const float amp0 = 1.0f / std::sqrt(static_cast<float>(size));
-  amplitudes_.assign(size, std::complex<float>(amp0, 0.0f));
+  amps_vec.assign(size, std::complex<float>(amp0, 0.0f));
 
-  std::complex<float>* amps = amplitudes_.data();
+  std::complex<float>* amps = amps_vec.data();
   const float* cost = cost_.data();
   for (int rep = 0; rep < parameters.p(); ++rep) {
     const float gamma = static_cast<float>(parameters.gammas[rep]);
-    // Cost phase: exp(-i gamma E(x)) (the offset is a global phase).
-    ParallelForBlocks(pool_, 0, static_cast<int64_t>(size), kBlock,
+    const float beta = static_cast<float>(parameters.betas[rep]);
+    if (kernel == SimKernel::kFused) {
+      const std::complex<float>* factors = PhaseFactors(gamma, tables, pool);
+      FusedLayer(amps, cost, factors, gamma, beta, num_qubits_, pool);
+    } else {
+      ReferenceLayer(amps, cost, gamma, beta, num_qubits_, pool);
+    }
+  }
+
+  return ParallelBlockedSum(pool, static_cast<int64_t>(size), kBlock,
+                            [&](int64_t begin, int64_t end) {
+                              double partial = 0.0;
+                              for (int64_t i = begin; i < end; ++i) {
+                                partial +=
+                                    static_cast<double>(std::norm(amps[i])) *
+                                    static_cast<double>(cost[i]);
+                              }
+                              return partial;
+                            });
+}
+
+double QaoaSimulator::Run(const QaoaParameters& parameters, SimKernel kernel) {
+  const uint64_t size = uint64_t{1} << num_qubits_;
+  const double energy = RunCore(parameters, amplitudes_, phase_tables_, kernel,
+                                GatedPool(pool_, size));
+  state_loaded_ = true;
+  return energy;
+}
+
+std::vector<double> QaoaSimulator::EvaluateBatch(
+    std::span<const QaoaParameters> batch, SimKernel kernel) {
+  std::vector<double> energies(batch.size());
+  if (batch.empty()) return energies;
+
+  // Scratch statevectors are recycled through a freelist: concurrent
+  // evaluations never share one, and the pool never holds more than the
+  // peak in-flight count. Which scratch an evaluation gets is
+  // scheduling-dependent, but RunCore's result is a pure function of the
+  // parameters (the amplitude buffer is fully re-assigned and a reused
+  // phase table holds exactly the factors a rebuild would produce), so
+  // slot i of the result is bit-identical at every parallelism level.
+  std::mutex mutex;
+  std::vector<EvalScratch*> free_list;
+  free_list.reserve(batch_scratch_.size());
+  for (const auto& scratch : batch_scratch_) free_list.push_back(scratch.get());
+
+  ParallelFor(pool_, 0, static_cast<int64_t>(batch.size()), [&](int64_t i) {
+    EvalScratch* scratch = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!free_list.empty()) {
+        scratch = free_list.back();
+        free_list.pop_back();
+      }
+    }
+    if (scratch == nullptr) {
+      auto owned = std::make_unique<EvalScratch>();
+      scratch = owned.get();
+      std::lock_guard<std::mutex> lock(mutex);
+      batch_scratch_.push_back(std::move(owned));
+    }
+    // Serial amplitude loops inside: the parallelism budget is spent at
+    // the batch level, and pool workers would refuse nested dispatch
+    // anyway (see ThreadPool::ParallelFor).
+    energies[static_cast<size_t>(i)] = RunCore(
+        batch[static_cast<size_t>(i)], scratch->amps, scratch->tables, kernel,
+        /*pool=*/nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      free_list.push_back(scratch);
+    }
+  });
+  return energies;
+}
+
+double QaoaSimulator::Expectation(double gamma, double beta) {
+  QaoaParameters params;
+  params.gammas = {gamma};
+  params.betas = {beta};
+  return Run(params);
+}
+
+void QaoaSimulator::ApplyMixerLayer(double beta, SimKernel kernel) {
+  QJO_CHECK(state_loaded_) << "call Run() before ApplyMixerLayer()";
+  const uint64_t size = uint64_t{1} << num_qubits_;
+  ThreadPool* pool = GatedPool(pool_, size);
+  const float b = static_cast<float>(beta);
+  if (kernel == SimKernel::kFused) {
+    const int block_qubits = std::min(num_qubits_, kBlockQubits);
+    const int64_t bsz = int64_t{1} << block_qubits;
+    const float c = std::cos(b);
+    const float sn = std::sin(b);
+    float* amps = reinterpret_cast<float*>(amplitudes_.data());
+    ParallelForBlocks(pool, 0, static_cast<int64_t>(size), bsz,
                       [&](int64_t begin, int64_t end) {
-                        for (int64_t i = begin; i < end; ++i) {
-                          const float angle = -gamma * cost[i];
-                          amps[i] *= std::complex<float>(std::cos(angle),
-                                                         std::sin(angle));
+                        for (int64_t b0 = begin; b0 < end; b0 += bsz) {
+                          MixerLowBlock(amps + 2 * b0, bsz, block_qubits, c,
+                                        sn);
                         }
                       });
-    // Mixer: RX(2 beta) on every qubit, over the compressed index space
-    // (k with a zero spliced in at the qubit's bit position).
-    const float beta = static_cast<float>(parameters.betas[rep]);
-    const float c = std::cos(beta);
-    const std::complex<float> s(0.0f, -std::sin(beta));
+    MixerHighSweep(amps, num_qubits_, block_qubits, c, sn, pool);
+  } else {
+    const float c = std::cos(b);
+    const std::complex<float> s(0.0f, -std::sin(b));
+    std::complex<float>* amps = amplitudes_.data();
     for (int q = 0; q < num_qubits_; ++q) {
       const uint64_t bit = uint64_t{1} << q;
       const uint64_t low_mask = bit - 1;
       ParallelForBlocks(
-          pool_, 0, static_cast<int64_t>(size >> 1), kBlock,
+          pool, 0, static_cast<int64_t>(size >> 1), kBlock,
           [&](int64_t begin, int64_t end) {
             for (int64_t k = begin; k < end; ++k) {
               const uint64_t uk = static_cast<uint64_t>(k);
@@ -109,25 +516,6 @@ double QaoaSimulator::Run(const QaoaParameters& parameters) {
           });
     }
   }
-  state_loaded_ = true;
-
-  return ParallelBlockedSum(pool_, static_cast<int64_t>(size), kBlock,
-                            [&](int64_t begin, int64_t end) {
-                              double partial = 0.0;
-                              for (int64_t i = begin; i < end; ++i) {
-                                partial +=
-                                    static_cast<double>(std::norm(amps[i])) *
-                                    static_cast<double>(cost[i]);
-                              }
-                              return partial;
-                            });
-}
-
-double QaoaSimulator::Expectation(double gamma, double beta) {
-  QaoaParameters params;
-  params.gammas = {gamma};
-  params.betas = {beta};
-  return Run(params);
 }
 
 std::vector<uint64_t> QaoaSimulator::Sample(int shots, double fidelity,
@@ -166,17 +554,14 @@ double QaoaSimulator::Probability(uint64_t basis) const {
   return static_cast<double>(std::norm(amplitudes_[basis]));
 }
 
+const std::vector<std::complex<float>>& QaoaSimulator::amplitudes() const {
+  QJO_CHECK(state_loaded_) << "call Run() before amplitudes()";
+  return amplitudes_;
+}
+
 double QaoaSimulator::MinCost(uint64_t* argmin) const {
-  uint64_t best = 0;
-  float best_cost = cost_[0];
-  for (uint64_t i = 1; i < cost_.size(); ++i) {
-    if (cost_[i] < best_cost) {
-      best_cost = cost_[i];
-      best = i;
-    }
-  }
-  if (argmin != nullptr) *argmin = best;
-  return static_cast<double>(best_cost);
+  if (argmin != nullptr) *argmin = argmin_;
+  return static_cast<double>(min_cost_);
 }
 
 }  // namespace qjo

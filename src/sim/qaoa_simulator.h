@@ -3,10 +3,13 @@
 
 #include <complex>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "circuit/qaoa_builder.h"
 #include "qubo/ising.h"
+#include "sim/sim_kernel.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -22,10 +25,15 @@ class ThreadPool;
 /// problems (the paper's largest gate-based instances) fit comfortably in
 /// memory.
 ///
-/// Run()'s 2^n loops execute blocked on the attached pool with fixed
-/// chunk boundaries and reduction order, so <H_C> and the loaded state
-/// are bit-identical at every parallelism level (and, for <= 2^14
-/// amplitudes, to the pre-parallel serial loops).
+/// Two kernels share the same contract (amplitudes equal under
+/// operator== at every parallelism level):
+///  - kReference: one 2^n sweep for the phase plus one per qubit for the
+///    mixer, exactly the pre-fusion implementation.
+///  - kFused (default): the phase multiply and all mixer butterflies with
+///    bit index inside a 2^14-amplitude cache block run in one sweep per
+///    block (~ceil(n/14) passes per layer instead of n+1), with the
+///    remaining high qubits handled by a column-tiled second sweep and
+///    the per-gamma phase factors cached across evaluations.
 class QaoaSimulator {
  public:
   /// Builds the simulator and cost spectrum. Fails above 27 qubits.
@@ -33,19 +41,41 @@ class QaoaSimulator {
 
   int num_qubits() const { return num_qubits_; }
 
-  /// Attaches an externally-owned pool for the 2^n amplitude loops
-  /// (nullptr = serial, the default). Not owned.
+  /// Attaches an externally-owned pool (nullptr = serial, the default).
+  /// Run() uses it for the 2^n amplitude loops (only above the
+  /// kMinParallelAmplitudes threshold); EvaluateBatch() uses it for
+  /// parameter-set-level parallelism. Not owned.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Cost spectrum E(x) including the Ising offset.
   const std::vector<float>& cost_spectrum() const { return cost_; }
 
   /// Runs the QAOA circuit for `parameters`, leaving the final state
-  /// loaded; returns <H_C>.
-  double Run(const QaoaParameters& parameters);
+  /// loaded; returns <H_C>. The amplitude buffer and the per-gamma phase
+  /// table are retained across calls, so repeated evaluations allocate
+  /// nothing after the first.
+  double Run(const QaoaParameters& parameters,
+             SimKernel kernel = SimKernel::kFused);
+
+  /// Evaluates <H_C> for every parameter set of `batch`. Parallelises at
+  /// the parameter-set level on the attached pool — one scratch
+  /// statevector per in-flight evaluation, serial amplitude loops inside
+  /// — which is the profitable axis for n <= ~22 where per-sweep
+  /// parallelism cannot amortise its dispatch. Results land in
+  /// slot-indexed order and depend only on the parameters, so they are
+  /// bit-identical at every parallelism level and equal to calling Run()
+  /// entry by entry. Scratch buffers persist across calls; the state
+  /// loaded by a previous Run() is left untouched.
+  std::vector<double> EvaluateBatch(std::span<const QaoaParameters> batch,
+                                    SimKernel kernel = SimKernel::kFused);
 
   /// <H_C> at (gamma, beta) for p=1 (convenience for optimisation loops).
   double Expectation(double gamma, double beta);
+
+  /// Applies one mixer layer (RX(2 beta) on every qubit) to the loaded
+  /// state. Exposed for kernel parity tests and the mixer benchmark;
+  /// Run() must have been called.
+  void ApplyMixerLayer(double beta, SimKernel kernel = SimKernel::kFused);
 
   /// Samples `shots` bitstrings from the loaded state through a global
   /// depolarising channel with survival probability `fidelity`: each shot
@@ -58,17 +88,62 @@ class QaoaSimulator {
   /// Probability of basis state x in the loaded state.
   double Probability(uint64_t basis) const;
 
-  /// Ground-state energy and one minimising bitstring of the spectrum.
+  /// Amplitudes of the loaded state (Run() must have been called).
+  const std::vector<std::complex<float>>& amplitudes() const;
+
+  /// Ground-state energy and one minimising bitstring of the spectrum;
+  /// O(1) — the argmin is tracked while the spectrum is built, with ties
+  /// resolved towards the smallest basis index.
   double MinCost(uint64_t* argmin = nullptr) const;
 
  private:
+  /// Cached phase factors exp(-i gamma E(x)) for one gamma value.
+  struct PhaseTable {
+    std::vector<std::complex<float>> factors;
+    float gamma = 0.0f;
+  };
+
+  /// Small round-robin cache of phase tables, one per recent gamma, so a
+  /// depth-p evaluation keeps all p of its layer tables live and a
+  /// gamma-major grid sweep reuses them across the whole beta row. The
+  /// entry count is capped by a memory budget (see the .cc); 0 entries
+  /// above the budget means the factors are computed inline.
+  struct PhaseTableCache {
+    std::vector<PhaseTable> entries;
+    size_t next_evict = 0;
+  };
+
+  /// Per-evaluation scratch: amplitude buffer plus phase-table cache.
+  struct EvalScratch {
+    std::vector<std::complex<float>> amps;
+    PhaseTableCache tables;
+  };
+
   QaoaSimulator(const IsingModel& ising);
 
   void BuildCostSpectrum(const IsingModel& ising);
 
+  /// Shared evaluation core: initialises `amps`, applies p layers with
+  /// the selected kernel, returns <H_C>. `pool` parallelises the
+  /// amplitude loops (Run); EvaluateBatch passes nullptr because its
+  /// parallelism lives at the batch level.
+  double RunCore(const QaoaParameters& parameters,
+                 std::vector<std::complex<float>>& amps,
+                 PhaseTableCache& tables, SimKernel kernel,
+                 ThreadPool* pool) const;
+
+  /// Returns the cached (building on miss) phase factors for `gamma`, or
+  /// nullptr when the qubit count exceeds the table memory budget.
+  const std::complex<float>* PhaseFactors(float gamma, PhaseTableCache& tables,
+                                          ThreadPool* pool) const;
+
   int num_qubits_ = 0;
   std::vector<float> cost_;
+  float min_cost_ = 0.0f;
+  uint64_t argmin_ = 0;
   std::vector<std::complex<float>> amplitudes_;
+  PhaseTableCache phase_tables_;
+  std::vector<std::unique_ptr<EvalScratch>> batch_scratch_;
   bool state_loaded_ = false;
   ThreadPool* pool_ = nullptr;  // not owned
 };

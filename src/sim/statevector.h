@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "circuit/circuit.h"
+#include "circuit/fusion.h"
+#include "sim/sim_kernel.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -38,8 +40,17 @@ class StateVector {
   /// Applies one gate in place.
   void Apply(const Gate& gate);
 
-  /// Applies all gates of a circuit (sizes must match).
-  void ApplyCircuit(const QuantumCircuit& circuit);
+  /// Applies all gates of a circuit (sizes must match). The default
+  /// kFused kernel runs the circuit through FuseCircuit first: adjacent
+  /// single-qubit gates share one cache-blocked sweep and runs of
+  /// diagonal gates collapse into a single element-wise phase sweep.
+  /// kReference applies gate by gate. Amplitudes from the two kernels
+  /// compare equal with operator== (only IEEE zero signs can differ).
+  void ApplyCircuit(const QuantumCircuit& circuit,
+                    SimKernel kernel = SimKernel::kFused);
+
+  /// Applies a pre-fused circuit (see circuit/fusion.h).
+  void ApplyFused(const FusedCircuit& fused);
 
   /// Probability of measuring basis state `basis`.
   double Probability(uint64_t basis) const;
@@ -66,6 +77,8 @@ class StateVector {
   explicit StateVector(int num_qubits);
 
   void ApplySingleQubitMatrix(int qubit, const std::complex<double> m[2][2]);
+  void ApplySingleQubitRun(const std::vector<Gate>& gates);
+  void ApplyDiagonalRun(const std::vector<Gate>& gates);
   void ApplyCx(int control, int target);
   void ApplyCz(int a, int b);
   void ApplySwap(int a, int b);

@@ -5,6 +5,18 @@
 #include <memory>
 
 namespace qjo {
+namespace {
+
+/// Set while this thread runs a ParallelFor body (as caller or worker).
+/// Nested ParallelFor calls observe it and fall back to a serial loop:
+/// the outer loop already owns every pool thread, so nested dispatch can
+/// only queue behind itself. Results are unaffected either way — bodies
+/// are index-deterministic by contract — this is purely a scheduling fix.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+bool InParallelRegion() { return t_in_parallel_region; }
 
 ThreadPool::ThreadPool(int parallelism) {
   num_workers_ = std::max(parallelism, 1) - 1;
@@ -39,7 +51,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
                              const std::function<void(int64_t)>& body) {
   const int64_t total = end - begin;
   if (total <= 0) return;
-  if (num_workers_ == 0 || total == 1) {
+  if (num_workers_ == 0 || total == 1 || t_in_parallel_region) {
     for (int64_t i = begin; i < end; ++i) body(i);
     return;
   }
@@ -68,6 +80,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   // touching `body`, so the dangling-reference window is closed by the
   // claim counter itself.
   auto run = [state] {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
     for (;;) {
       const int64_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= state->end) break;
@@ -78,6 +92,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
         state->all_done.notify_all();
       }
     }
+    t_in_parallel_region = was_in_region;
   };
 
   const int64_t helpers =

@@ -34,8 +34,11 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [begin, end) and blocks until all
   /// iterations have finished. The calling thread participates, which
-  /// guarantees progress even when every worker is busy — nested
-  /// ParallelFor calls from inside a loop body are therefore safe.
+  /// guarantees progress even when every worker is busy. A ParallelFor
+  /// issued from inside a loop body (i.e. from a thread already executing
+  /// pool work) degenerates to a plain serial loop instead of re-entering
+  /// the queue: the pool is already saturated by the outer loop, and
+  /// re-dispatch only added queueing overhead and oversubscription.
   /// `body` must not throw (the library is exception-free by design).
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& body);
@@ -49,6 +52,12 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::vector<std::jthread> workers_;  // last member: joins before the rest
 };
+
+/// True while the calling thread is executing a ParallelFor loop body
+/// (its own or as a pool worker). ParallelFor consults this to serialise
+/// nested dispatch; exposed so tests and size-thresholded callers can
+/// observe the decision.
+bool InParallelRegion();
 
 /// Pool-optional ParallelFor: runs on `pool` when it actually provides
 /// extra threads, otherwise as a plain serial loop. Lets callers thread an

@@ -583,6 +583,202 @@ TEST(QaoaSimulatorTest, DeterministicAcrossParallelism) {
 }
 
 
+// --- Fused fast path: kernel parity and batched evaluation. ---
+
+TEST(QaoaSimulatorTest, FusedKernelsBitIdenticalToReference) {
+  // 16 qubits exercises both halves of the fused layer (qubits 0..13 in
+  // the in-block sweep, 14..15 in the tiled high-qubit sweep); 10 qubits
+  // stays entirely in-block. Amplitudes must compare equal with
+  // operator== at every depth (IEEE zero signs may differ, values not).
+  for (int n : {10, 16}) {
+    for (int p : {1, 2, 3}) {
+      Rng make_rng(1000 + 10 * n + p);
+      const IsingModel ising = RandomIsing(n, 0.4, make_rng);
+      QaoaParameters params;
+      for (int rep = 0; rep < p; ++rep) {
+        params.gammas.push_back(0.3 + 0.17 * rep);
+        params.betas.push_back(0.8 - 0.21 * rep);
+      }
+
+      auto fused = QaoaSimulator::Create(ising);
+      auto reference = QaoaSimulator::Create(ising);
+      ASSERT_TRUE(fused.ok());
+      ASSERT_TRUE(reference.ok());
+      const double ef = fused->Run(params, SimKernel::kFused);
+      const double er = reference->Run(params, SimKernel::kReference);
+      EXPECT_EQ(ef, er) << "n=" << n << " p=" << p;
+      ASSERT_EQ(fused->amplitudes().size(), reference->amplitudes().size());
+      for (size_t i = 0; i < fused->amplitudes().size(); ++i) {
+        ASSERT_EQ(fused->amplitudes()[i], reference->amplitudes()[i])
+            << "n=" << n << " p=" << p << " amp " << i;
+      }
+    }
+  }
+}
+
+TEST(QaoaSimulatorTest, MixerLayerKernelsBitIdentical) {
+  Rng make_rng(421);
+  const IsingModel ising = RandomIsing(16, 0.3, make_rng);
+  QaoaParameters params{{0.37}, {0.52}};
+
+  auto fused = QaoaSimulator::Create(ising);
+  auto reference = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(fused.ok());
+  ASSERT_TRUE(reference.ok());
+  // Identical starting states (kernel parity is covered above).
+  fused->Run(params, SimKernel::kFused);
+  reference->Run(params, SimKernel::kFused);
+  fused->ApplyMixerLayer(0.23, SimKernel::kFused);
+  reference->ApplyMixerLayer(0.23, SimKernel::kReference);
+  for (size_t i = 0; i < fused->amplitudes().size(); ++i) {
+    ASSERT_EQ(fused->amplitudes()[i], reference->amplitudes()[i])
+        << "amp " << i;
+  }
+}
+
+TEST(QaoaSimulatorTest, EvaluateBatchMatchesRun) {
+  Rng make_rng(97);
+  const IsingModel ising = RandomIsing(12, 0.4, make_rng);
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+
+  // Gamma-major grid, the phase-table-friendly order.
+  std::vector<QaoaParameters> batch;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      QaoaParameters params;
+      params.gammas = {0.2 + 0.15 * i, 0.45};
+      params.betas = {0.7 - 0.1 * j, 0.3};
+      batch.push_back(std::move(params));
+    }
+  }
+  for (SimKernel kernel : {SimKernel::kFused, SimKernel::kReference}) {
+    const std::vector<double> energies = sim->EvaluateBatch(batch, kernel);
+    ASSERT_EQ(energies.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(energies[i], sim->Run(batch[i], kernel)) << "entry " << i;
+    }
+  }
+}
+
+TEST(QaoaSimulatorTest, EvaluateBatchDeterministicAcrossParallelism) {
+  Rng make_rng(131);
+  const IsingModel ising = RandomIsing(14, 0.35, make_rng);
+  std::vector<QaoaParameters> batch;
+  for (int i = 0; i < 10; ++i) {
+    QaoaParameters params;
+    params.gammas = {0.1 + 0.08 * i};
+    params.betas = {0.9 - 0.06 * i};
+    batch.push_back(std::move(params));
+  }
+
+  auto serial = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(serial.ok());
+  const std::vector<double> baseline = serial->EvaluateBatch(batch);
+  ASSERT_EQ(baseline.size(), batch.size());
+
+  for (int parallelism : {2, 8}) {
+    ThreadPool pool(parallelism);
+    auto sim = QaoaSimulator::Create(ising);
+    ASSERT_TRUE(sim.ok());
+    sim->set_pool(&pool);
+    // Twice on the same simulator: the second call reuses the scratch
+    // statevectors and must still reproduce the serial bits.
+    for (int round = 0; round < 2; ++round) {
+      const std::vector<double> energies = sim->EvaluateBatch(batch);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(energies[i], baseline[i])
+            << "parallelism " << parallelism << " round " << round
+            << " entry " << i;
+      }
+    }
+  }
+}
+
+TEST(QaoaSimulatorTest, EvaluateBatchLeavesLoadedStateUntouched) {
+  Rng make_rng(61);
+  const IsingModel ising = RandomIsing(10, 0.5, make_rng);
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  QaoaParameters params{{0.4}, {0.6}};
+  sim->Run(params);
+  const std::vector<std::complex<float>> before = sim->amplitudes();
+
+  std::vector<QaoaParameters> batch(3, QaoaParameters{{0.9}, {0.1}});
+  sim->EvaluateBatch(batch);
+  EXPECT_EQ(before, sim->amplitudes());
+}
+
+TEST(QaoaSimulatorTest, MinCostArgminMatchesLinearScan) {
+  // The O(1) argmin is maintained by the Gray-code spectrum walk, which
+  // does not visit basis states in ascending order; the tie-break must
+  // still pick the smallest index, as the linear scan it replaced did.
+  for (uint64_t seed : {15u, 44u, 91u}) {
+    Rng rng(seed);
+    const IsingModel ising = RandomIsing(9, 0.5, rng);
+    auto sim = QaoaSimulator::Create(ising);
+    ASSERT_TRUE(sim.ok());
+    const std::vector<float>& spectrum = sim->cost_spectrum();
+    uint64_t expected = 0;
+    for (uint64_t x = 1; x < spectrum.size(); ++x) {
+      if (spectrum[x] < spectrum[expected]) expected = x;
+    }
+    uint64_t argmin = ~uint64_t{0};
+    EXPECT_EQ(sim->MinCost(&argmin),
+              static_cast<double>(spectrum[expected]));
+    EXPECT_EQ(argmin, expected);
+  }
+}
+
+TEST(QaoaSimulatorTest, MinCostBreaksTiesTowardsSmallestBasisState) {
+  // Field-free, coupling-free model: every basis state has the same
+  // cost, so the argmin must be 0 by the ascending tie-break.
+  IsingModel ising;
+  ising.h.assign(6, 0.0);
+  ising.offset = -2.5;
+  auto sim = QaoaSimulator::Create(ising);
+  ASSERT_TRUE(sim.ok());
+  uint64_t argmin = ~uint64_t{0};
+  EXPECT_EQ(sim->MinCost(&argmin), -2.5);
+  EXPECT_EQ(argmin, 0u);
+}
+
+TEST(StateVectorTest, FusedCircuitKernelsBitIdentical) {
+  // Random circuit over every gate type, including single-qubit gates on
+  // qubit 14 (outside the fusable block) and interleaved two-qubit
+  // gates: the fused pass must reproduce the reference bits exactly.
+  const int n = 15;
+  Rng rng(777);
+  QuantumCircuit circuit(n);
+  for (int q = 0; q < n; ++q) circuit.H(q);
+  for (int step = 0; step < 60; ++step) {
+    const int q = static_cast<int>(rng.UniformInt(n));
+    int r = static_cast<int>(rng.UniformInt(n - 1));
+    if (r >= q) ++r;
+    switch (rng.UniformInt(9)) {
+      case 0: circuit.H(q); break;
+      case 1: circuit.X(q); break;
+      case 2: circuit.Sx(q); break;
+      case 3: circuit.Rx(q, rng.UniformDouble(-1.5, 1.5)); break;
+      case 4: circuit.Ry(q, rng.UniformDouble(-1.5, 1.5)); break;
+      case 5: circuit.Rz(q, rng.UniformDouble(-1.5, 1.5)); break;
+      case 6: circuit.Cx(q, r); break;
+      case 7: circuit.Rzz(q, r, rng.UniformDouble(-1.5, 1.5)); break;
+      default: circuit.Cz(q, r); break;
+    }
+  }
+  circuit.Swap(2, 9);
+  circuit.Ms(3, 11, 0.4);
+
+  StateVector fused = *StateVector::Create(n);
+  StateVector reference = *StateVector::Create(n);
+  fused.ApplyCircuit(circuit, SimKernel::kFused);
+  reference.ApplyCircuit(circuit, SimKernel::kReference);
+  for (size_t i = 0; i < fused.amplitudes().size(); ++i) {
+    ASSERT_EQ(fused.amplitudes()[i], reference.amplitudes()[i]) << "amp " << i;
+  }
+}
+
 // --- Cooperative cancellation (the portfolio stop token). ---
 
 TEST(SqaTest, StopTokenCancelsLongRun) {

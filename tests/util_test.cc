@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -237,6 +238,29 @@ TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
     pool.ParallelFor(0, 16, [&](int64_t) { total.fetch_add(1); });
   });
   EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsSerialInsideLoopBody) {
+  // A ParallelFor issued from inside a loop body must degenerate to a
+  // plain serial loop on the calling thread instead of re-entering the
+  // queue: the pool is already saturated by the outer loop.
+  ThreadPool pool(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> inner_region_observations{0};
+  std::atomic<int> inner_on_other_thread{0};
+  pool.ParallelFor(0, 8, [&](int64_t) {
+    EXPECT_TRUE(InParallelRegion());
+    const std::thread::id outer_thread = std::this_thread::get_id();
+    pool.ParallelFor(0, 4, [&](int64_t) {
+      if (InParallelRegion()) inner_region_observations.fetch_add(1);
+      if (std::this_thread::get_id() != outer_thread) {
+        inner_on_other_thread.fetch_add(1);
+      }
+    });
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(inner_region_observations.load(), 8 * 4);
+  EXPECT_EQ(inner_on_other_thread.load(), 0);
 }
 
 TEST(ThreadPoolTest, FreeFunctionFallsBackToSerialWithoutPool) {
