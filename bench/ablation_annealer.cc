@@ -44,6 +44,7 @@ void ChainStrengthSweep() {
     config.sqa.num_reads = reads;
     config.embed_qubo.chain_strength_multiplier = multiplier;
     config.seed = 41;
+    bench::ObsSession::Get().Apply(config);
     config.parallelism = bench::Parallelism();
     auto report = OptimizeJoinOrder(*query, config);
     if (!report.ok()) {
@@ -55,7 +56,7 @@ void ChainStrengthSweep() {
     std::printf("%12.2f | %8s %8s | %12s\n", multiplier,
                 FormatPercent(report->stats.valid_fraction(), 2).c_str(),
                 FormatPercent(report->stats.optimal_fraction(), 2).c_str(),
-                FormatPercent(report->mean_chain_break_fraction, 1).c_str());
+                FormatPercent(report->anneal.mean_chain_break_fraction, 1).c_str());
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -150,6 +151,7 @@ void BatchThroughput() {
   config.annealer_topology = *pegasus;
   config.sqa.num_reads = reads;
   config.seed = 43;
+  bench::ObsSession::Get().Apply(config);
   const int parallelism = bench::Parallelism();
   const auto start = std::chrono::steady_clock::now();
   const auto reports = OptimizeJoinOrderBatch(queries, config, parallelism);

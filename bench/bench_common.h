@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/obs.h"
+
 namespace qjo::bench {
 
 /// Global effort multiplier for the reproduction benches, set via the
@@ -61,6 +63,66 @@ inline void Banner(const std::string& id, const std::string& title) {
 inline void PaperNote(const std::string& note) {
   std::printf("[paper] %s\n", note.c_str());
 }
+
+/// Process-wide observability session for the bench binaries, driven by
+/// the QJO_TRACE_OUT / QJO_METRICS_OUT environment variables (unset =
+/// null sinks, zero overhead). Every pipeline a bench runs calls
+/// Apply(config) so all runs of the process land in one trace/metrics
+/// file; Flush() (also invoked at exit) writes the files. Attaching the
+/// sinks never changes bench results.
+class ObsSession {
+ public:
+  static ObsSession& Get() {
+    static ObsSession session;
+    return session;
+  }
+
+  TraceRecorder* trace() {
+    return trace_out_.empty() ? nullptr : &trace_;
+  }
+  MetricsRegistry* metrics() {
+    return metrics_out_.empty() ? nullptr : &metrics_;
+  }
+
+  /// Attaches the session's sinks to any config with `trace`/`metrics`
+  /// pointer members (QjoConfig, PortfolioOptions, SolverControl).
+  template <typename Config>
+  void Apply(Config& config) {
+    config.trace = trace();
+    config.metrics = metrics();
+  }
+
+  /// Writes the configured output files; safe to call repeatedly (later
+  /// calls rewrite with the accumulated data).
+  void Flush() {
+    if (!trace_out_.empty() && !trace_.WriteChromeTraceFile(trace_out_)) {
+      std::fprintf(stderr, "[obs] failed to write trace to %s\n",
+                   trace_out_.c_str());
+    }
+    if (!metrics_out_.empty() && !metrics_.WriteJsonFile(metrics_out_)) {
+      std::fprintf(stderr, "[obs] failed to write metrics to %s\n",
+                   metrics_out_.c_str());
+    }
+  }
+
+ private:
+  ObsSession() {
+    const char* trace_env = std::getenv("QJO_TRACE_OUT");
+    const char* metrics_env = std::getenv("QJO_METRICS_OUT");
+    if (trace_env != nullptr) trace_out_ = trace_env;
+    if (metrics_env != nullptr) metrics_out_ = metrics_env;
+  }
+
+  // Flushing from the destructor (not atexit) keeps the write inside the
+  // sinks' lifetime: an atexit handler registered during construction
+  // would run *after* this static object's destructor.
+  ~ObsSession() { Flush(); }
+
+  std::string trace_out_;
+  std::string metrics_out_;
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
 
 }  // namespace qjo::bench
 

@@ -24,8 +24,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "circuit/qaoa_builder.h"
 #include "core/quantum_optimizer.h"
+#include "obs/obs.h"
 #include "embedding/minor_embedding.h"
 #include "jo/query_generator.h"
 #include "qubo/ising.h"
@@ -236,6 +238,7 @@ void BM_JoinOrderBatch(benchmark::State& state) {
   config.backend = QjoBackend::kSimulatedAnnealing;
   config.shots = 512;
   config.seed = 29;
+  bench::ObsSession::Get().Apply(config);
   for (auto _ : state) {
     auto reports = OptimizeJoinOrderBatch(queries, config, parallelism);
     benchmark::DoNotOptimize(reports);
@@ -464,21 +467,146 @@ void RunKernelBenchSuite() {
   std::cout << "wrote " << path << std::endl;
 }
 
+// --- Observability overhead suite: BENCH_obs_overhead.json ---------------
+//
+// Gates the "< 1% when disabled" budget of the obs layer. A truly
+// uninstrumented binary does not exist any more, so the null-sink cost
+// is bounded from primitives: the measured ns/op of a disabled StageSpan
+// times the number of null-sink sites a solver run executes, as a
+// fraction of the run's wall time. The attached-sink overhead is also
+// measured (informational — attached runs pay for real clock reads), and
+// attached results are checked bit-identical to null-sink results.
+// Returns nonzero (failing the ctest smoke) when the estimated null-sink
+// overhead exceeds 5%.
+int RunObsOverheadSuite() {
+  const bool fast = std::getenv("QJO_KERNEL_BENCH_FAST") != nullptr ||
+                    std::getenv("QJO_OBS_BENCH_FAST") != nullptr;
+  const int repeats = fast ? 3 : 5;
+  std::vector<KernelMetric> metrics_out;
+  metrics_out.push_back({"fast_mode", fast ? 1.0 : 0.0});
+
+  // 1. Disabled-primitive cost: a StageSpan with both sinks null must
+  // compile down to a couple of branches. DoNotOptimize keeps the loop
+  // from being deleted wholesale.
+  const int64_t span_ops = fast ? (int64_t{1} << 20) : (int64_t{1} << 22);
+  const double span_seconds = BestSeconds(
+      [&] {
+        for (int64_t i = 0; i < span_ops; ++i) {
+          StageSpan span(nullptr, "noop");
+          benchmark::DoNotOptimize(&span);
+        }
+      },
+      repeats);
+  const double null_span_ns =
+      span_seconds / static_cast<double>(span_ops) * 1e9;
+  metrics_out.push_back({"null_span_ns", null_span_ns});
+
+  // 2. SA workload, null sinks vs attached sinks, with a bit-identity
+  // check between the two.
+  const int n = 96;
+  const int reads = fast ? 8 : 32;
+  const int sweeps = fast ? 48 : 96;
+  const Qubo qubo = MakeRandomQubo(n, 0.3, 67);
+  qubo.Csr();
+  const auto run_sa = [&](TraceRecorder* trace,
+                          MetricsRegistry* metrics) {
+    SaOptions options;
+    options.num_reads = reads;
+    options.sweeps_per_read = sweeps;
+    options.control.trace = trace;
+    options.control.metrics = metrics;
+    Rng rng(71);
+    return SolveQuboSimulatedAnnealing(qubo, options, rng);
+  };
+  const std::vector<QuboSolution> null_reads = run_sa(nullptr, nullptr);
+  {
+    TraceRecorder trace;
+    MetricsRegistry metrics;
+    const std::vector<QuboSolution> traced_reads = run_sa(&trace, &metrics);
+    for (size_t i = 0; i < null_reads.size(); ++i) {
+      if (traced_reads[i].energy != null_reads[i].energy ||
+          traced_reads[i].assignment != null_reads[i].assignment) {
+        std::cerr << "obs overhead suite: traced SA run is not "
+                     "bit-identical to the null-sink run\n";
+        return 1;
+      }
+    }
+  }
+  double sink = 0.0;
+  const double t_null = BestSeconds(
+      [&] { sink += run_sa(nullptr, nullptr).front().energy; }, repeats);
+  double t_attached;
+  {
+    TraceRecorder trace;
+    MetricsRegistry metrics;
+    t_attached = BestSeconds(
+        [&] { sink += run_sa(&trace, &metrics).front().energy; }, repeats);
+  }
+  metrics_out.push_back({"sa_solve_seconds_null", t_null});
+  metrics_out.push_back({"sa_solve_seconds_attached", t_attached});
+  metrics_out.push_back(
+      {"attached_overhead_fraction", t_attached / t_null - 1.0});
+
+  // 3. Null-sink overhead estimate: per run the solver executes one
+  // solve-level span, one span per read, and one guarded metrics flush
+  // per read (the per-sweep/per-proposal paths only touch locals). Count
+  // the flush guard as another span-sized site to stay conservative.
+  const double null_sites = 1.0 + 2.0 * static_cast<double>(reads);
+  const double estimated_null_overhead =
+      null_sites * null_span_ns * 1e-9 / t_null;
+  metrics_out.push_back(
+      {"estimated_null_overhead_fraction", estimated_null_overhead});
+
+  const char* json_path = std::getenv("QJO_OBS_OVERHEAD_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_obs_overhead.json";
+  std::ofstream out(path);
+  out << "{\n";
+  for (size_t i = 0; i < metrics_out.size(); ++i) {
+    out << "  \"" << metrics_out[i].name << "\": " << metrics_out[i].value
+        << (i + 1 < metrics_out.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  out.close();
+
+  std::cout << "obs overhead suite (" << (fast ? "fast" : "full")
+            << " mode), sink=" << sink << ":\n";
+  for (const KernelMetric& m : metrics_out) {
+    std::cout << "  " << m.name << " = " << m.value << "\n";
+  }
+  std::cout << "wrote " << path << std::endl;
+
+  if (estimated_null_overhead > 0.05) {
+    std::cerr << "obs overhead suite: estimated null-sink overhead "
+              << estimated_null_overhead * 100.0
+              << "% exceeds the 5% regression gate\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace qjo
 
 int main(int argc, char** argv) {
   bool kernels_only = false;
+  bool obs_overhead_only = false;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--kernels_only") {
       kernels_only = true;
       continue;
     }
+    if (std::string(argv[i]) == "--obs_overhead_only") {
+      obs_overhead_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
   }
+  if (obs_overhead_only) return qjo::RunObsOverheadSuite();
+  const int obs_status = qjo::RunObsOverheadSuite();
   qjo::RunKernelBenchSuite();
-  if (kernels_only) return 0;
+  if (kernels_only) return obs_status;
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
@@ -486,5 +614,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return obs_status;
 }

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/portfolio.h"
 #include "qubo/ising.h"
 #include "qubo/qubo.h"
@@ -100,6 +101,7 @@ int RunSuite() {
       options.sweeps_per_read = sweeps_per_round;
       options.parallelism = parallelism;
       options.pool = &pool;
+      bench::ObsSession::Get().Apply(options.control);
       Rng rng(301 + inst);
       const auto t0 = std::chrono::steady_clock::now();
       const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
@@ -113,6 +115,7 @@ int RunSuite() {
       options.iterations_per_restart = sweeps_per_round;
       options.parallelism = parallelism;
       options.pool = &pool;
+      bench::ObsSession::Get().Apply(options.control);
       Rng rng(401 + inst);
       const auto t0 = std::chrono::steady_clock::now();
       const auto restarts = SolveQuboTabuSearch(qubo, options, rng);
@@ -128,6 +131,7 @@ int RunSuite() {
       options.sweeps_per_us = 1.0;
       options.parallelism = parallelism;
       options.pool = &pool;
+      bench::ObsSession::Get().Apply(options.control);
       Rng rng(501 + inst);
       const auto t0 = std::chrono::steady_clock::now();
       const auto samples = RunSqa(ising, options, rng);
@@ -162,6 +166,7 @@ int RunSuite() {
     options.sweeps_per_round = sweeps_per_round;
     options.parallelism = parallelism;
     options.pool = &pool;
+    bench::ObsSession::Get().Apply(options);
     Rng rng(601 + inst);
     const auto race = RaceQuboPortfolio(qubo, options, rng);
     if (!race.ok()) {

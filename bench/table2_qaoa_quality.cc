@@ -54,6 +54,7 @@ void Run() {
       config.shots = shots;
       config.qaoa_iterations = iterations;
       config.seed = 400 + p * 10 + iterations;
+      bench::ObsSession::Get().Apply(config);
       auto report = OptimizeJoinOrder(query, config);
       if (!report.ok()) {
         std::printf("%-12d %7s | %-10d | failed: %s\n", p, "-", iterations,
@@ -61,7 +62,7 @@ void Run() {
         continue;
       }
       std::printf("%-12d %7d | %-10d | %7s %8s %9s | %9.1f %9.2f\n", p,
-                  report->bilp_variables, iterations,
+                  report->encoding.bilp_variables, iterations,
                   FormatPercent(report->stats.valid_fraction(), 1).c_str(),
                   FormatPercent(report->stats.optimal_fraction(), 1).c_str(),
                   FormatPercent(
@@ -69,7 +70,7 @@ void Run() {
                           std::max(report->stats.total, 1),
                       1)
                       .c_str(),
-                  report->timings.sampling_ms, report->timings.total_s);
+                  report->gate.timings.sampling_ms, report->gate.timings.total_s);
     }
   }
 
@@ -86,9 +87,10 @@ void Run() {
     config.qaoa_iterations = 20;
     config.noiseless = true;
     config.seed = 500 + p;
+    bench::ObsSession::Get().Apply(config);
     auto report = OptimizeJoinOrder(query, config);
     if (!report.ok()) continue;
-    std::printf("%-12d %7d | %7s %8s\n", p, report->bilp_variables,
+    std::printf("%-12d %7d | %7s %8s\n", p, report->encoding.bilp_variables,
                 FormatPercent(report->stats.valid_fraction(), 1).c_str(),
                 FormatPercent(report->stats.optimal_fraction(), 1).c_str());
   }
@@ -113,13 +115,14 @@ void Run() {
     // Same seed as the paper section's iterations=20 row: the only
     // difference is the grid refinement.
     config.seed = 400 + p * 10 + 20;
+    bench::ObsSession::Get().Apply(config);
     auto report = OptimizeJoinOrder(query, config);
     if (!report.ok()) continue;
     std::printf("%-12d %7d | %7s %8s | %9.4f %9.4f\n", p,
-                report->bilp_variables,
+                report->encoding.bilp_variables,
                 FormatPercent(report->stats.valid_fraction(), 1).c_str(),
                 FormatPercent(report->stats.optimal_fraction(), 1).c_str(),
-                report->gamma, report->beta);
+                report->gate.gamma, report->gate.beta);
   }
 }
 

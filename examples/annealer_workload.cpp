@@ -45,12 +45,12 @@ int main() {
     std::printf("annealing time %.0fus:\n", anneal_us);
     std::printf(
         "  logical %d -> physical %d qubits (max chain %d, strength %.1f)\n",
-        report->bilp_variables, report->physical_qubits,
-        report->max_chain_length, report->chain_strength);
+        report->encoding.bilp_variables, report->anneal.physical_qubits,
+        report->anneal.max_chain_length, report->anneal.chain_strength);
     std::printf("  valid %s | optimal %s | chain breaks %s\n",
                 FormatPercent(report->stats.valid_fraction()).c_str(),
                 FormatPercent(report->stats.optimal_fraction()).c_str(),
-                FormatPercent(report->mean_chain_break_fraction).c_str());
+                FormatPercent(report->anneal.mean_chain_break_fraction).c_str());
     if (report->found_valid) {
       std::printf("  best sampled order: %s (cost %.0f, optimum %.0f)\n\n",
                   report->best_order.ToString(*query).c_str(),

@@ -36,10 +36,10 @@ int main() {
     return 1;
   }
   std::printf("%s\n", noisy->Summary().c_str());
-  std::printf("optimised angles: gamma=%.4f beta=%.4f\n", noisy->gamma,
-              noisy->beta);
+  std::printf("optimised angles: gamma=%.4f beta=%.4f\n", noisy->gate.gamma,
+              noisy->gate.beta);
   std::printf("estimated timings: t_s=%.1fms, t_qpu=%.2fs\n\n",
-              noisy->timings.sampling_ms, noisy->timings.total_s);
+              noisy->gate.timings.sampling_ms, noisy->gate.timings.total_s);
 
   std::printf("--- ideal execution (no decoherence/gate errors) ---\n");
   config.noiseless = true;
@@ -57,6 +57,6 @@ int main() {
       "effectively random.\n",
       FormatPercent(ideal->stats.valid_fraction()).c_str(),
       FormatPercent(noisy->stats.valid_fraction()).c_str(),
-      noisy->circuit_depth);
+      noisy->gate.circuit_depth);
   return 0;
 }

@@ -7,11 +7,15 @@
 //           [--portfolio] [--deadline-ms D] [--sweep-budget B]
 //           [--thresholds R] [--omega W] [--shots S] [--seed X]
 //           [--parallelism T] [--noiseless] [--verbose]
+//           [--trace-out FILE] [--metrics-out FILE]
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+
+#include "obs/obs.h"
 
 #include "core/quantum_optimizer.h"
 #include "jo/classical.h"
@@ -34,6 +38,8 @@ struct CliArgs {
   bool verbose = false;
   double deadline_ms = -1.0;  // <0: portfolio runs on its sweep budget
   int64_t sweep_budget = 4096;
+  std::string trace_out;    // empty = no trace recording
+  std::string metrics_out;  // empty = no metrics recording
 };
 
 int Fail(const char* message) {
@@ -61,7 +67,12 @@ void PrintHelp() {
       "  --parallelism T   threads for the sa/annealer read loops\n"
       "                    (default 1; results are identical for any T)\n"
       "  --noiseless       disable the QAOA noise model\n"
-      "  --verbose         print the query and classical baselines\n");
+      "  --verbose         print the query and classical baselines\n"
+      "  --trace-out FILE  write a Chrome trace-event JSON of every\n"
+      "                    pipeline stage (open via chrome://tracing or\n"
+      "                    https://ui.perfetto.dev)\n"
+      "  --metrics-out FILE  write the merged solver/pipeline metrics as\n"
+      "                    flat JSON\n");
 }
 
 int RunCli(const CliArgs& args) {
@@ -93,11 +104,35 @@ int RunCli(const CliArgs& args) {
   config.portfolio.deadline_ms = args.deadline_ms;
   config.portfolio.sweep_budget = args.sweep_budget;
 
+  // Observability sinks: attached only when requested; a run without them
+  // takes the null-sink (zero-overhead) path and is bit-identical either
+  // way.
+  std::optional<TraceRecorder> trace;
+  std::optional<MetricsRegistry> metrics;
+  if (!args.trace_out.empty()) config.trace = &trace.emplace();
+  if (!args.metrics_out.empty()) config.metrics = &metrics.emplace();
+
   auto report = OptimizeJoinOrder(*query, config);
   if (!report.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
                  report.status().ToString().c_str());
     return 1;
+  }
+  if (trace.has_value()) {
+    if (!trace->WriteChromeTraceFile(args.trace_out)) {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", args.trace_out.c_str());
+  }
+  if (metrics.has_value()) {
+    if (!metrics->WriteJsonFile(args.metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", args.metrics_out.c_str());
   }
   std::printf("backend: %s\n%s\n", QjoBackendName(args.backend),
               report->Summary().c_str());
@@ -200,6 +235,14 @@ int main(int argc, char** argv) {
       if (!v) return Fail("--parallelism needs a value");
       args.parallelism = std::atoi(v);
       if (args.parallelism < 1) return Fail("--parallelism must be >= 1");
+    } else if (flag == "--trace-out") {
+      const char* v = next();
+      if (!v) return Fail("--trace-out needs a file path");
+      args.trace_out = v;
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Fail("--metrics-out needs a file path");
+      args.metrics_out = v;
     } else if (flag == "--noiseless") {
       args.noiseless = true;
     } else if (flag == "--verbose") {

@@ -104,6 +104,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   // Materialise the shared CSR before any fan-out (see Qubo::Csr()).
   qubo.Csr();
 
+  StageSpan race_span(options.trace, "portfolio.race");
   QuboRaceResult result;
   const Clock::time_point start = Clock::now();
 
@@ -190,10 +191,15 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
     return stop.load(std::memory_order_relaxed);
   };
 
+  // Strand span names, indexed by the strand enum (= vector index).
+  static constexpr const char* kStrandSpanNames[] = {
+      "strand.exact", "strand.sa", "strand.tabu", "strand.sqa", "strand.qaoa"};
+
   const auto run_strand = [&](int64_t s) {
     StrandState& state = states[s];
     StrandOutcome& outcome = state.outcome;
     if (!outcome.eligible) return;
+    StageSpan strand_span(options.trace, kStrandSpanNames[s]);
     const Clock::time_point strand_start = Clock::now();
     Rng strand_rng = base.Fork(static_cast<uint64_t>(outcome.strand));
     const int64_t round_sweeps = static_cast<int64_t>(options.reads_per_round) *
@@ -229,9 +235,11 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         SaOptions sa;
         sa.num_reads = options.reads_per_round;
         sa.sweeps_per_read = options.sweeps_per_round;
-        sa.parallelism = options.parallelism;
-        sa.pool = pool;
-        sa.stop = &stop;
+        sa.control.parallelism = options.parallelism;
+        sa.control.pool = pool;
+        sa.control.stop = &stop;
+        sa.control.trace = options.trace;
+        sa.control.metrics = options.metrics;
         while (!stop_requested() && budget_left()) {
           const auto reads = SolveQuboSimulatedAnnealing(qubo, sa, strand_rng);
           for (const QuboSolution& read : reads) {
@@ -246,9 +254,11 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         TabuOptions tabu;
         tabu.num_restarts = options.reads_per_round;
         tabu.iterations_per_restart = options.sweeps_per_round;
-        tabu.parallelism = options.parallelism;
-        tabu.pool = pool;
-        tabu.stop = &stop;
+        tabu.control.parallelism = options.parallelism;
+        tabu.control.pool = pool;
+        tabu.control.stop = &stop;
+        tabu.control.trace = options.trace;
+        tabu.control.metrics = options.metrics;
         while (!stop_requested() && budget_left()) {
           const auto restarts = SolveQuboTabuSearch(qubo, tabu, strand_rng);
           for (const QuboSolution& restart : restarts) {
@@ -267,9 +277,11 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         // directly onto SQA sweeps (RunSqa clamps to at least 8).
         sqa.annealing_time_us = options.sweeps_per_round;
         sqa.sweeps_per_us = 1.0;
-        sqa.parallelism = options.parallelism;
-        sqa.pool = pool;
-        sqa.stop = &stop;
+        sqa.control.parallelism = options.parallelism;
+        sqa.control.pool = pool;
+        sqa.control.stop = &stop;
+        sqa.control.trace = options.trace;
+        sqa.control.metrics = options.metrics;
         const int64_t sqa_round_sweeps =
             static_cast<int64_t>(options.reads_per_round) *
             std::max(8, options.sweeps_per_round);
@@ -313,6 +325,18 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
       }
     }
     outcome.total_ms = MsSince(strand_start);
+    if (options.metrics != nullptr) {
+      // Mirrors StrandOutcome so exported metrics can be checked against
+      // PortfolioReport; counter sums are deterministic in sweep-budget
+      // mode at every parallelism level.
+      const std::string prefix =
+          std::string("portfolio.") + PortfolioStrandName(outcome.strand);
+      options.metrics->Count(
+          prefix + ".rounds", static_cast<uint64_t>(outcome.rounds_completed));
+      options.metrics->Count(
+          prefix + ".sweeps", static_cast<uint64_t>(outcome.sweeps_completed));
+      options.metrics->Observe("portfolio.strand_ms", outcome.total_ms);
+    }
   };
 
   ParallelFor(pool, 0, static_cast<int64_t>(states.size()), run_strand);

@@ -10,6 +10,7 @@
 #include "core/qubo_cache.h"
 #include "jo/join_tree.h"
 #include "jo/query.h"
+#include "obs/obs.h"
 #include "qubo/qubo.h"
 #include "qubo/solvers.h"
 #include "sim/sqa.h"
@@ -60,6 +61,14 @@ struct PortfolioOptions {
   /// loops (nested ParallelFor on one pool); results never depend on it.
   int parallelism = 1;
   ThreadPool* pool = nullptr;  ///< optional externally-owned pool
+
+  /// Observability sinks (null-sink default, not owned). When attached,
+  /// the race records one span per strand (plus the nested solver-call
+  /// and per-read spans via SolverControl) and publishes per-strand
+  /// round/sweep counters that mirror StrandOutcome. Never affects
+  /// results: recorded races are bit-identical to unrecorded ones.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
 
   // --- Strand selection. ---
   bool enable_exact = true;

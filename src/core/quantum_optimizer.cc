@@ -41,18 +41,27 @@ const char* QjoBackendName(QjoBackend backend) {
 
 std::string QjoReport::Summary() const {
   std::ostringstream os;
-  os << "logical qubits: " << bilp_variables
-     << ", quadratic terms: " << qubo_quadratic_terms << "\n";
-  if (circuit_depth > 0) {
-    os << "circuit depth: " << circuit_depth
-       << ", 2q gates: " << two_qubit_gates
-       << ", est. fidelity: " << FormatDouble(fidelity, 4) << "\n";
+  os << "logical qubits: " << encoding.bilp_variables
+     << ", quadratic terms: " << encoding.qubo_quadratic_terms << "\n";
+  if (gate.circuit_depth > 0) {
+    os << "circuit depth: " << gate.circuit_depth
+       << ", 2q gates: " << gate.two_qubit_gates
+       << ", est. fidelity: " << FormatDouble(gate.fidelity, 4) << "\n";
   }
-  if (physical_qubits > 0) {
-    os << "physical qubits: " << physical_qubits
-       << ", max chain: " << max_chain_length
-       << ", chain breaks: " << FormatPercent(mean_chain_break_fraction)
+  if (anneal.physical_qubits > 0) {
+    os << "physical qubits: " << anneal.physical_qubits
+       << ", max chain: " << anneal.max_chain_length
+       << ", chain breaks: " << FormatPercent(anneal.mean_chain_break_fraction)
        << "\n";
+  }
+  if (stage_timings.total_ms > 0.0) {
+    double solve_ms = 0.0;
+    for (const StageTimings::Stage& stage : stage_timings.stages) {
+      if (stage.name.rfind("solve.", 0) == 0) solve_ms += stage.ms;
+    }
+    os << "pipeline: " << FormatDouble(stage_timings.total_ms, 2)
+       << " ms (encode " << FormatDouble(stage_timings.Of("encode"), 2)
+       << " ms, solve " << FormatDouble(solve_ms, 2) << " ms)\n";
   }
   os << "samples: " << stats.total << " (valid "
      << FormatPercent(stats.valid_fraction()) << ", optimal "
@@ -87,36 +96,68 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     return Status::InvalidArgument("need at least 2 relations");
   }
   Rng rng(config.seed);
+  QjoReport report;
+  // Spans that feed report.stage_timings close inside their own scope —
+  // none may be alive at the return statement, where the report is moved
+  // into the result before locals unwind.
+  const auto pipeline_start = std::chrono::steady_clock::now();
 
   // --- Encode: JO -> MILP -> BILP -> QUBO (Sec. 3), via the memoizing
   // cache when one is attached (repeated fingerprints skip the rebuild).
-  JoEncodingOptions encode_options;
-  encode_options.thresholds = config.thresholds;
-  encode_options.num_thresholds = config.num_thresholds;
-  encode_options.omega = config.omega;
   std::shared_ptr<const JoQuboEncoding> entry;
-  if (config.qubo_cache != nullptr) {
-    QJO_ASSIGN_OR_RETURN(entry,
-                         config.qubo_cache->GetOrBuild(query, encode_options));
-  } else {
-    QJO_ASSIGN_OR_RETURN(entry, BuildJoQuboEncoding(query, encode_options));
+  {
+    StageSpan encode_span(config.trace, "encode", &report.stage_timings);
+    JoEncodingOptions encode_options;
+    encode_options.thresholds = config.thresholds;
+    encode_options.num_thresholds = config.num_thresholds;
+    encode_options.omega = config.omega;
+    if (config.qubo_cache != nullptr) {
+      QJO_ASSIGN_OR_RETURN(
+          entry, config.qubo_cache->GetOrBuild(query, encode_options));
+    } else {
+      QJO_ASSIGN_OR_RETURN(entry, BuildJoQuboEncoding(query, encode_options));
+    }
   }
   const JoMilpModel& milp = entry->milp;
   const BilpModel& bilp = entry->bilp;
   const QuboEncoding& encoding = entry->encoding;
 
-  QjoReport report;
-  report.milp_variables = milp.model().num_variables();
-  report.bilp_variables = bilp.num_variables();
-  report.qubo_quadratic_terms = encoding.qubo.num_quadratic_terms();
+  report.encoding.milp_variables = milp.model().num_variables();
+  report.encoding.bilp_variables = bilp.num_variables();
+  report.encoding.qubo_quadratic_terms = encoding.qubo.num_quadratic_terms();
+  if (config.metrics != nullptr) {
+    config.metrics->Count("pipeline.runs");
+    config.metrics->GaugeMax("pipeline.bilp_variables",
+                             report.encoding.bilp_variables);
+    config.metrics->GaugeMax("pipeline.qubo_quadratic_terms",
+                             report.encoding.qubo_quadratic_terms);
+    if (config.qubo_cache != nullptr) {
+      // Cache stats are cumulative, so max-merge across shards/runs
+      // yields the latest totals.
+      const QuboBuildCache::Stats cache = config.qubo_cache->stats();
+      config.metrics->GaugeMax("qubo_cache.hits",
+                               static_cast<double>(cache.hits));
+      config.metrics->GaugeMax("qubo_cache.misses",
+                               static_cast<double>(cache.misses));
+    }
+  }
 
   // Ground truth for optimality labelling.
-  QJO_ASSIGN_OR_RETURN(JoResult oracle, OptimizeDp(query));
+  JoResult oracle;
+  {
+    StageSpan oracle_span(config.trace, "oracle_dp", &report.stage_timings);
+    QJO_ASSIGN_OR_RETURN(oracle, OptimizeDp(query));
+  }
   report.optimal_order = oracle.order;
   report.optimal_cost = oracle.cost;
 
   // --- Solve on the selected backend. ---
   std::vector<std::vector<int>> samples;
+  {
+  const std::string solve_stage =
+      std::string("solve.") + QjoBackendName(config.backend);
+  StageSpan solve_span(config.trace, solve_stage.c_str(),
+                       &report.stage_timings);
   switch (config.backend) {
     case QjoBackend::kExact: {
       QJO_ASSIGN_OR_RETURN(QuboSolution best,
@@ -127,8 +168,10 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     case QjoBackend::kSimulatedAnnealing: {
       SaOptions sa;
       sa.num_reads = std::max(1, config.shots / 8);
-      sa.parallelism = config.parallelism;
-      sa.pool = config.pool;
+      sa.control.parallelism = config.parallelism;
+      sa.control.pool = config.pool;
+      sa.control.trace = config.trace;
+      sa.control.metrics = config.metrics;
       const std::vector<QuboSolution> reads =
           SolveQuboSimulatedAnnealing(encoding.qubo, sa, rng);
       for (const auto& read : reads) samples.push_back(read.assignment);
@@ -156,11 +199,18 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
         pool = &*sim_pool;
       }
       sim.set_pool(pool);
-      const QaoaAngles angles =
-          OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
-      report.gamma = angles.gamma;
-      report.beta = angles.beta;
+      sim.set_metrics(config.metrics);
+      QaoaAngles angles;
+      {
+        StageSpan angles_span(config.trace, "qaoa_angles",
+                              &report.stage_timings);
+        angles = OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
+      }
+      report.gate.gamma = angles.gamma;
+      report.gate.beta = angles.beta;
       if (config.qaoa_grid > 1) {
+        StageSpan grid_span(config.trace, "qaoa_grid",
+                            &report.stage_timings);
         // Local grid refinement around the analytic angles: one batched
         // sweep over a gamma-major qaoa_grid^2 grid in [0.5, 1.5] x the
         // analytic values. Gamma-major order maximises phase-table reuse
@@ -184,35 +234,43 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
         for (size_t i = 1; i < energies.size(); ++i) {
           if (energies[i] < energies[best]) best = i;
         }
-        report.gamma = grid[best].gammas[0];
-        report.beta = grid[best].betas[0];
+        report.gate.gamma = grid[best].gammas[0];
+        report.gate.beta = grid[best].betas[0];
       }
       QaoaParameters params;
-      params.gammas = {report.gamma};
-      params.betas = {report.beta};
-      sim.Run(params);
+      params.gammas = {report.gate.gamma};
+      params.betas = {report.gate.beta};
+      {
+        StageSpan run_span(config.trace, "qaoa_run", &report.stage_timings);
+        sim.Run(params);
+      }
 
       // Transpile the circuit for the device to obtain depth and fidelity.
-      QJO_ASSIGN_OR_RETURN(QuantumCircuit logical,
-                           BuildQaoaCircuit(ising, params));
-      const CouplingGraph topology = config.gate_topology.has_value()
-                                         ? *config.gate_topology
-                                         : MakeIbmFalcon27();
-      TranspileOptions transpile = config.transpile;
-      transpile.seed = rng.Next();
-      QJO_ASSIGN_OR_RETURN(TranspileResult physical,
-                           Transpile(logical, topology, transpile));
-      report.circuit_depth = physical.depth;
-      report.two_qubit_gates = physical.two_qubit_gate_count;
-      report.fidelity =
-          config.noiseless
-              ? 1.0
-              : EstimateCircuitFidelity(physical.circuit, config.device);
-      report.timings =
-          EstimateQpuTimings(physical.circuit, config.shots, config.device);
+      {
+        StageSpan transpile_span(config.trace, "transpile",
+                                 &report.stage_timings);
+        QJO_ASSIGN_OR_RETURN(QuantumCircuit logical,
+                             BuildQaoaCircuit(ising, params));
+        const CouplingGraph topology = config.gate_topology.has_value()
+                                           ? *config.gate_topology
+                                           : MakeIbmFalcon27();
+        TranspileOptions transpile = config.transpile;
+        transpile.seed = rng.Next();
+        QJO_ASSIGN_OR_RETURN(TranspileResult physical,
+                             Transpile(logical, topology, transpile));
+        report.gate.circuit_depth = physical.depth;
+        report.gate.two_qubit_gates = physical.two_qubit_gate_count;
+        report.gate.fidelity =
+            config.noiseless
+                ? 1.0
+                : EstimateCircuitFidelity(physical.circuit, config.device);
+        report.gate.timings =
+            EstimateQpuTimings(physical.circuit, config.shots, config.device);
+      }
 
+      StageSpan sample_span(config.trace, "sample", &report.stage_timings);
       const std::vector<uint64_t> raw =
-          sim.Sample(config.shots, report.fidelity, rng);
+          sim.Sample(config.shots, report.gate.fidelity, rng);
       samples.reserve(raw.size());
       for (uint64_t basis : raw) {
         samples.push_back(BasisToBits(basis, bilp.num_variables()));
@@ -226,33 +284,47 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       } else {
         QJO_ASSIGN_OR_RETURN(topology, MakePegasus(6));
       }
-      QJO_ASSIGN_OR_RETURN(
-          Embedding embedding,
-          FindMinorEmbedding(encoding.qubo.Edges(),
-                             encoding.qubo.num_variables(), topology,
-                             config.embedding, rng));
-      QJO_ASSIGN_OR_RETURN(
-          EmbeddedQubo embedded,
-          EmbedQubo(encoding.qubo, embedding, topology, config.embed_qubo));
-      report.physical_qubits = embedding.NumPhysicalQubits();
-      report.max_chain_length = embedding.MaxChainLength();
-      report.chain_strength = embedded.chain_strength;
+      std::optional<Embedding> embedding;
+      std::optional<EmbeddedQubo> embedded;
+      {
+        StageSpan embed_span(config.trace, "embedding",
+                             &report.stage_timings);
+        QJO_ASSIGN_OR_RETURN(
+            embedding,
+            FindMinorEmbedding(encoding.qubo.Edges(),
+                               encoding.qubo.num_variables(), topology,
+                               config.embedding, rng));
+      }
+      {
+        StageSpan embed_qubo_span(config.trace, "embed_qubo",
+                                  &report.stage_timings);
+        QJO_ASSIGN_OR_RETURN(embedded,
+                             EmbedQubo(encoding.qubo, *embedding, topology,
+                                       config.embed_qubo));
+      }
+      report.anneal.physical_qubits = embedding->NumPhysicalQubits();
+      report.anneal.max_chain_length = embedding->MaxChainLength();
+      report.anneal.chain_strength = embedded->chain_strength;
 
-      const IsingModel physical_ising = QuboToIsing(embedded.physical);
+      const IsingModel physical_ising = QuboToIsing(embedded->physical);
       SqaOptions sqa = config.sqa;
-      if (sqa.parallelism <= 1) sqa.parallelism = config.parallelism;
-      if (sqa.pool == nullptr) sqa.pool = config.pool;
+      if (sqa.control.parallelism <= 1) {
+        sqa.control.parallelism = config.parallelism;
+      }
+      if (sqa.control.pool == nullptr) sqa.control.pool = config.pool;
+      sqa.control.trace = config.trace;
+      sqa.control.metrics = config.metrics;
       QJO_ASSIGN_OR_RETURN(std::vector<SqaSample> reads,
                            RunSqa(physical_ising, sqa, rng));
       double chain_breaks = 0.0;
       for (const SqaSample& read : reads) {
         const UnembeddedSample logical =
-            UnembedSample(SpinsToBits(read.spins), embedding, rng);
+            UnembedSample(SpinsToBits(read.spins), *embedding, rng);
         chain_breaks += logical.chain_break_fraction;
         samples.push_back(logical.logical_bits);
       }
       if (!reads.empty()) {
-        report.mean_chain_break_fraction =
+        report.anneal.mean_chain_break_fraction =
             chain_breaks / static_cast<double>(reads.size());
       }
       break;
@@ -261,6 +333,8 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       PortfolioOptions race = config.portfolio;
       if (race.parallelism <= 1) race.parallelism = config.parallelism;
       if (race.pool == nullptr) race.pool = config.pool;
+      if (race.trace == nullptr) race.trace = config.trace;
+      if (race.metrics == nullptr) race.metrics = config.metrics;
       QJO_ASSIGN_OR_RETURN(report.portfolio,
                            RunJoPortfolio(query, *entry, race, rng));
       if (config.qubo_cache != nullptr) {
@@ -275,8 +349,12 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       break;
     }
   }
+  }  // solve span
 
-  report.stats = EvaluateSamples(milp, samples, oracle.cost, &bilp);
+  {
+    StageSpan post_span(config.trace, "postprocess", &report.stage_timings);
+    report.stats = EvaluateSamples(milp, samples, oracle.cost, &bilp);
+  }
   report.found_valid = report.stats.found_valid;
   report.best_order = report.stats.best_order;
   report.best_cost = report.stats.best_cost;
@@ -287,6 +365,26 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     report.best_order = report.portfolio.best_order;
     report.best_cost = report.portfolio.best_cost;
   }
+  if (config.metrics != nullptr) {
+    config.metrics->Count("pipeline.samples",
+                          static_cast<uint64_t>(report.stats.total));
+    if (config.pool != nullptr) {
+      // Cumulative dispatch count of the shared pool; max-merge keeps the
+      // latest value.
+      config.metrics->GaugeMax(
+          "pool.tasks_dispatched",
+          static_cast<double>(config.pool->tasks_dispatched()));
+    }
+  }
+  const auto pipeline_end = std::chrono::steady_clock::now();
+  if (config.trace != nullptr) {
+    // Root span enclosing every stage; recorded directly (a StageSpan
+    // would still be alive at the return, after the report moved out).
+    config.trace->Record("pipeline", pipeline_start, pipeline_end);
+  }
+  report.stage_timings.total_ms =
+      std::chrono::duration<double, std::milli>(pipeline_end - pipeline_start)
+          .count();
   return report;
 }
 

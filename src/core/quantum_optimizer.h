@@ -14,6 +14,7 @@
 #include "jo/join_tree.h"
 #include "jo/query.h"
 #include "lp/jo_encoder.h"
+#include "obs/obs.h"
 #include "qubo/bilp_to_qubo.h"
 #include "sim/device.h"
 #include "sim/sqa.h"
@@ -100,7 +101,45 @@ struct QjoConfig {
   /// supplies a batch-wide cache automatically.
   QuboBuildCache* qubo_cache = nullptr;
 
+  // --- Observability sinks (null-sink default, not owned). ---
+  /// When attached, every pipeline stage (encode, oracle DP, solve,
+  /// embedding, transpilation, sampling, postprocess) plus the nested
+  /// solver spans record into the trace; solver counters and pipeline
+  /// gauges land in the registry. Attaching sinks never changes a result:
+  /// recorded runs are bit-identical to unrecorded ones. Lifetime must
+  /// cover the optimisation call(s); one recorder/registry may be shared
+  /// across a whole batch.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
   QjoConfig();
+};
+
+/// Problem-size diagnostics of the JO -> MILP -> BILP -> QUBO encoding
+/// chain (filled for every backend).
+struct EncodingDiag {
+  int milp_variables = 0;
+  int bilp_variables = 0;  ///< logical qubits
+  int qubo_quadratic_terms = 0;
+};
+
+/// Gate-based diagnostics (QAOA backend; defaults otherwise).
+struct GateDiag {
+  int circuit_depth = 0;
+  int two_qubit_gates = 0;
+  double fidelity = 1.0;
+  double gamma = 0.0;
+  double beta = 0.0;
+  QpuTimings timings;
+};
+
+/// Annealer diagnostics (kQuantumAnnealerSim backend; defaults
+/// otherwise).
+struct AnnealDiag {
+  int physical_qubits = 0;
+  int max_chain_length = 0;
+  double chain_strength = 0.0;
+  double mean_chain_break_fraction = 0.0;
 };
 
 /// Everything the pipeline learned about one optimisation run.
@@ -116,24 +155,16 @@ struct QjoReport {
 
   SampleSetStats stats;
 
-  // Problem-size diagnostics.
-  int milp_variables = 0;
-  int bilp_variables = 0;  ///< logical qubits
-  int qubo_quadratic_terms = 0;
+  /// Diagnostics, grouped by pipeline layer.
+  EncodingDiag encoding;
+  GateDiag gate;
+  AnnealDiag anneal;
 
-  // Gate-based diagnostics (QAOA backend).
-  int circuit_depth = 0;
-  int two_qubit_gates = 0;
-  double fidelity = 1.0;
-  double gamma = 0.0;
-  double beta = 0.0;
-  QpuTimings timings;
-
-  // Annealer diagnostics.
-  int physical_qubits = 0;
-  int max_chain_length = 0;
-  double chain_strength = 0.0;
-  double mean_chain_break_fraction = 0.0;
+  /// Per-stage wall times of this run. Always filled (the per-stage
+  /// clock reads cost nanoseconds); independent of whether a
+  /// TraceRecorder was attached. Stage times nest and can overlap, so
+  /// they are not disjoint fractions of total_ms.
+  StageTimings stage_timings;
 
   /// Per-strand race statistics (kPortfolio backend only; `winner` is
   /// empty otherwise).
@@ -154,6 +185,12 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
 /// i holds exactly what OptimizeJoinOrder(queries[i], config) returns —
 /// per-query failures land in their slot instead of failing the batch,
 /// and results are bit-identical to one-by-one serial runs.
+///
+/// Pool ownership rule: when `config.pool` is set, the batch runs on the
+/// caller's pool — `parallelism` then only caps the per-query inner
+/// loops, and no second pool is ever created. Only with `config.pool ==
+/// nullptr` does the batch own a transient pool of `parallelism` threads
+/// for its duration.
 std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
     std::span<const Query> queries, const QjoConfig& config, int parallelism);
 

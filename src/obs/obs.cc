@@ -1,0 +1,316 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace qjo {
+namespace {
+
+/// Process-unique sink ids. Thread-local shard maps are keyed by id (not
+/// address), so a destroyed sink's stale entries can never be revived by
+/// an unrelated sink reusing its address — they just miss forever.
+std::atomic<uint64_t> g_next_sink_id{1};
+
+thread_local std::unordered_map<uint64_t, void*> t_trace_shards;
+thread_local std::unordered_map<uint64_t, void*> t_metric_shards;
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+int HistogramBucket(double value) {
+  using Histogram = MetricsSnapshot::Histogram;
+  if (!(value > 0.0)) return 0;
+  const int exponent =
+      static_cast<int>(std::ceil(std::log2(value))) + Histogram::kZeroBucket;
+  return std::clamp(exponent, 0, Histogram::kNumBuckets - 1);
+}
+
+double HistogramBound(int bucket) {
+  return std::ldexp(1.0, bucket - MetricsSnapshot::Histogram::kZeroBucket);
+}
+
+void MergeHistogram(MetricsSnapshot::Histogram& into,
+                    const MetricsSnapshot::Histogram& from) {
+  for (int b = 0; b < MetricsSnapshot::Histogram::kNumBuckets; ++b) {
+    into.buckets[static_cast<size_t>(b)] +=
+        from.buckets[static_cast<size_t>(b)];
+  }
+  if (into.count == 0) {
+    into.min = from.min;
+    into.max = from.max;
+  } else if (from.count > 0) {
+    into.min = std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+  }
+  into.count += from.count;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TraceRecorder.
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Shard& TraceRecorder::LocalShard() {
+  void*& slot = t_trace_shards[id_];
+  if (slot == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto shard = std::make_unique<Shard>();
+    shard->tid = static_cast<uint32_t>(shards_.size());
+    slot = shard.get();
+    shards_.push_back(std::move(shard));
+  }
+  return *static_cast<Shard*>(slot);
+}
+
+void TraceRecorder::Record(std::string_view name,
+                           std::chrono::steady_clock::time_point start,
+                           std::chrono::steady_clock::time_point end) {
+  if (end < start) end = start;
+  TraceEvent event;
+  event.name.assign(name);
+  event.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
+          .count());
+  event.duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  event.tid = shard.tid;
+  shard.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> shard_lock(shard->mutex);
+      events.insert(events.end(), shard->events.begin(), shard->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return events;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    WriteJsonString(os, e.name);
+    os << ", \"cat\": \"qjo\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+       << ", \"ts\": " << static_cast<double>(e.start_ns) / 1e3
+       << ", \"dur\": " << static_cast<double>(e.duration_ns) / 1e3 << "}";
+  }
+  os << "\n  ]\n}\n";
+}
+
+bool TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteChromeTrace(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+StageSpan::~StageSpan() {
+  if (recorder_ == nullptr && sink_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  if (recorder_ != nullptr) recorder_->Record(name_, start_, end);
+  if (sink_ != nullptr) {
+    sink_->stages.push_back(
+        {name_, std::chrono::duration<double, std::milli>(end - start_)
+                    .count()});
+  }
+}
+
+double StageTimings::Of(std::string_view name) const {
+  double total = 0.0;
+  for (const Stage& stage : stages) {
+    if (stage.name == name) total += stage.ms;
+  }
+  return total;
+}
+
+bool StageTimings::Has(std::string_view name) const {
+  for (const Stage& stage : stages) {
+    if (stage.name == name) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_sink_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard& MetricsRegistry::LocalShard() {
+  void*& slot = t_metric_shards[id_];
+  if (slot == nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto shard = std::make_unique<Shard>();
+    slot = shard.get();
+    shards_.push_back(std::move(shard));
+  }
+  return *static_cast<Shard*>(slot);
+}
+
+void MetricsRegistry::Count(std::string_view name, uint64_t delta) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.counters.find(name);
+  if (it == shard.counters.end()) {
+    shard.counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::GaugeMax(std::string_view name, double value) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.gauges.find(name);
+  if (it == shard.gauges.end()) {
+    shard.gauges.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(name);
+  if (it == shard.histograms.end()) {
+    it = shard.histograms.emplace(std::string(name),
+                                  MetricsSnapshot::Histogram{})
+             .first;
+  }
+  MetricsSnapshot::Histogram& h = it->second;
+  ++h.buckets[static_cast<size_t>(HistogramBucket(value))];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters) {
+      snapshot.counters[name] += value;
+    }
+    for (const auto& [name, value] : shard->gauges) {
+      auto [it, inserted] = snapshot.gauges.emplace(name, value);
+      if (!inserted) it->second = std::max(it->second, value);
+    }
+    for (const auto& [name, histogram] : shard->histograms) {
+      MergeHistogram(snapshot.histograms[name], histogram);
+    }
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  const MetricsSnapshot snapshot = Snapshot();
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n    " : ",\n    ");
+    WriteJsonString(os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n    " : ",\n    ");
+    WriteJsonString(os, name);
+    std::ostringstream number;
+    number << value;
+    os << ": " << number.str();
+    first = false;
+  }
+  os << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n    " : ",\n    ");
+    WriteJsonString(os, name);
+    os << ": {\"count\": " << h.count << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"buckets\": {";
+    bool first_bucket = true;
+    for (int b = 0; b < MetricsSnapshot::Histogram::kNumBuckets; ++b) {
+      const uint64_t n = h.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;
+      if (!first_bucket) os << ", ";
+      os << "\"le_" << HistogramBound(b) << "\": " << n;
+      first_bucket = false;
+    }
+    os << "}}";
+    first = false;
+  }
+  os << "\n  }\n}\n";
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace qjo

@@ -1,0 +1,207 @@
+#ifndef QJO_OBS_OBS_H_
+#define QJO_OBS_OBS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qjo {
+
+/// Observability layer: stage tracing + solver metrics.
+///
+/// Both sinks follow the same contract:
+///  * Null-sink default. Every instrumentation point takes a nullable
+///    recorder/registry pointer; with nullptr the site is a single
+///    predictable branch (no clock read, no allocation, no lock), so the
+///    instrumented hot paths run at their uninstrumented speed (< 1%
+///    budget, gated by the obs-overhead bench smoke).
+///  * Results are observation-independent. Neither sink ever touches an
+///    RNG stream or a solver state, so recorded runs are bit-identical to
+///    unrecorded ones at every parallelism level.
+///  * Thread-local shards. Writers append to a per-(thread, sink) shard
+///    without cross-thread contention; shards are merged at export time.
+///    Integer counters merge by summation and gauges by maximum — both
+///    order-independent — so merged metric values are deterministic for a
+///    deterministic workload regardless of thread scheduling. Trace
+///    events carry wall-clock timestamps and are sorted by (start, tid,
+///    name) at export; the timestamps themselves are wall-clock data and
+///    inherently nondeterministic.
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+/// One completed span: a named stage with monotonic start/duration and
+/// the logical id of the thread that ran it.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_ns = 0;  ///< monotonic, relative to the recorder's epoch
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;  ///< logical thread id (shard registration order)
+};
+
+/// Collects StageSpan events from any number of threads. Lifetime must
+/// cover every span recorded into it (attach/detach is the caller's
+/// responsibility; the pipeline structs hold recorders as non-owning
+/// pointers).
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends one completed span to the calling thread's shard.
+  void Record(std::string_view name, std::chrono::steady_clock::time_point start,
+              std::chrono::steady_clock::time_point end);
+
+  /// Merged view of every shard, sorted by (start_ns, tid, name).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in
+  /// microseconds) — load via chrome://tracing or https://ui.perfetto.dev.
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Writes WriteChromeTrace output to `path`; false on I/O failure.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  /// Monotonic zero point every event's start_ns is relative to.
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+
+ private:
+  friend class StageSpan;
+  struct Shard {
+    std::mutex mutex;  ///< owner thread appends; Snapshot reads
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+  };
+
+  Shard& LocalShard();
+
+  const uint64_t id_;  ///< process-unique; keys the thread-local shard map
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Aggregated per-stage wall times of one pipeline run, filled by the
+/// StageSpan sink. Stages nest (e.g. "embedding" runs inside
+/// "solve.annealer"), so the per-stage times are *not* disjoint and can
+/// sum past total_ms.
+struct StageTimings {
+  struct Stage {
+    std::string name;
+    double ms = 0.0;
+  };
+  std::vector<Stage> stages;
+  double total_ms = 0.0;  ///< duration of the root "pipeline" span
+
+  /// Total ms recorded under `name` (stages can repeat); 0 when absent.
+  double Of(std::string_view name) const;
+  bool Has(std::string_view name) const;
+};
+
+/// RAII span: records [construction, destruction) of a named stage into
+/// a TraceRecorder and/or a StageTimings sink. Both sinks are nullable;
+/// with both null the span does nothing (not even a clock read).
+class StageSpan {
+ public:
+  explicit StageSpan(TraceRecorder* recorder, const char* name,
+                     StageTimings* sink = nullptr)
+      : recorder_(recorder), sink_(sink), name_(name) {
+    if (recorder_ != nullptr || sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~StageSpan();
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  StageTimings* sink_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+/// Merged, deterministic view of a MetricsRegistry.
+struct MetricsSnapshot {
+  /// Power-of-two histogram: buckets[i] counts observations with
+  /// value <= 2^(i - kZeroBucket); the first bucket absorbs everything
+  /// below its bound and the last everything above.
+  struct Histogram {
+    static constexpr int kNumBuckets = 40;
+    static constexpr int kZeroBucket = 8;  ///< bucket of value == 1
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;  ///< merged by summation
+  std::map<std::string, double> gauges;      ///< merged by maximum
+  std::map<std::string, Histogram> histograms;
+};
+
+/// Registry of named counters, gauges, and histograms. Writers go
+/// through the calling thread's shard (no contention on the hot path);
+/// Snapshot() merges shards with order-independent rules (counter sums,
+/// gauge maxima, histogram bucket sums), so for a deterministic workload
+/// the merged values are identical at every parallelism level. Metrics
+/// that observe scheduling itself (scratch reuse, phase-table hits under
+/// batched evaluation) are documented as telemetry and excluded from the
+/// determinism contract.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// counters[name] += delta.
+  void Count(std::string_view name, uint64_t delta = 1);
+
+  /// gauges[name] = max(gauges[name], value).
+  void GaugeMax(std::string_view name, double value);
+
+  /// Folds `value` into histogram `name`.
+  void Observe(std::string_view name, double value);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Flat JSON dump: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"count": .., "min": .., "max": ..,
+  /// "buckets": {"le_<bound>": n, ...}}}} with keys sorted.
+  void WriteJson(std::ostream& os) const;
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::string, uint64_t, std::less<>> counters;
+    std::map<std::string, double, std::less<>> gauges;
+    std::map<std::string, MetricsSnapshot::Histogram, std::less<>> histograms;
+  };
+
+  Shard& LocalShard();
+
+  const uint64_t id_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_OBS_OBS_H_

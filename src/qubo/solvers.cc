@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/obs.h"
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
 
@@ -108,48 +109,65 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
   // the same Rng independent; every read then forks stream `read` off the
   // resulting snapshot, so the set of reads is bit-identical for every
   // parallelism level and thread interleaving.
+  const SolverControl& control = options.control;
+  StageSpan solve_span(control.trace, "sa.solve");
   const Rng base(rng.Next());
   std::vector<QuboSolution> reads(options.num_reads);
   const auto run_read = [&](int64_t read) {
+    StageSpan read_span(control.trace, "sa.read");
     Rng read_rng = base.Fork(static_cast<uint64_t>(read));
     std::vector<int> x(n);
     for (int i = 0; i < n; ++i) x[i] = read_rng.Bernoulli(0.5) ? 1 : 0;
     double energy = csr.Energy(x);
     double temperature = schedule.t_initial;
+    int sweeps_run = 0;
+    uint64_t accepts = 0;
     if (incremental) {
       // Persistent local fields: delta_i = +-fields[i] per proposal,
       // neighbour updates only on accepted flips.
       std::vector<double> fields = csr.LocalFields(x);
       for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
-        if (StopRequested(options.stop)) break;
+        if (StopRequested(control.stop)) break;
+        ++sweeps_run;
         for (int i = 0; i < n; ++i) {
           const double delta = x[i] ? -fields[i] : fields[i];
           if (delta <= 0.0 ||
               read_rng.UniformDouble() < std::exp(-delta / temperature)) {
             csr.ApplyFlip(i, x, fields);
             energy += delta;
+            ++accepts;
           }
         }
         temperature *= schedule.cooling;
       }
     } else {
       for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
-        if (StopRequested(options.stop)) break;
+        if (StopRequested(control.stop)) break;
+        ++sweeps_run;
         for (int i = 0; i < n; ++i) {
           const double delta = csr.FlipDelta(x, i);
           if (delta <= 0.0 ||
               read_rng.UniformDouble() < std::exp(-delta / temperature)) {
             x[i] ^= 1;
             energy += delta;
+            ++accepts;
           }
         }
         temperature *= schedule.cooling;
       }
     }
+    if (control.metrics != nullptr) {
+      control.metrics->Count("sa.reads");
+      control.metrics->Count("sa.sweeps", static_cast<uint64_t>(sweeps_run));
+      control.metrics->Count(
+          "sa.proposals", static_cast<uint64_t>(sweeps_run) *
+                              static_cast<uint64_t>(n));
+      control.metrics->Count("sa.accepts", accepts);
+    }
     reads[read] = QuboSolution{std::move(x), energy};
   };
   std::optional<ThreadPool> local_pool;
-  ParallelFor(ResolvePool(options.pool, options.parallelism, local_pool), 0,
+  ParallelFor(ResolvePool(control.pool, control.parallelism, local_pool), 0,
               options.num_reads, run_read);
   SortByEnergy(reads);
   return reads;
@@ -170,14 +188,20 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
   const bool incremental = options.kernel == SolverKernel::kIncremental;
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
+  const SolverControl& control = options.control;
+  StageSpan solve_span(control.trace, "tabu.solve");
   const Rng base(rng.Next());
   std::vector<QuboSolution> restarts(options.num_restarts);
   const auto run_restart = [&](int64_t restart) {
+    StageSpan restart_span(control.trace, "tabu.restart");
     Rng restart_rng = base.Fork(static_cast<uint64_t>(restart));
     std::vector<int> x(n);
     for (int i = 0; i < n; ++i) x[i] = restart_rng.Bernoulli(0.5) ? 1 : 0;
     double energy = csr.Energy(x);
     QuboSolution incumbent{x, energy};
+    int iterations_run = 0;
+    uint64_t moves = 0;
+    uint64_t evictions = 0;
     std::vector<int> tabu_until(n, -1);
     // Incremental kernel: the delta cache is carried across iterations as
     // persistent local fields, and only the flipped variable's
@@ -187,7 +211,8 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
     if (incremental) fields = csr.LocalFields(x);
     std::vector<double> deltas(n);
     for (int it = 0; it < options.iterations_per_restart; ++it) {
-      if (StopRequested(options.stop)) break;
+      if (StopRequested(control.stop)) break;
+      ++iterations_run;
       double best_delta = kInfinity;
       int tie_count = 0;
       for (int i = 0; i < n; ++i) {
@@ -229,13 +254,24 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
         x[best_flip] ^= 1;
       }
       energy += best_delta;
+      ++moves;
+      // Re-tagging a variable whose previous tenure is still active
+      // evicts that tenure (the aspiration path lands here too).
+      if (tabu_until[best_flip] > it) ++evictions;
       tabu_until[best_flip] = it + tenure;
       if (energy < incumbent.energy) incumbent = QuboSolution{x, energy};
+    }
+    if (control.metrics != nullptr) {
+      control.metrics->Count("tabu.restarts");
+      control.metrics->Count("tabu.iterations",
+                             static_cast<uint64_t>(iterations_run));
+      control.metrics->Count("tabu.moves", moves);
+      control.metrics->Count("tabu.evictions", evictions);
     }
     restarts[restart] = std::move(incumbent);
   };
   std::optional<ThreadPool> local_pool;
-  ParallelFor(ResolvePool(options.pool, options.parallelism, local_pool), 0,
+  ParallelFor(ResolvePool(control.pool, control.parallelism, local_pool), 0,
               options.num_restarts, run_restart);
   SortByEnergy(restarts);
   return restarts;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "qubo/qubo.h"
+#include "qubo/solver_control.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/statusor.h"
@@ -47,23 +48,30 @@ struct SaOptions {
   int sweeps_per_read = 1000;    ///< full-variable Metropolis sweeps
   double initial_temperature = 0.0;  ///< 0 = auto (max |coefficient|)
   double final_temperature = 0.0;    ///< 0 = auto (1e-3 * initial)
-  /// Threads used for the per-read loop (caller included); 1 = serial.
-  /// Results are bit-identical for every value: each read draws from its
-  /// own forked RNG stream and lands in its own result slot.
-  int parallelism = 1;
-  /// Optional externally-owned pool (shared across solver calls, e.g. by
-  /// OptimizeJoinOrderBatch). Null = create a transient pool on demand.
-  ThreadPool* pool = nullptr;
+  /// Runtime control shared with the other stochastic solvers:
+  /// parallelism, pool, cooperative stop, and the observability sinks
+  /// (see SolverControl for the per-field contracts).
+  SolverControl control;
   /// Inner-loop implementation; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kIncremental;
-  /// Optional cooperative stop token (not owned). Checked between sweeps:
-  /// once set, every read finishes its current sweep and returns whatever
-  /// state it reached (a truncated but valid solution). Null = run the
-  /// full schedule. While the token stays unset the solver's output is
-  /// bit-identical to a run without one; once it fires, results depend on
-  /// how far each read got — callers that need determinism must bound the
-  /// run by sweeps, not by cancellation.
-  const std::atomic<bool>* stop = nullptr;
+
+  /// Deprecated aliases into `control`, kept for one release so existing
+  /// call sites keep compiling; address `control` directly in new code.
+  int& parallelism = control.parallelism;
+  ThreadPool*& pool = control.pool;
+  const std::atomic<bool>*& stop = control.stop;
+
+  SaOptions() = default;
+  SaOptions(const SaOptions& other) { *this = other; }
+  SaOptions& operator=(const SaOptions& other) {
+    num_reads = other.num_reads;
+    sweeps_per_read = other.sweeps_per_read;
+    initial_temperature = other.initial_temperature;
+    final_temperature = other.final_temperature;
+    control = other.control;
+    kernel = other.kernel;
+    return *this;  // the aliases stay bound to this->control
+  }
 };
 
 /// The resolved geometric cooling schedule: sweep k of a read runs at
@@ -95,16 +103,28 @@ struct TabuOptions {
   int iterations_per_restart = 2000;
   /// Tabu tenure; 0 = auto (~ sqrt(n) + 10).
   int tenure = 0;
-  /// Threads for the per-restart loop; same determinism contract as
-  /// SaOptions::parallelism.
-  int parallelism = 1;
-  ThreadPool* pool = nullptr;  ///< optional shared pool (not owned)
+  /// Shared runtime control (parallelism/pool/stop/observability); the
+  /// stop token is checked once per iteration and the incumbent found so
+  /// far is returned.
+  SolverControl control;
   /// Inner-loop implementation; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kIncremental;
-  /// Optional cooperative stop token (not owned), checked once per
-  /// iteration; the incumbent found so far is returned. Same contract as
-  /// SaOptions::stop.
-  const std::atomic<bool>* stop = nullptr;
+
+  /// Deprecated aliases into `control` (see SaOptions).
+  int& parallelism = control.parallelism;
+  ThreadPool*& pool = control.pool;
+  const std::atomic<bool>*& stop = control.stop;
+
+  TabuOptions() = default;
+  TabuOptions(const TabuOptions& other) { *this = other; }
+  TabuOptions& operator=(const TabuOptions& other) {
+    num_restarts = other.num_restarts;
+    iterations_per_restart = other.iterations_per_restart;
+    tenure = other.tenure;
+    control = other.control;
+    kernel = other.kernel;
+    return *this;
+  }
 };
 
 /// Tabu search: steepest-descent single-bit flips with a recency-based

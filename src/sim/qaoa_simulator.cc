@@ -8,6 +8,7 @@
 #include <emmintrin.h>
 #endif
 
+#include "obs/obs.h"
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
 #include "util/sampling.h"
@@ -354,8 +355,12 @@ const std::complex<float>* QaoaSimulator::PhaseFactors(
   const size_t max_entries = MaxPhaseTableEntries(num_qubits_);
   if (max_entries == 0) return nullptr;
   for (const PhaseTable& entry : tables.entries) {
-    if (entry.gamma == gamma) return entry.factors.data();
+    if (entry.gamma == gamma) {
+      if (metrics_ != nullptr) metrics_->Count("qaoa.phase_table_hits");
+      return entry.factors.data();
+    }
   }
+  if (metrics_ != nullptr) metrics_->Count("qaoa.phase_table_misses");
   PhaseTable* slot = nullptr;
   if (tables.entries.size() < max_entries) {
     slot = &tables.entries.emplace_back();
@@ -449,10 +454,13 @@ std::vector<double> QaoaSimulator::EvaluateBatch(
       }
     }
     if (scratch == nullptr) {
+      if (metrics_ != nullptr) metrics_->Count("qaoa.scratch_alloc");
       auto owned = std::make_unique<EvalScratch>();
       scratch = owned.get();
       std::lock_guard<std::mutex> lock(mutex);
       batch_scratch_.push_back(std::move(owned));
+    } else if (metrics_ != nullptr) {
+      metrics_->Count("qaoa.scratch_reuse");
     }
     // Serial amplitude loops inside: the parallelism budget is spent at
     // the batch level, and pool workers would refuse nested dispatch

@@ -15,6 +15,7 @@
 
 namespace qjo {
 
+class MetricsRegistry;
 class ThreadPool;
 
 /// Specialised QAOA state-vector simulator. Exploits the diagonality of
@@ -46,6 +47,14 @@ class QaoaSimulator {
   /// kMinParallelAmplitudes threshold); EvaluateBatch() uses it for
   /// parameter-set-level parallelism. Not owned.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+  /// Attaches a metrics registry (nullptr = no metrics, the default; not
+  /// owned). Publishes qaoa.phase_table_hits/misses and
+  /// qaoa.scratch_reuse/scratch_alloc. Under EvaluateBatch these counts
+  /// depend on which in-flight evaluation grabs which scratch buffer —
+  /// they are scheduling telemetry, excluded from the deterministic-merge
+  /// contract (the evaluation *results* stay bit-identical regardless).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   /// Cost spectrum E(x) including the Ising offset.
   const std::vector<float>& cost_spectrum() const { return cost_; }
@@ -145,7 +154,8 @@ class QaoaSimulator {
   PhaseTableCache phase_tables_;
   std::vector<std::unique_ptr<EvalScratch>> batch_scratch_;
   bool state_loaded_ = false;
-  ThreadPool* pool_ = nullptr;  // not owned
+  ThreadPool* pool_ = nullptr;           // not owned
+  MetricsRegistry* metrics_ = nullptr;   // not owned
 };
 
 }  // namespace qjo

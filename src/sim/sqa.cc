@@ -5,6 +5,7 @@
 #include <limits>
 #include <optional>
 
+#include "obs/obs.h"
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
 
@@ -33,10 +34,13 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
   // One draw off the shared generator, then one forked stream per read:
   // the sample set is bit-identical for every parallelism level and
   // thread interleaving (reads land in pre-sized slots).
+  const SolverControl& control = options.control;
+  StageSpan solve_span(control.trace, "sqa.solve");
   const Rng base(rng.Next());
   std::vector<SqaSample> samples(options.num_reads);
 
   const auto run_read = [&](int64_t read) {
+    StageSpan read_span(control.trace, "sqa.read");
     Rng read_rng = base.Fork(static_cast<uint64_t>(read));
 
     // Per-read perturbed coefficients (ICE noise), drawn from the read's
@@ -78,11 +82,14 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
       }
     }
 
+    int sweeps_run = 0;
+    uint64_t slice_flips = 0;
     for (int sweep = 0; sweep < num_sweeps; ++sweep) {
-      if (options.stop != nullptr &&
-          options.stop->load(std::memory_order_relaxed)) {
+      if (control.stop != nullptr &&
+          control.stop->load(std::memory_order_relaxed)) {
         break;
       }
+      ++sweeps_run;
       const double s_frac =
           static_cast<double>(sweep) / static_cast<double>(num_sweeps - 1);
       const double gamma = gamma0 * (1.0 - s_frac);
@@ -119,6 +126,7 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
           if (delta <= 0.0 ||
               read_rng.UniformDouble() < std::exp(-delta / temperature)) {
             slice[i] = static_cast<int8_t>(-slice[i]);
+            ++slice_flips;
             if (incremental) {
               // Neighbour fields lose J * old_s and gain J * new_s:
               // += 2 J new_s.
@@ -131,6 +139,16 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
           }
         }
       }
+    }
+
+    if (control.metrics != nullptr) {
+      control.metrics->Count("sqa.reads");
+      control.metrics->Count("sqa.sweeps", static_cast<uint64_t>(sweeps_run));
+      control.metrics->Count(
+          "sqa.proposals", static_cast<uint64_t>(sweeps_run) *
+                               static_cast<uint64_t>(slices) *
+                               static_cast<uint64_t>(n));
+      control.metrics->Count("sqa.slice_flips", slice_flips);
     }
 
     // Output: the slice with the lowest *true* classical energy.
@@ -151,9 +169,9 @@ StatusOr<std::vector<SqaSample>> RunSqa(const IsingModel& ising,
   };
 
   std::optional<ThreadPool> local_pool;
-  ThreadPool* pool = options.pool;
-  if (pool == nullptr && options.parallelism > 1) {
-    local_pool.emplace(options.parallelism);
+  ThreadPool* pool = control.pool;
+  if (pool == nullptr && control.parallelism > 1) {
+    local_pool.emplace(control.parallelism);
     pool = &*local_pool;
   }
   ParallelFor(pool, 0, options.num_reads, run_read);

@@ -33,21 +33,38 @@ struct SqaOptions {
   /// ICE noise: sigma of the Gaussian perturbation on every h_i and J_ij,
   /// relative to the largest |coefficient|. 0 disables noise.
   double ice_sigma = 0.0;
-  /// Threads used for the per-read loop (caller included); 1 = serial.
-  /// Every read — its ICE perturbation, spin init and Metropolis sweeps —
-  /// draws from its own forked RNG stream and writes its own result slot,
-  /// so samples are bit-identical regardless of thread count.
-  int parallelism = 1;
-  /// Optional externally-owned pool shared across calls (not owned).
-  ThreadPool* pool = nullptr;
+  /// Shared runtime control (parallelism/pool/stop/observability). Every
+  /// read — its ICE perturbation, spin init and Metropolis sweeps —
+  /// draws from its own forked RNG stream and writes its own result
+  /// slot, so samples are bit-identical regardless of thread count. The
+  /// stop token is checked between Monte Carlo sweeps: a cancelled read
+  /// stops annealing where it is and still returns its best Trotter
+  /// slice.
+  SolverControl control;
   /// Inner-loop implementation: persistent per-slice local fields
   /// (kIncremental, default) or the O(degree) scan per proposal
   /// (kReference, for parity tests and benches).
   SolverKernel kernel = SolverKernel::kIncremental;
-  /// Optional cooperative stop token (not owned), checked between Monte
-  /// Carlo sweeps: a cancelled read stops annealing where it is and still
-  /// returns its best Trotter slice. Same contract as SaOptions::stop.
-  const std::atomic<bool>* stop = nullptr;
+
+  /// Deprecated aliases into `control` (see SaOptions).
+  int& parallelism = control.parallelism;
+  ThreadPool*& pool = control.pool;
+  const std::atomic<bool>*& stop = control.stop;
+
+  SqaOptions() = default;
+  SqaOptions(const SqaOptions& other) { *this = other; }
+  SqaOptions& operator=(const SqaOptions& other) {
+    num_reads = other.num_reads;
+    annealing_time_us = other.annealing_time_us;
+    sweeps_per_us = other.sweeps_per_us;
+    trotter_slices = other.trotter_slices;
+    relative_temperature = other.relative_temperature;
+    relative_initial_field = other.relative_initial_field;
+    ice_sigma = other.ice_sigma;
+    control = other.control;
+    kernel = other.kernel;
+    return *this;
+  }
 };
 
 /// One annealing read: the sampled spin configuration (+1/-1 per site)

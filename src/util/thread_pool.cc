@@ -97,6 +97,8 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
 
   const int64_t helpers =
       std::min<int64_t>(num_workers_, total - 1);  // caller takes one share
+  tasks_dispatched_.fetch_add(static_cast<uint64_t>(helpers),
+                              std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (int64_t h = 0; h < helpers; ++h) tasks_.push(run);

@@ -2,6 +2,7 @@
 #define QJO_UTIL_THREAD_POOL_H_
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -32,6 +33,15 @@ class ThreadPool {
   /// Total concurrency including the calling thread (always >= 1).
   int parallelism() const { return num_workers_ + 1; }
 
+  /// Cumulative number of helper tasks enqueued by ParallelFor over the
+  /// pool's lifetime. Cheap telemetry for the observability layer and
+  /// for tests asserting that a caller-supplied pool was actually used;
+  /// the count depends only on loop sizes and worker count, never on
+  /// scheduling.
+  uint64_t tasks_dispatched() const {
+    return tasks_dispatched_.load(std::memory_order_relaxed);
+  }
+
   /// Runs body(i) for every i in [begin, end) and blocks until all
   /// iterations have finished. The calling thread participates, which
   /// guarantees progress even when every worker is busy. A ParallelFor
@@ -47,6 +57,7 @@ class ThreadPool {
   void WorkerLoop(std::stop_token stop);
 
   int num_workers_ = 0;
+  std::atomic<uint64_t> tasks_dispatched_{0};
   std::mutex mutex_;
   std::condition_variable_any work_available_;
   std::queue<std::function<void()>> tasks_;

@@ -13,6 +13,7 @@
 #include "lp/jo_encoder.h"
 #include "topology/vendor_topologies.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
@@ -133,7 +134,7 @@ TEST_P(ExactBackendTest, QuboMinimumDecodesToOptimalJoinOrder) {
   auto report = OptimizeJoinOrder(*query, config);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->found_valid);
-  EXPECT_LE(report->bilp_variables, 28);
+  EXPECT_LE(report->encoding.bilp_variables, 28);
   EXPECT_LE(report->best_cost, report->optimal_cost * 30.0 + 1e-9)
       << QueryGraphTypeName(c.type) << " seed=" << c.seed;
 }
@@ -169,7 +170,7 @@ TEST(SaBackendTest, FourAndFiveRelationQubos) {
     auto report = OptimizeJoinOrder(*query, config);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     EXPECT_TRUE(report->found_valid) << relations;
-    EXPECT_GT(report->bilp_variables, 28);  // beyond brute force
+    EXPECT_GT(report->encoding.bilp_variables, 28);  // beyond brute force
   }
 }
 
@@ -214,8 +215,8 @@ TEST(QaoaBackendTest, RunsPaperScaleInstanceNoiselessly) {
   config.seed = 3;
   auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok());
-  EXPECT_EQ(report->bilp_variables, 18);
-  EXPECT_GT(report->circuit_depth, 0);
+  EXPECT_EQ(report->encoding.bilp_variables, 18);
+  EXPECT_GT(report->gate.circuit_depth, 0);
   EXPECT_GT(report->stats.total, 0);
   // Even ideal p=1 QAOA yields mostly non-optimal samples, but a few
   // valid ones should appear among 512 shots.
@@ -231,10 +232,10 @@ TEST(QaoaBackendTest, NoiseReducesFidelityAndTracksDepth) {
   config.seed = 4;
   auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok());
-  EXPECT_LT(report->fidelity, 1.0);
-  EXPECT_GT(report->fidelity, 0.0);
-  EXPECT_GT(report->timings.total_s, 1.0);
-  EXPECT_LT(report->timings.sampling_ms / 1000.0, report->timings.total_s);
+  EXPECT_LT(report->gate.fidelity, 1.0);
+  EXPECT_GT(report->gate.fidelity, 0.0);
+  EXPECT_GT(report->gate.timings.total_s, 1.0);
+  EXPECT_LT(report->gate.timings.sampling_ms / 1000.0, report->gate.timings.total_s);
 }
 
 TEST(AnnealerBackendTest, EmbedsAndSolvesThreeRelations) {
@@ -246,8 +247,8 @@ TEST(AnnealerBackendTest, EmbedsAndSolvesThreeRelations) {
   config.seed = 5;
   auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok());
-  EXPECT_GT(report->physical_qubits, report->bilp_variables);
-  EXPECT_GT(report->max_chain_length, 0);
+  EXPECT_GT(report->anneal.physical_qubits, report->encoding.bilp_variables);
+  EXPECT_GT(report->anneal.max_chain_length, 0);
   EXPECT_GT(report->stats.total, 0);
   EXPECT_TRUE(report->found_valid);
 }
@@ -288,6 +289,36 @@ TEST(BatchTest, FailedSlotsDoNotPoisonOthers) {
   ASSERT_EQ(batch.size(), 2u);
   EXPECT_TRUE(batch[0].ok());
   EXPECT_FALSE(batch[1].ok());
+}
+
+TEST(BatchTest, RespectsCallerPool) {
+  // Pool ownership rule: with config.pool set, the batch fans out on the
+  // caller's pool instead of creating its own, and results stay
+  // bit-identical to the pool-less run.
+  std::vector<Query> queries;
+  queries.push_back(MakePaperInstance(0));
+  queries.push_back(MakePaperInstance(1));
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 160;
+  config.seed = 73;
+  const auto baseline = OptimizeJoinOrderBatch(queries, config, 4);
+
+  ThreadPool pool(4);
+  const uint64_t dispatched_before = pool.tasks_dispatched();
+  config.pool = &pool;
+  const auto with_pool = OptimizeJoinOrderBatch(queries, config, 4);
+  EXPECT_GT(pool.tasks_dispatched(), dispatched_before)
+      << "batch did not dispatch onto the caller-supplied pool";
+
+  ASSERT_EQ(with_pool.size(), baseline.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    ASSERT_TRUE(baseline[i].ok());
+    ASSERT_TRUE(with_pool[i].ok());
+    EXPECT_EQ(with_pool[i]->best_cost, baseline[i]->best_cost) << i;
+    EXPECT_EQ(with_pool[i]->best_order, baseline[i]->best_order);
+    EXPECT_EQ(with_pool[i]->stats.valid, baseline[i]->stats.valid);
+  }
 }
 
 TEST(BatchTest, EmptyBatchReturnsEmpty) {

@@ -211,7 +211,7 @@ TEST(PipelineConsistencyTest, QaoaBeatsUniformSamplingNoiselessly) {
   uniform.seed = 52;
   auto uniform_report = OptimizeJoinOrder(q, uniform);
   ASSERT_TRUE(uniform_report.ok());
-  EXPECT_LT(uniform_report->fidelity, 1e-3);
+  EXPECT_LT(uniform_report->gate.fidelity, 1e-3);
 
   EXPECT_GT(qaoa_report->stats.valid_fraction(),
             uniform_report->stats.valid_fraction());
@@ -291,9 +291,9 @@ TEST(PipelineConsistencyTest, ReportInvariants) {
     if (report->found_valid) {
       EXPECT_GE(report->best_cost, report->optimal_cost * (1 - 1e-9));
     }
-    EXPECT_EQ(report->milp_variables + /*slack*/ report->bilp_variables -
-                  report->milp_variables,
-              report->bilp_variables);
+    EXPECT_EQ(report->encoding.milp_variables + /*slack*/ report->encoding.bilp_variables -
+                  report->encoding.milp_variables,
+              report->encoding.bilp_variables);
   }
 }
 
