@@ -4,7 +4,8 @@
 // Usage:
 //   qjo_cli [--relations N] [--graph chain|star|cycle|clique]
 //           [--predicates P] [--backend exact|sa|qaoa|annealer|portfolio]
-//           [--portfolio] [--deadline-ms D] [--sweep-budget B]
+//           [--portfolio] [--decomp] [--decomp-window W]
+//           [--deadline-ms D] [--sweep-budget B]
 //           [--thresholds R] [--omega W] [--shots S] [--seed X]
 //           [--parallelism T] [--noiseless] [--verbose]
 //           [--trace-out FILE] [--metrics-out FILE]
@@ -38,6 +39,8 @@ struct CliArgs {
   bool verbose = false;
   double deadline_ms = -1.0;  // <0: portfolio runs on its sweep budget
   int64_t sweep_budget = 4096;
+  bool decomp = false;    // force the decomposition strand on, any size
+  int decomp_window = 0;  // 0 = DecompOptions default
   std::string trace_out;    // empty = no trace recording
   std::string metrics_out;  // empty = no metrics recording
 };
@@ -55,6 +58,10 @@ void PrintHelp() {
       "  --predicates P    override predicate count (chain-first order)\n"
       "  --backend B       exact|sa|qaoa|annealer|portfolio (default exact)\n"
       "  --portfolio       shorthand for --backend portfolio\n"
+      "  --decomp          portfolio with the qbsolv-style decomposition\n"
+      "                    strand forced on (any query size). This is the\n"
+      "                    path that still solves 30-50 relation queries\n"
+      "  --decomp-window W relations per decomposition window (default 9)\n"
       "  --deadline-ms D   portfolio wall-clock budget; 0 = skip the race\n"
       "                    and answer with the classical fallback plan\n"
       "                    (default: none — bounded by --sweep-budget)\n"
@@ -103,6 +110,13 @@ int RunCli(const CliArgs& args) {
   config.parallelism = args.parallelism;
   config.portfolio.deadline_ms = args.deadline_ms;
   config.portfolio.sweep_budget = args.sweep_budget;
+  if (args.decomp) {
+    config.backend = QjoBackend::kPortfolio;
+    config.portfolio.min_decomp_relations = 2;
+  }
+  if (args.decomp_window > 0) {
+    config.portfolio.decomp.window = args.decomp_window;
+  }
 
   // Observability sinks: attached only when requested; a run without them
   // takes the null-sink (zero-overhead) path and is bit-identical either
@@ -134,7 +148,7 @@ int RunCli(const CliArgs& args) {
     }
     std::printf("metrics written to %s\n", args.metrics_out.c_str());
   }
-  std::printf("backend: %s\n%s\n", QjoBackendName(args.backend),
+  std::printf("backend: %s\n%s\n", QjoBackendName(config.backend),
               report->Summary().c_str());
   if (report->found_valid) {
     std::printf("join order: %s\n", report->best_order.ToString(*query).c_str());
@@ -144,7 +158,7 @@ int RunCli(const CliArgs& args) {
     auto greedy = OptimizeGreedy(*query);
     Rng ii_rng(args.seed);
     auto ii = OptimizeIterativeImprovement(*query, ii_rng);
-    std::printf("\nclassical baselines: dp %.3g", report->optimal_cost);
+    std::printf("\nclassical baselines: reference %.3g", report->optimal_cost);
     if (greedy.ok()) std::printf(", greedy %.3g", greedy->cost);
     if (ii.ok()) std::printf(", iterative-improvement %.3g", ii->cost);
     std::printf("\n");
@@ -206,6 +220,13 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--portfolio") {
       args.backend = QjoBackend::kPortfolio;
+    } else if (flag == "--decomp") {
+      args.decomp = true;
+    } else if (flag == "--decomp-window") {
+      const char* v = next();
+      if (!v) return Fail("--decomp-window needs a value");
+      args.decomp_window = std::atoi(v);
+      if (args.decomp_window < 2) return Fail("--decomp-window must be >= 2");
     } else if (flag == "--deadline-ms") {
       const char* v = next();
       if (!v) return Fail("--deadline-ms needs a value");

@@ -32,6 +32,8 @@ const char* PortfolioStrandName(PortfolioStrand strand) {
       return "sqa";
     case PortfolioStrand::kQaoa:
       return "qaoa";
+    case PortfolioStrand::kDecomp:
+      return "decomp";
   }
   return "unknown";
 }
@@ -112,7 +114,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   // winner tie-break and matches the enum (= RNG stream id).
   const PortfolioStrand kStrands[] = {
       PortfolioStrand::kExact, PortfolioStrand::kSa, PortfolioStrand::kTabu,
-      PortfolioStrand::kSqa, PortfolioStrand::kQaoa};
+      PortfolioStrand::kSqa, PortfolioStrand::kQaoa, PortfolioStrand::kDecomp};
   std::vector<StrandState> states(std::size(kStrands));
   for (size_t s = 0; s < std::size(kStrands); ++s) {
     StrandOutcome& outcome = states[s].outcome;
@@ -135,6 +137,12 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         // The simulator itself refuses above 27 qubits.
         outcome.eligible = options.enable_qaoa &&
                            n <= std::min(options.max_qaoa_variables, 27);
+        break;
+      case PortfolioStrand::kDecomp:
+        // Query-level strand: only runnable through the hook the JO layer
+        // installs (the race itself has no Query to decompose).
+        outcome.eligible =
+            options.enable_decomp && options.decomp_run != nullptr;
         break;
     }
   }
@@ -193,7 +201,8 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
 
   // Strand span names, indexed by the strand enum (= vector index).
   static constexpr const char* kStrandSpanNames[] = {
-      "strand.exact", "strand.sa", "strand.tabu", "strand.sqa", "strand.qaoa"};
+      "strand.exact", "strand.sa",   "strand.tabu",
+      "strand.sqa",   "strand.qaoa", "strand.decomp"};
 
   const auto run_strand = [&](int64_t s) {
     StrandState& state = states[s];
@@ -323,6 +332,22 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         outcome.sweeps_completed = options.qaoa_shots;
         break;
       }
+      case PortfolioStrand::kDecomp: {
+        if (stop_requested()) break;
+        auto decomp = options.decomp_run(&stop, pool, strand_rng);
+        if (!decomp.ok()) break;
+        // The strand's incumbent is the join order itself; its C_out cost
+        // is directly comparable with the other strands' decoded scores.
+        // The QUBO energy stays +inf (there is no monolithic sample), so
+        // winner selection rests purely on the domain score.
+        outcome.feasible = true;
+        outcome.best_score = decomp->cost;
+        outcome.time_to_incumbent_ms = MsSince(start);
+        outcome.rounds_completed = decomp->rounds;
+        outcome.sweeps_completed = decomp->windows_solved;
+        state.best_feasible_assignment = decomp->order.order();
+        break;
+      }
     }
     outcome.total_ms = MsSince(strand_start);
     if (options.metrics != nullptr) {
@@ -339,7 +364,16 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
     }
   };
 
-  ParallelFor(pool, 0, static_cast<int64_t>(states.size()), run_strand);
+  // Execution order: decomp first, then the QUBO strands. With threads
+  // to spare the order is irrelevant; in a *serial* deadline run it is
+  // what keeps the one strand that guarantees a valid large-query plan
+  // from being starved by the sweep loops ahead of it. Winner selection
+  // below still ties-breaks in enum order, so this never affects results
+  // of sweep-budget-bounded races.
+  static constexpr int64_t kRunOrder[] = {5, 0, 1, 2, 3, 4};
+  static_assert(std::size(kRunOrder) == std::size(kStrandSpanNames));
+  ParallelFor(pool, 0, static_cast<int64_t>(states.size()),
+              [&](int64_t i) { run_strand(kRunOrder[i]); });
 
   // Retire the watchdog before reading its verdict.
   if (watchdog.has_value()) {
@@ -388,22 +422,49 @@ StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
     if (!order.ok()) return std::numeric_limits<double>::quiet_NaN();
     return Cost(query, *order);
   };
+  // Give the QUBO-level race its query-level strand: past the gate size
+  // the decomposition loop is the only strand with a realistic shot at a
+  // valid plan (monolithic samples stop decoding), and below it the
+  // strand only burns threads the QUBO strands use better.
+  if (options.enable_decomp &&
+      query.num_relations() >= options.min_decomp_relations) {
+    race_options.decomp_run = [&query, &options](
+                                  const std::atomic<bool>* stop,
+                                  ThreadPool* pool, Rng& strand_rng) {
+      DecompOptions local = options.decomp;
+      local.stop = stop;
+      local.pool = pool;
+      local.parallelism = options.parallelism;
+      local.trace = options.trace;
+      local.metrics = options.metrics;
+      // In deadline mode the race budget caps the loop directly (the
+      // internal check reacts between window solves, faster than the
+      // watchdog's stop token).
+      if (options.deadline_ms > 0.0) local.deadline_ms = options.deadline_ms;
+      return OptimizeJoinOrderDecomposed(query, local, strand_rng);
+    };
+  }
   QJO_ASSIGN_OR_RETURN(
       report.race, RaceQuboPortfolio(encoding.encoding.qubo, race_options, rng));
 
   if (report.race.winner >= 0) {
-    const auto order = DecodeSample(encoding.milp, report.race.best_assignment);
+    const PortfolioStrand winner_strand =
+        report.race.strands[report.race.winner].strand;
+    // kDecomp publishes the join order itself; QUBO strands publish a bit
+    // assignment that decodes through the MILP metadata.
+    auto order = winner_strand == PortfolioStrand::kDecomp
+                     ? LeftDeepOrder::Create(report.race.best_assignment, query)
+                     : DecodeSample(encoding.milp, report.race.best_assignment);
     if (order.ok()) {
       report.found_valid = true;
       report.best_order = *order;
       report.best_cost = report.race.best_score;
-      report.winner = PortfolioStrandName(
-          report.race.strands[report.race.winner].strand);
+      report.winner = PortfolioStrandName(winner_strand);
     }
   }
 
   if (!report.found_valid) {
-    // Graceful degradation: the DP oracle (exact for <= 25 relations),
+    // Graceful degradation: the DP oracle (exact up to kMaxDpRelations),
     // then the greedy heuristic beyond — a valid join tree regardless of
     // what the race produced.
     auto plan = OptimizeDp(query);

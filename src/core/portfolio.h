@@ -1,6 +1,7 @@
 #ifndef QJO_CORE_PORTFOLIO_H_
 #define QJO_CORE_PORTFOLIO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "core/qubo_cache.h"
+#include "decomp/decomp.h"
 #include "jo/join_tree.h"
 #include "jo/query.h"
 #include "obs/obs.h"
@@ -22,8 +24,9 @@ namespace qjo {
 
 /// Solver strands a portfolio can race. Strand order is fixed (it is the
 /// deterministic tie-break for winner selection and the RNG stream id of
-/// each strand).
-enum class PortfolioStrand { kExact, kSa, kTabu, kSqa, kQaoa };
+/// each strand); kDecomp is appended last so the existing stream ids stay
+/// stable.
+enum class PortfolioStrand { kExact, kSa, kTabu, kSqa, kQaoa, kDecomp };
 
 const char* PortfolioStrandName(PortfolioStrand strand);
 
@@ -88,6 +91,26 @@ struct PortfolioOptions {
   /// overridden per round.
   SqaOptions sqa;
 
+  /// The decomposition strand (large-neighborhood search over the join
+  /// order, src/decomp) is the only strand that does not attack the
+  /// monolithic QUBO, so it is the one that still returns valid plans
+  /// for 30-50 relation queries. RunJoPortfolio enables it for queries
+  /// of at least `min_decomp_relations` relations; RaceQuboPortfolio
+  /// alone cannot run it (it only sees the QUBO) and treats the strand
+  /// as ineligible unless `decomp_run` is installed.
+  bool enable_decomp = true;
+  int min_decomp_relations = 10;
+  /// Template for the strand's decomposition loop. pool/stop/trace/
+  /// metrics and (in deadline mode) the deadline are overridden by the
+  /// race; `cache` should point at the pipeline's shared build cache.
+  DecompOptions decomp;
+  /// Internal: installed by RunJoPortfolio to give the QUBO-level race a
+  /// query-level strand. Receives the race's stop token, shared pool and
+  /// the strand's forked RNG stream. Null = strand ineligible.
+  std::function<StatusOr<DecompReport>(const std::atomic<bool>*, ThreadPool*,
+                                       Rng&)>
+      decomp_run;
+
   /// Known lower bound on the QUBO energy (e.g. from a previous exact
   /// solve of the same fingerprint). In deadline mode a strand whose
   /// incumbent reaches it stops the whole race; in pure sweep-budget mode
@@ -132,7 +155,9 @@ struct StrandOutcome {
 struct QuboRaceResult {
   /// Feasible incumbent of the winning strand; empty when no strand
   /// produced a feasible sample (the JO layer then degrades to the
-  /// classical plan).
+  /// classical plan). For the QUBO strands this is a bit assignment; when
+  /// kDecomp wins it is the join-order permutation itself (the strand
+  /// never touches the monolithic QUBO).
   std::vector<int> best_assignment;
   double best_energy = std::numeric_limits<double>::infinity();
   double best_score = std::numeric_limits<double>::quiet_NaN();

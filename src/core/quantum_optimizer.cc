@@ -139,14 +139,26 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
                                static_cast<double>(cache.hits));
       config.metrics->GaugeMax("qubo_cache.misses",
                                static_cast<double>(cache.misses));
+      config.metrics->GaugeMax("qubo_cache.evictions",
+                               static_cast<double>(cache.evictions));
     }
   }
 
-  // Ground truth for optimality labelling.
+  // Ground truth for optimality labelling. Past kMaxDpRelations the DP
+  // tables would not fit, so the reference degrades to the greedy plan:
+  // "optimal" labels then mean "matched the classical reference", and the
+  // pipeline keeps solving instead of failing the whole query.
   JoResult oracle;
   {
     StageSpan oracle_span(config.trace, "oracle_dp", &report.stage_timings);
-    QJO_ASSIGN_OR_RETURN(oracle, OptimizeDp(query));
+    auto exact = OptimizeDp(query);
+    if (exact.ok()) {
+      oracle = std::move(*exact);
+    } else if (exact.status().code() == StatusCode::kResourceExhausted) {
+      QJO_ASSIGN_OR_RETURN(oracle, OptimizeGreedy(query));
+    } else {
+      return exact.status();
+    }
   }
   report.optimal_order = oracle.order;
   report.optimal_cost = oracle.cost;
@@ -335,6 +347,9 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       if (race.pool == nullptr) race.pool = config.pool;
       if (race.trace == nullptr) race.trace = config.trace;
       if (race.metrics == nullptr) race.metrics = config.metrics;
+      // The decomposition strand re-encodes window subqueries constantly;
+      // the pipeline's shared build cache absorbs the repeats.
+      if (race.decomp.cache == nullptr) race.decomp.cache = config.qubo_cache;
       QJO_ASSIGN_OR_RETURN(report.portfolio,
                            RunJoPortfolio(query, *entry, race, rng));
       if (config.qubo_cache != nullptr) {

@@ -76,10 +76,11 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
   const std::string key = JoEncodingFingerprint(query, options);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
+    auto it = entries_.find(std::string_view(key));
     if (it != entries_.end()) {
       ++hits_;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
+      return it->second->second;
     }
     ++misses_;
   }
@@ -89,9 +90,22 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
   QJO_ASSIGN_OR_RETURN(std::shared_ptr<const JoQuboEncoding> built,
                        BuildJoQuboEncoding(query, options));
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.size() >= max_entries_) entries_.clear();
-  auto [it, inserted] = entries_.emplace(key, std::move(built));
-  return it->second;
+  if (auto it = entries_.find(std::string_view(key)); it != entries_.end()) {
+    // A concurrent build of the same key won the insert race: keep the
+    // published entry and drop this duplicate without evicting anything.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second;
+  }
+  if (entries_.size() >= max_entries_) {
+    // Displace exactly the least-recently-used entry; one cold key can
+    // no longer dump every hot entry.
+    entries_.erase(std::string_view(lru_.back().first));
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(built));
+  entries_.emplace(std::string_view(lru_.front().first), lru_.begin());
+  return lru_.front().second;
 }
 
 QuboBuildCache::Stats QuboBuildCache::stats() const {
@@ -99,6 +113,7 @@ QuboBuildCache::Stats QuboBuildCache::stats() const {
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
+  s.evictions = evictions_;
   return s;
 }
 

@@ -2,10 +2,13 @@
 #define QJO_CORE_QUBO_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "jo/query.h"
@@ -54,23 +57,30 @@ std::string JoEncodingFingerprint(const Query& query,
 /// Memoizing, thread-safe cache of encoding pipeline results keyed by
 /// JoEncodingFingerprint: repeated or batched queries skip the MILP ->
 /// BILP -> QUBO rebuild and share one immutable entry. Failures are never
-/// cached. When the map would exceed `max_entries` it is cleared wholesale
-/// (entries already handed out stay alive through their shared_ptr) —
-/// a deliberately simple bound that keeps long-running services from
-/// growing without limit.
+/// cached. When an insert would exceed `max_entries`, exactly the
+/// least-recently-used entry is evicted (entries already handed out stay
+/// alive through their shared_ptr); a lookup that finds the key already
+/// present — including the re-check after a concurrent same-key build —
+/// never evicts anything. Eviction counts are surfaced in Stats so a
+/// workload that thrashes the cache (e.g. a decomposition loop whose
+/// window shapes exceed the capacity) is visible instead of silent.
 class QuboBuildCache {
  public:
   explicit QuboBuildCache(size_t max_entries = 1024);
 
   /// Returns the cached entry for (query, options), building and
   /// inserting it on a miss. Concurrent misses on the same key may build
-  /// twice; exactly one result is retained.
+  /// twice; exactly one result is retained (the duplicate insert is
+  /// dropped without evicting anything).
   StatusOr<std::shared_ptr<const JoQuboEncoding>> GetOrBuild(
       const Query& query, const JoEncodingOptions& options);
 
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Entries displaced one at a time (LRU order) by inserts at
+    /// capacity. Never incremented by hits or duplicate-key inserts.
+    uint64_t evictions = 0;
     double hit_rate() const {
       const uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -81,12 +91,18 @@ class QuboBuildCache {
   size_t size() const;
 
  private:
+  /// Most-recently-used entries sit at the front; eviction pops the back.
+  using LruList =
+      std::list<std::pair<std::string, std::shared_ptr<const JoQuboEncoding>>>;
+
   const size_t max_entries_;
   mutable std::mutex mutex_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<const JoQuboEncoding>>
-      entries_;
+  uint64_t evictions_ = 0;
+  LruList lru_;
+  /// Keys view into the node-stable strings owned by `lru_`.
+  std::unordered_map<std::string_view, LruList::iterator> entries_;
 };
 
 }  // namespace qjo

@@ -1,8 +1,10 @@
 #include "jo/classical.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
+#include <sstream>
 #include <vector>
 
 #include "util/check.h"
@@ -37,7 +39,20 @@ StatusOr<JoResult> OptimizeExhaustive(const Query& query, int max_relations) {
 StatusOr<JoResult> OptimizeDp(const Query& query) {
   const int t = query.num_relations();
   if (t < 2) return Status::InvalidArgument("need at least 2 relations");
-  if (t > 25) return Status::ResourceExhausted("too many relations for DP");
+  if (t > kMaxDpRelations) {
+    // dp (double) + parent (int) tables hold 2^t + 1 entries each; past
+    // the cap that silently becomes hundreds of megabytes (t = 25 would
+    // allocate ~400 MB), so refuse with the estimate instead.
+    const double bytes =
+        static_cast<double>(sizeof(double) + sizeof(int)) *
+        (std::pow(2.0, t) + 1.0);
+    std::ostringstream os;
+    os << "DP tables for " << t << " relations would need ~"
+       << static_cast<uint64_t>(bytes / (1024.0 * 1024.0)) << " MiB ("
+       << (sizeof(double) + sizeof(int)) << " bytes x 2^" << t
+       << " entries); the cap is " << kMaxDpRelations << " relations";
+    return Status::ResourceExhausted(os.str());
+  }
 
   const uint64_t full = (uint64_t{1} << t) - 1;
   // dp[mask] = minimum sum of intermediate cardinalities to left-deep-join
@@ -85,16 +100,29 @@ StatusOr<JoResult> OptimizeGreedy(const Query& query) {
   const int t = query.num_relations();
   if (t < 2) return Status::InvalidArgument("need at least 2 relations");
 
-  // Pick the cheapest first join among all ordered pairs.
+  // Predicate adjacency masks: adjacency[r] has bit s set iff some
+  // predicate connects r and s. Used to prefer predicate-connected joins
+  // over cross products on cardinality ties.
+  std::vector<uint64_t> adjacency(t, 0);
+  for (const Predicate& p : query.predicates()) {
+    adjacency[p.left] |= uint64_t{1} << p.right;
+    adjacency[p.right] |= uint64_t{1} << p.left;
+  }
+
+  // Pick the cheapest first join. JoinCardinality depends only on the
+  // unordered pair, so scanning b > a covers every candidate once.
   double best_first = kInf;
+  bool best_connected = false;
   int first_outer = 0, first_inner = 1;
   for (int a = 0; a < t; ++a) {
-    for (int b = 0; b < t; ++b) {
-      if (a == b) continue;
+    for (int b = a + 1; b < t; ++b) {
       const uint64_t mask = (uint64_t{1} << a) | (uint64_t{1} << b);
       const double card = query.JoinCardinality(mask);
-      if (card < best_first) {
+      const bool connected = (adjacency[a] >> b) & 1;
+      if (card < best_first || (card == best_first && connected &&
+                                !best_connected)) {
         best_first = card;
+        best_connected = connected;
         first_outer = a;
         first_inner = b;
       }
@@ -105,12 +133,16 @@ StatusOr<JoResult> OptimizeGreedy(const Query& query) {
   double total = best_first;
   while (static_cast<int>(order.size()) < t) {
     double best_card = kInf;
+    bool best_rel_connected = false;
     int best_rel = -1;
     for (int r = 0; r < t; ++r) {
       if (joined & (uint64_t{1} << r)) continue;
       const double card = query.JoinCardinality(joined | (uint64_t{1} << r));
-      if (card < best_card) {
+      const bool connected = (adjacency[r] & joined) != 0;
+      if (card < best_card ||
+          (card == best_card && connected && !best_rel_connected)) {
         best_card = card;
+        best_rel_connected = connected;
         best_rel = r;
       }
     }

@@ -13,15 +13,26 @@ namespace qjo {
 StatusOr<JoResult> OptimizeExhaustive(const Query& query,
                                       int max_relations = 10);
 
+/// Relation cap of OptimizeDp. The dp (double) and parent (int) tables
+/// hold 2^T + 1 entries each, so the cap bounds them to ~50 MiB
+/// ((8 + 4) bytes x 2^22); past it OptimizeDp returns ResourceExhausted
+/// with the byte estimate instead of silently allocating hundreds of
+/// megabytes.
+inline constexpr int kMaxDpRelations = 22;
+
 /// Dynamic programming over relation subsets (DPsub restricted to left-deep
-/// trees with cross products): O(2^T * T). Exact; fails beyond 25 relations
-/// to bound memory. This is the ground-truth oracle used to label "optimal"
-/// quantum samples in the Table 2/3 reproductions.
+/// trees with cross products): O(2^T * T). Exact; fails beyond
+/// kMaxDpRelations relations to bound memory. This is the ground-truth
+/// oracle used to label "optimal" quantum samples in the Table 2/3
+/// reproductions.
 StatusOr<JoResult> OptimizeDp(const Query& query);
 
 /// Greedy construction: start from the pair with the cheapest join result,
 /// then repeatedly append the relation minimising the next intermediate
 /// cardinality (minimum-selectivity flavour of Steinbrunn et al.).
+/// Cardinality ties prefer predicate-connected joins over cross products,
+/// so the plans it seeds (e.g. the decomposition repair loop) avoid
+/// avoidable cross joins.
 StatusOr<JoResult> OptimizeGreedy(const Query& query);
 
 /// Iterative improvement (Steinbrunn et al.): random restarts followed by

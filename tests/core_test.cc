@@ -415,6 +415,73 @@ TEST(QuboCacheTest, ExplicitGeometricThresholdsShareTheDefaultKey) {
             JoEncodingFingerprint(q, defaults));
 }
 
+TEST(QuboCacheTest, EvictsExactlyTheLeastRecentlyUsedEntry) {
+  QuboBuildCache cache(/*max_entries=*/2);
+  JoEncodingOptions options;
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(3), options).ok());
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(4), options).ok());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Inserting a third key at capacity displaces only the oldest (the
+  // 3-relation query), not the whole cache.
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(5), options).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const uint64_t hits_before = cache.stats().hits;
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(4), options).ok());  // hit
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(5), options).ok());  // hit
+  EXPECT_EQ(cache.stats().hits, hits_before + 2);
+  // The evicted key misses and rebuilds.
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(3), options).ok());
+  EXPECT_EQ(cache.stats().hits, hits_before + 2);
+  EXPECT_EQ(cache.stats().evictions, 2u);
+}
+
+TEST(QuboCacheTest, HitRefreshesRecencyOrder) {
+  QuboBuildCache cache(/*max_entries=*/2);
+  JoEncodingOptions options;
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(3), options).ok());
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(4), options).ok());
+  // Touching the 3-relation entry makes the 4-relation one the LRU, so
+  // the next insert at capacity displaces 4, not 3.
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(3), options).ok());
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(5), options).ok());
+  const uint64_t hits_before = cache.stats().hits;
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(3), options).ok());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(4), options).ok());
+  EXPECT_EQ(cache.stats().hits, hits_before + 1);  // 4 was evicted: a miss
+}
+
+TEST(QuboCacheTest, PresentKeyNeverEvicts) {
+  // Capacity one: the duplicate-heavy workload that used to clear the
+  // cache wholesale. Re-getting the same key must neither evict nor grow.
+  QuboBuildCache cache(/*max_entries=*/1);
+  JoEncodingOptions options;
+  auto first = cache.GetOrBuild(MakeChainQuery(3), options);
+  ASSERT_TRUE(first.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto again = cache.GetOrBuild(MakeChainQuery(3), options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->get(), first->get());
+  }
+  const QuboBuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(QuboCacheTest, EvictedEntriesStayAliveThroughSharedPtr) {
+  QuboBuildCache cache(/*max_entries=*/1);
+  JoEncodingOptions options;
+  auto held = cache.GetOrBuild(MakeChainQuery(3), options);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(cache.GetOrBuild(MakeChainQuery(4), options).ok());  // evicts 3
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The handed-out entry is unaffected by its eviction.
+  EXPECT_GT((*held)->encoding.qubo.num_variables(), 0);
+}
+
 // --- Portfolio backend. ---
 
 TEST(PortfolioTest, ZeroDeadlineReturnsClassicalFallback) {
@@ -521,6 +588,46 @@ TEST(PortfolioTest, DeterministicAcrossParallelism) {
       EXPECT_EQ(got.won, want.won) << "strand " << s;
     }
   }
+}
+
+TEST(PortfolioTest, DecompStrandIneligibleForSmallQueries) {
+  const Query q = MakeChainQuery(4);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.sweep_budget = 128;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok());
+  // Below min_decomp_relations the hook is never installed: the QUBO
+  // strands own small instances.
+  ASSERT_EQ(report->portfolio.race.strands.size(), 6u);
+  const StrandOutcome& decomp = report->portfolio.race.strands[5];
+  EXPECT_EQ(decomp.strand, PortfolioStrand::kDecomp);
+  EXPECT_FALSE(decomp.eligible);
+}
+
+TEST(PortfolioTest, DecompStrandSolvesThirtyRelationQuery) {
+  // The headline regression: at 30 relations no monolithic QUBO sample
+  // decodes, so before the decomposition strand the portfolio could only
+  // answer with the classical fallback.
+  const Query q = MakeChainQuery(30);
+  QjoConfig config;
+  config.backend = QjoBackend::kPortfolio;
+  config.portfolio.sweep_budget = 128;  // keep the doomed QUBO strands short
+  config.portfolio.enable_sqa = false;
+  config.portfolio.decomp.max_rounds = 2;
+  auto report = OptimizeJoinOrder(q, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->found_valid);
+  EXPECT_FALSE(report->portfolio.used_classical_fallback);
+  EXPECT_EQ(report->portfolio.winner, "decomp");
+  auto valid = LeftDeepOrder::Create(report->best_order.order(), q);
+  ASSERT_TRUE(valid.ok());
+  const auto greedy = OptimizeGreedy(q);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_LE(report->best_cost, greedy->cost);
+  const StrandOutcome& decomp = report->portfolio.race.strands[5];
+  EXPECT_TRUE(decomp.won);
+  EXPECT_GT(decomp.rounds_completed, 0);
 }
 
 TEST(BatchTest, SharedCacheEncodesRepeatedQueriesOnce) {

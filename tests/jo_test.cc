@@ -283,5 +283,60 @@ TEST(ClassicalTest, DpHandlesLargerInstances) {
   EXPECT_EQ(dp->order.size(), 16);
 }
 
+TEST(ClassicalTest, DpRefusesPastMemoryCapWithByteEstimate) {
+  Rng rng(7);
+  QueryGenOptions options;
+  options.num_relations = kMaxDpRelations + 1;
+  options.graph_type = QueryGraphType::kChain;
+  auto q = GenerateQuery(options, rng);
+  ASSERT_TRUE(q.ok());
+  auto dp = OptimizeDp(*q);
+  ASSERT_FALSE(dp.ok());
+  EXPECT_EQ(dp.status().code(), StatusCode::kResourceExhausted);
+  // The refusal explains itself: table size estimate plus the cap.
+  EXPECT_NE(dp.status().message().find("MiB"), std::string::npos)
+      << dp.status().ToString();
+  EXPECT_NE(dp.status().message().find(std::to_string(kMaxDpRelations)),
+            std::string::npos);
+}
+
+TEST(ClassicalTest, GreedyPrefersConnectedJoinsOnCardinalityTies) {
+  // |R0 x R1| = 100 (cross product, scanned first) ties with
+  // |R2 ⋈ R3| = 100 (connected, scanned later); every mixed pair costs
+  // 1000. Scan order alone would keep the cross product — the
+  // connectivity tie-break must flip the pick to the joined pair.
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 100);
+  q.AddRelation("R3", 100);
+  ASSERT_TRUE(q.AddPredicate(2, 3, 0.01).ok());
+  auto greedy = OptimizeGreedy(q);
+  ASSERT_TRUE(greedy.ok());
+  const std::vector<int>& order = greedy->order.order();
+  EXPECT_TRUE((order[0] == 2 && order[1] == 3) ||
+              (order[0] == 3 && order[1] == 2))
+      << greedy->order.ToString(q);
+}
+
+TEST(ClassicalTest, GreedyExtensionPrefersConnectedRelationOnTies) {
+  // After the forced first join R0 ⋈ R1 (card 10), appending the island
+  // R2 (cross product, scanned first) and the connected R3 (predicate to
+  // R0) both yield card 100; the predicate-connected extension must win
+  // the tie even though the scan reaches it later.
+  Query q;
+  q.AddRelation("R0", 10);
+  q.AddRelation("R1", 10);
+  q.AddRelation("R2", 10);
+  q.AddRelation("R3", 100);
+  ASSERT_TRUE(q.AddPredicate(0, 1, 0.1).ok());
+  ASSERT_TRUE(q.AddPredicate(0, 3, 0.1).ok());
+  auto greedy = OptimizeGreedy(q);
+  ASSERT_TRUE(greedy.ok());
+  const std::vector<int>& order = greedy->order.order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[2], 3) << greedy->order.ToString(q);
+}
+
 }  // namespace
 }  // namespace qjo
