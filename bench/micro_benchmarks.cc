@@ -6,12 +6,14 @@
 // sampling bottleneck).
 //
 // On top of the google-benchmark registrations, a hand-rolled kernel
-// suite times the incremental-vs-reference annealing kernels and the
-// serial-vs-pooled 2^n simulator loops and writes the numbers to
+// suite times the reference/incremental/batched annealing kernels and
+// the serial-vs-pooled 2^n simulator loops and writes the numbers to
 // BENCH_kernels.json (machine-readable evidence for the kernel rework).
-// Run with --kernels_only to skip the google-benchmark part; set
-// QJO_KERNEL_BENCH_FAST=1 for the quick ctest smoke configuration and
-// QJO_BENCH_KERNELS_JSON to redirect the output file.
+// The suite exits nonzero when a batched kernel breaks its bit-identity
+// contract against the incremental one, so the ctest smoke doubles as a
+// correctness gate. Run with --kernels_only to skip the google-benchmark
+// part; set QJO_KERNEL_BENCH_FAST=1 for the quick ctest smoke
+// configuration and QJO_BENCH_KERNELS_JSON to redirect the output file.
 
 #include <benchmark/benchmark.h>
 
@@ -39,6 +41,7 @@
 #include "topology/vendor_topologies.h"
 #include "transpiler/transpiler.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -292,7 +295,7 @@ struct KernelMetric {
   double value;
 };
 
-void RunKernelBenchSuite() {
+int RunKernelBenchSuite() {
   const bool fast = std::getenv("QJO_KERNEL_BENCH_FAST") != nullptr;
   int parallelism = static_cast<int>(std::thread::hardware_concurrency());
   if (const char* p = std::getenv("QJO_BENCH_PARALLELISM")) {
@@ -302,39 +305,64 @@ void RunKernelBenchSuite() {
   const int repeats = fast ? 2 : 3;
   std::vector<KernelMetric> metrics;
   metrics.push_back({"parallelism", static_cast<double>(parallelism)});
+  metrics.push_back(
+      {"bench_hw_concurrency",
+       static_cast<double>(std::thread::hardware_concurrency())});
+  // SIMD tier the dispatched kernels run on: 0 scalar, 1 sse2, 2 avx2,
+  // 3 avx512 (host-resolved, capped by QJO_SIMD).
+  metrics.push_back(
+      {"simd_isa", static_cast<double>(static_cast<int>(Simd().isa))});
   metrics.push_back({"fast_mode", fast ? 1.0 : 0.0});
   double sink = 0.0;  // keeps the timed work observable
 
-  // SA proposals/sec, incremental local fields vs O(degree) scan, on a
-  // fully dense QUBO (the regime the persistent fields target).
+  // SA proposals/sec on a fully dense QUBO: the O(degree) reference scan
+  // vs incremental local fields vs the SoA replica-batched SIMD kernel.
+  // The batched numbers only count if the kernel honours its contract, so
+  // the suite first checks its reads bit-identical to the incremental
+  // ones and fails (nonzero exit) on any mismatch.
   {
     const int n = 128;
-    const int reads = fast ? 2 : 8;
+    const int reads = fast ? 4 : 16;
     const int sweeps = fast ? 30 : 200;
     const Qubo qubo = MakeRandomQubo(n, 1.0, 31);
     qubo.Csr();  // build the CSR outside the timed region
     const double proposals =
         static_cast<double>(reads) * sweeps * n;
+    const auto solve = [&](SolverKernel kernel) {
+      SaOptions options;
+      options.num_reads = reads;
+      options.sweeps_per_read = sweeps;
+      options.kernel = kernel;
+      Rng rng(33);
+      return SolveQuboSimulatedAnnealing(qubo, options, rng);
+    };
+    {
+      const auto incremental = solve(SolverKernel::kIncremental);
+      const auto batched = solve(SolverKernel::kBatched);
+      for (size_t i = 0; i < incremental.size(); ++i) {
+        if (batched[i].energy != incremental[i].energy ||
+            batched[i].assignment != incremental[i].assignment) {
+          std::cerr << "kernel bench suite: batched SA reads are not "
+                       "bit-identical to the incremental kernel\n";
+          return 1;
+        }
+      }
+    }
     const auto time_kernel = [&](SolverKernel kernel) {
-      return BestSeconds(
-          [&] {
-            SaOptions options;
-            options.num_reads = reads;
-            options.sweeps_per_read = sweeps;
-            options.kernel = kernel;
-            Rng rng(33);
-            sink += SolveQuboSimulatedAnnealing(qubo, options, rng)
-                        .front()
-                        .energy;
-          },
-          repeats);
+      return BestSeconds([&] { sink += solve(kernel).front().energy; },
+                         repeats);
     };
     const double t_ref = time_kernel(SolverKernel::kReference);
     const double t_inc = time_kernel(SolverKernel::kIncremental);
+    const double t_bat = time_kernel(SolverKernel::kBatched);
     metrics.push_back({"sa_dense_n", static_cast<double>(n)});
     metrics.push_back({"sa_proposals_per_sec_reference", proposals / t_ref});
     metrics.push_back({"sa_proposals_per_sec_incremental", proposals / t_inc});
+    metrics.push_back({"sa_proposals_per_sec_batched", proposals / t_bat});
+    metrics.push_back(
+        {"sa_batched_replicas_per_sec", static_cast<double>(reads) / t_bat});
     metrics.push_back({"sa_incremental_speedup", t_ref / t_inc});
+    metrics.push_back({"sa_batched_speedup", t_inc / t_bat});
   }
 
   // Tabu move rate under the same comparison (each move re-reads all n
@@ -365,35 +393,52 @@ void RunKernelBenchSuite() {
     metrics.push_back({"tabu_incremental_speedup", t_ref / t_inc});
   }
 
-  // SQA per-slice spin updates/sec across the two kernels.
+  // SQA per-slice spin updates/sec across the three kernels, with the
+  // same bit-identity gate on the batched one.
   {
     const int n = 96;
     const IsingModel ising = QuboToIsing(MakeRandomQubo(n, 0.5, 43));
     SqaOptions base;
-    base.num_reads = fast ? 2 : 6;
+    base.num_reads = fast ? 4 : 16;
     base.annealing_time_us = fast ? 5.0 : 10.0;
     base.sweeps_per_us = 2.0;
     base.trotter_slices = 8;
+    base.ice_sigma = 0.015;
     const int sweeps = std::max(
         8, static_cast<int>(base.annealing_time_us * base.sweeps_per_us));
     const double updates = static_cast<double>(base.num_reads) * sweeps *
                            base.trotter_slices * n;
+    const auto solve = [&](SolverKernel kernel) {
+      SqaOptions options = base;
+      options.kernel = kernel;
+      Rng rng(47);
+      return RunSqa(ising, options, rng);
+    };
+    {
+      const auto incremental = solve(SolverKernel::kIncremental);
+      const auto batched = solve(SolverKernel::kBatched);
+      for (size_t i = 0; i < incremental->size(); ++i) {
+        if ((*batched)[i].energy != (*incremental)[i].energy ||
+            (*batched)[i].spins != (*incremental)[i].spins) {
+          std::cerr << "kernel bench suite: batched SQA samples are not "
+                       "bit-identical to the incremental kernel\n";
+          return 1;
+        }
+      }
+    }
     const auto time_kernel = [&](SolverKernel kernel) {
-      return BestSeconds(
-          [&] {
-            SqaOptions options = base;
-            options.kernel = kernel;
-            Rng rng(47);
-            sink += RunSqa(ising, options, rng)->front().energy;
-          },
-          repeats);
+      return BestSeconds([&] { sink += solve(kernel)->front().energy; },
+                         repeats);
     };
     const double t_ref = time_kernel(SolverKernel::kReference);
     const double t_inc = time_kernel(SolverKernel::kIncremental);
+    const double t_bat = time_kernel(SolverKernel::kBatched);
     metrics.push_back({"sqa_spin_updates_per_sec_reference", updates / t_ref});
     metrics.push_back(
         {"sqa_spin_updates_per_sec_incremental", updates / t_inc});
+    metrics.push_back({"sqa_batched_spin_updates_per_sec", updates / t_bat});
     metrics.push_back({"sqa_incremental_speedup", t_ref / t_inc});
+    metrics.push_back({"sqa_batched_speedup", t_inc / t_bat});
   }
 
   // QAOA 2^n loops, serial vs pooled, at the paper-scale qubit count.
@@ -422,12 +467,20 @@ void RunKernelBenchSuite() {
   }
 
   // SA reads/sec through the pooled per-read fan-out (end-to-end rate the
-  // paper's sampling experiments consume).
+  // paper's sampling experiments consume). The pool is created once,
+  // outside the timed region, and shared across the timed calls via
+  // `control.pool` — per-call pool construction/teardown is bench
+  // harness overhead, not solver throughput, and on small hosts it used
+  // to eat the whole pooled gain. The batched kernel's group fan-out
+  // also keeps ~16 reads per task, so dispatch amortises even when the
+  // thread count oversubscribes the host.
   {
     const int n = 96;
     const int reads = fast ? 16 : 64;
+    const int pool_repeats = fast ? 3 : 7;
     const Qubo qubo = MakeRandomQubo(n, 0.3, 59);
     qubo.Csr();
+    ThreadPool pool(parallelism);
     const auto time_reads = [&](int threads) {
       return BestSeconds(
           [&] {
@@ -435,12 +488,13 @@ void RunKernelBenchSuite() {
             options.num_reads = reads;
             options.sweeps_per_read = fast ? 32 : 64;
             options.parallelism = threads;
+            if (threads > 1) options.control.pool = &pool;
             Rng rng(61);
             sink += SolveQuboSimulatedAnnealing(qubo, options, rng)
                         .front()
                         .energy;
           },
-          repeats);
+          pool_repeats);
     };
     metrics.push_back({"sa_reads_per_sec_serial", reads / time_reads(1)});
     metrics.push_back(
@@ -465,6 +519,7 @@ void RunKernelBenchSuite() {
     std::cout << "  " << m.name << " = " << m.value << "\n";
   }
   std::cout << "wrote " << path << std::endl;
+  return 0;
 }
 
 // --- Observability overhead suite: BENCH_obs_overhead.json ---------------
@@ -605,8 +660,9 @@ int main(int argc, char** argv) {
   }
   if (obs_overhead_only) return qjo::RunObsOverheadSuite();
   const int obs_status = qjo::RunObsOverheadSuite();
-  qjo::RunKernelBenchSuite();
-  if (kernels_only) return obs_status;
+  const int kernel_status = qjo::RunKernelBenchSuite();
+  const int suite_status = obs_status != 0 ? obs_status : kernel_status;
+  if (kernels_only) return suite_status;
   int filtered_argc = static_cast<int>(args.size());
   benchmark::Initialize(&filtered_argc, args.data());
   if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
@@ -614,5 +670,5 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return obs_status;
+  return suite_status;
 }

@@ -33,6 +33,7 @@
 #include "sim/qaoa_simulator.h"
 #include "sim/sim_kernel.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -144,6 +145,63 @@ int RunQaoaEvalBench() {
     metrics.push_back({"mixer_amps_per_sec_reference", updates / t_ref});
     metrics.push_back({"mixer_amps_per_sec_fused", updates / t_fused});
     metrics.push_back({"mixer_fused_speedup", t_ref / t_fused});
+  }
+
+  // --- Per-ISA mixer throughput: the fused kernel at every SIMD tier
+  // this host can execute (what QJO_SIMD=<tier> would dispatch). Before
+  // timing a tier, one deterministic full evaluation is run under it and
+  // its energy and amplitude vector are compared bit-for-bit against the
+  // scalar tier, so a cross-tier divergence fails the binary the same
+  // way a fused/reference mismatch does.
+  {
+    const SimdIsa dispatch_isa = Simd().isa;
+    metrics.push_back(
+        {"simd_isa", static_cast<double>(static_cast<int>(dispatch_isa))});
+    std::vector<SimdIsa> tiers;
+    for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kSse2, SimdIsa::kAvx2,
+                        SimdIsa::kAvx512}) {
+      if (SimdOpsFor(isa) != nullptr) tiers.push_back(isa);
+    }
+
+    QaoaParameters params;
+    for (int rep = 0; rep < depth; ++rep) {
+      params.gammas.push_back(0.21 + 0.07 * rep);
+      params.betas.push_back(0.77 - 0.11 * rep);
+    }
+    auto tier_sim = QaoaSimulator::Create(ising);
+    SetSimd(SimdIsa::kScalar);
+    const double scalar_energy = tier_sim->Run(params, SimKernel::kFused);
+    const auto scalar_amps = tier_sim->amplitudes();  // copied baseline
+
+    const int layers = fast ? 4 : 8;
+    const double updates =
+        static_cast<double>(layers) * nq * static_cast<double>(size);
+    for (const SimdIsa isa : tiers) {
+      SetSimd(isa);
+      if (isa != SimdIsa::kScalar) {
+        const double e = tier_sim->Run(params, SimKernel::kFused);
+        if (e != scalar_energy) identical = false;
+        const auto& amps = tier_sim->amplitudes();
+        for (uint64_t i = 0; i < size; ++i) {
+          if (amps[i] != scalar_amps[i]) {
+            identical = false;
+            break;
+          }
+        }
+      }
+      const double t_tier = BestSeconds(
+          [&] {
+            for (int l = 0; l < layers; ++l) {
+              sim->ApplyMixerLayer(0.3 + 0.01 * l, SimKernel::kFused);
+            }
+            sink += sim->Probability(0);
+          },
+          repeats);
+      metrics.push_back({std::string("mixer_amps_per_sec_") + SimdIsaName(isa),
+                         updates / t_tier});
+    }
+    SetSimd(dispatch_isa);  // restore the host-resolved dispatch
+    metrics.push_back({"simd_tiers_identical", identical ? 1.0 : 0.0});
   }
 
   // --- Angle grid: evaluations/sec, batched fused vs serial reference. ---

@@ -7,7 +7,8 @@
 //           [--portfolio] [--decomp] [--decomp-window W]
 //           [--deadline-ms D] [--sweep-budget B]
 //           [--thresholds R] [--omega W] [--shots S] [--seed X]
-//           [--parallelism T] [--noiseless] [--verbose]
+//           [--parallelism T] [--kernel reference|incremental|batched]
+//           [--noiseless] [--verbose]
 //           [--trace-out FILE] [--metrics-out FILE]
 
 #include <cstdio>
@@ -35,6 +36,7 @@ struct CliArgs {
   int shots = 1024;
   uint64_t seed = 42;
   int parallelism = 1;
+  SolverKernel kernel = SolverKernel::kBatched;
   bool noiseless = false;
   bool verbose = false;
   double deadline_ms = -1.0;  // <0: portfolio runs on its sweep budget
@@ -73,6 +75,11 @@ void PrintHelp() {
       "  --seed X          RNG seed (default 42)\n"
       "  --parallelism T   threads for the sa/annealer read loops\n"
       "                    (default 1; results are identical for any T)\n"
+      "  --kernel K        solver inner loop: reference|incremental|batched\n"
+      "                    (default batched — SoA replica groups in SIMD\n"
+      "                    lanes, bit-identical to incremental; the SIMD\n"
+      "                    tier is auto-detected, set QJO_SIMD=scalar|sse2|\n"
+      "                    avx2|avx512 to cap it)\n"
       "  --noiseless       disable the QAOA noise model\n"
       "  --verbose         print the query and classical baselines\n"
       "  --trace-out FILE  write a Chrome trace-event JSON of every\n"
@@ -108,6 +115,7 @@ int RunCli(const CliArgs& args) {
   config.noiseless = args.noiseless;
   config.seed = args.seed;
   config.parallelism = args.parallelism;
+  config.solver_kernel = args.kernel;
   config.portfolio.deadline_ms = args.deadline_ms;
   config.portfolio.sweep_budget = args.sweep_budget;
   if (args.decomp) {
@@ -256,6 +264,18 @@ int main(int argc, char** argv) {
       if (!v) return Fail("--parallelism needs a value");
       args.parallelism = std::atoi(v);
       if (args.parallelism < 1) return Fail("--parallelism must be >= 1");
+    } else if (flag == "--kernel") {
+      const char* v = next();
+      if (!v) return Fail("--kernel needs a value");
+      if (!std::strcmp(v, "reference")) {
+        args.kernel = SolverKernel::kReference;
+      } else if (!std::strcmp(v, "incremental")) {
+        args.kernel = SolverKernel::kIncremental;
+      } else if (!std::strcmp(v, "batched")) {
+        args.kernel = SolverKernel::kBatched;
+      } else {
+        return Fail("unknown kernel");
+      }
     } else if (flag == "--trace-out") {
       const char* v = next();
       if (!v) return Fail("--trace-out needs a file path");

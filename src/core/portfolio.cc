@@ -244,6 +244,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         SaOptions sa;
         sa.num_reads = options.reads_per_round;
         sa.sweeps_per_read = options.sweeps_per_round;
+        sa.kernel = options.solver_kernel;
         sa.control.parallelism = options.parallelism;
         sa.control.pool = pool;
         sa.control.stop = &stop;
@@ -263,6 +264,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         TabuOptions tabu;
         tabu.num_restarts = options.reads_per_round;
         tabu.iterations_per_restart = options.sweeps_per_round;
+        tabu.kernel = options.solver_kernel;
         tabu.control.parallelism = options.parallelism;
         tabu.control.pool = pool;
         tabu.control.stop = &stop;
@@ -286,6 +288,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
         // directly onto SQA sweeps (RunSqa clamps to at least 8).
         sqa.annealing_time_us = options.sweeps_per_round;
         sqa.sweeps_per_us = 1.0;
+        sqa.kernel = options.solver_kernel;
         sqa.control.parallelism = options.parallelism;
         sqa.control.pool = pool;
         sqa.control.stop = &stop;
@@ -432,6 +435,7 @@ StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
                                   const std::atomic<bool>* stop,
                                   ThreadPool* pool, Rng& strand_rng) {
       DecompOptions local = options.decomp;
+      local.solver_kernel = options.solver_kernel;
       local.stop = stop;
       local.pool = pool;
       local.parallelism = options.parallelism;

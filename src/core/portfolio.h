@@ -86,6 +86,10 @@ struct PortfolioOptions {
   int max_qaoa_variables = 20;
   int qaoa_shots = 128;
   int qaoa_iterations = 10;
+  /// Inner-loop kernel every stochastic strand dispatches to (SA and SQA
+  /// rounds plus the decomp strand's sub-solves; tabu treats kBatched as
+  /// its incremental kernel). kBatched is bit-identical to kIncremental.
+  SolverKernel solver_kernel = SolverKernel::kBatched;
   /// Template for the SQA strand (trotter slices, temperatures, ICE
   /// noise). num_reads, the sweep schedule, parallelism/pool/stop are
   /// overridden per round.

@@ -12,6 +12,7 @@
 #include "sim/qaoa_simulator.h"
 #include "topology/vendor_topologies.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -62,6 +63,10 @@ std::string QjoReport::Summary() const {
     os << "pipeline: " << FormatDouble(stage_timings.total_ms, 2)
        << " ms (encode " << FormatDouble(stage_timings.Of("encode"), 2)
        << " ms, solve " << FormatDouble(solve_ms, 2) << " ms)\n";
+  }
+  if (!solver_kernel.empty()) {
+    os << "solver kernel: " << solver_kernel << " (simd " << simd_isa
+       << ")\n";
   }
   os << "samples: " << stats.total << " (valid "
      << FormatPercent(stats.valid_fraction()) << ", optimal "
@@ -125,8 +130,17 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   report.encoding.milp_variables = milp.model().num_variables();
   report.encoding.bilp_variables = bilp.num_variables();
   report.encoding.qubo_quadratic_terms = encoding.qubo.num_quadratic_terms();
+  // Which inner-loop kernel the stochastic solves will dispatch to, and
+  // which SIMD tier the dispatched kernels run on (host-resolved).
+  report.solver_kernel = SolverKernelName(config.solver_kernel);
+  report.simd_isa = Simd().name;
   if (config.metrics != nullptr) {
     config.metrics->Count("pipeline.runs");
+    config.metrics->GaugeMax(
+        "solver.kernel",
+        static_cast<double>(static_cast<int>(config.solver_kernel)));
+    config.metrics->GaugeMax(
+        "simd.isa", static_cast<double>(static_cast<int>(Simd().isa)));
     config.metrics->GaugeMax("pipeline.bilp_variables",
                              report.encoding.bilp_variables);
     config.metrics->GaugeMax("pipeline.qubo_quadratic_terms",
@@ -180,6 +194,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     case QjoBackend::kSimulatedAnnealing: {
       SaOptions sa;
       sa.num_reads = std::max(1, config.shots / 8);
+      sa.kernel = config.solver_kernel;
       sa.control.parallelism = config.parallelism;
       sa.control.pool = config.pool;
       sa.control.trace = config.trace;
@@ -320,6 +335,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
 
       const IsingModel physical_ising = QuboToIsing(embedded->physical);
       SqaOptions sqa = config.sqa;
+      sqa.kernel = config.solver_kernel;
       if (sqa.control.parallelism <= 1) {
         sqa.control.parallelism = config.parallelism;
       }
@@ -343,6 +359,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     }
     case QjoBackend::kPortfolio: {
       PortfolioOptions race = config.portfolio;
+      race.solver_kernel = config.solver_kernel;
       if (race.parallelism <= 1) race.parallelism = config.parallelism;
       if (race.pool == nullptr) race.pool = config.pool;
       if (race.trace == nullptr) race.trace = config.trace;

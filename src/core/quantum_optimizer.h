@@ -69,6 +69,15 @@ struct QjoConfig {
   /// pools when `parallelism` > 1.
   ThreadPool* pool = nullptr;
 
+  /// Inner-loop kernel for every stochastic solve this pipeline issues
+  /// (SA reads, SQA anneals, portfolio strands, decomp sub-solves).
+  /// kBatched (default) anneals replica groups in SIMD lanes and is
+  /// bit-identical to kIncremental; kReference is the slow oracle.
+  /// Tabu always runs its incremental kernel. Also settable via
+  /// `qjo_cli --kernel`; the SIMD tier itself is picked at runtime
+  /// (QJO_SIMD to override).
+  SolverKernel solver_kernel = SolverKernel::kBatched;
+
   // --- Gate-based options. ---
   int shots = 1024;
   int qaoa_iterations = 20;
@@ -169,6 +178,12 @@ struct QjoReport {
   /// Per-strand race statistics (kPortfolio backend only; `winner` is
   /// empty otherwise).
   PortfolioReport portfolio;
+
+  /// Solver kernel this run dispatched to ("batched", "incremental",
+  /// "reference") and the SIMD tier the dispatched kernels ran on
+  /// ("scalar", "sse2", "avx2", "avx512").
+  std::string solver_kernel;
+  std::string simd_isa;
 
   std::string Summary() const;
 };

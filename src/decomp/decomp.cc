@@ -301,6 +301,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
             SaOptions sa;
             sa.num_reads = options.subsolver_reads;
             sa.sweeps_per_read = options.subsolver_sweeps;
+            sa.kernel = options.solver_kernel;
             sa.control = control;
             solutions = SolveQuboSimulatedAnnealing(qubo, sa, window_rng);
             break;
@@ -309,6 +310,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
             TabuOptions tabu;
             tabu.num_restarts = options.subsolver_reads;
             tabu.iterations_per_restart = options.subsolver_sweeps;
+            tabu.kernel = options.solver_kernel;
             tabu.control = control;
             solutions = SolveQuboTabuSearch(qubo, tabu, window_rng);
             break;
@@ -319,6 +321,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
             sqa.num_reads = options.subsolver_reads;
             sqa.annealing_time_us = options.subsolver_sweeps;
             sqa.sweeps_per_us = 1.0;
+            sqa.kernel = options.solver_kernel;
             sqa.control = control;
             auto samples = RunSqa(ising, sqa, window_rng);
             if (samples.ok()) {

@@ -9,6 +9,7 @@
 #include "jo/join_tree.h"
 #include "jo/query.h"
 #include "obs/obs.h"
+#include "qubo/solvers.h"
 #include "util/random.h"
 #include "util/statusor.h"
 
@@ -72,6 +73,10 @@ struct DecompOptions {
   /// Sub-solver effort per window: reads/restarts x sweeps/iterations.
   int subsolver_reads = 4;
   int subsolver_sweeps = 96;
+  /// Inner-loop kernel of the rotating SA/tabu/SQA sub-solves (tabu
+  /// treats kBatched as its incremental kernel). kBatched is
+  /// bit-identical to kIncremental.
+  SolverKernel solver_kernel = SolverKernel::kBatched;
 
   /// Encoding options for the window subqueries (kept small: one
   /// threshold keeps sub-QUBOs lean; the acceptance test uses the exact

@@ -2,15 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <optional>
 
 #include "obs/obs.h"
+#include "qubo/metropolis.h"
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace qjo {
 namespace {
+
+/// Replicas per SoA group of the kBatched kernel: 16 doubles per plane
+/// row is two AVX-512 (four AVX2) vectors, and a 128-variable problem's
+/// field planes stay L1/L2-resident (16 KiB). Groups are carved from the
+/// read index space in fixed chunks, so group membership — and therefore
+/// every result — is independent of the parallelism level.
+constexpr int kReplicaBatch = 16;
+
+/// At or below this many accepted lanes the neighbour update walks the
+/// accepted lanes' strided plane entries directly instead of streaming
+/// whole vectors; at the cold end of the schedule acceptances are sparse
+/// and the full-width update would mostly multiply by 0.
+constexpr int kScalarUpdateLanes = 2;
 
 /// Resolves the pool to run a per-read loop on: the caller-supplied
 /// shared pool if any, a transient local pool when parallelism asks for
@@ -37,6 +53,125 @@ void SortByEnergy(std::vector<QuboSolution>& solutions) {
             [](const QuboSolution& a, const QuboSolution& b) {
               return a.energy < b.energy;
             });
+}
+
+/// One SoA group of the kBatched SA kernel: `lanes` replicas (reads
+/// first_read .. first_read+lanes-1) anneal in lock step. Each variable i
+/// owns one plane of `lanes` consecutive doubles (fields) / bytes
+/// (state), so an accepted flip of i updates every replica's neighbour
+/// fields with vector lanes. Determinism: lane r replays scalar read
+/// first_read+r exactly — same Fork stream, same draw sequence (the
+/// Metropolis filter only skips exp calls, never draws), and the
+/// dir[r]=0 lanes of the vector update add +-0.0, which can never change
+/// a later delta comparison — so results are bit-identical to
+/// kIncremental at any parallelism.
+void RunSaBatchedGroup(const QuboCsr& csr, const SaOptions& options,
+                       const SaSchedule& schedule, const Rng& base, int n,
+                       int64_t first_read, int lanes,
+                       std::vector<QuboSolution>& reads) {
+  const SolverControl& control = options.control;
+  const SimdOps& simd = Simd();
+  const int64_t L = lanes;
+
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<size_t>(lanes));
+  for (int r = 0; r < lanes; ++r) {
+    rngs.push_back(base.Fork(static_cast<uint64_t>(first_read + r)));
+  }
+
+  std::vector<uint8_t> x(static_cast<size_t>(n) * L);
+  std::vector<double> fields(static_cast<size_t>(n) * L);
+  std::vector<double> energy(static_cast<size_t>(lanes));
+  {
+    // Per-lane init replays the scalar read's draw order exactly, then
+    // scatters state and fields into the planes.
+    std::vector<int> lane_x(n);
+    for (int r = 0; r < lanes; ++r) {
+      for (int i = 0; i < n; ++i) lane_x[i] = rngs[r].Bernoulli(0.5) ? 1 : 0;
+      energy[r] = csr.Energy(lane_x);
+      const std::vector<double> lane_fields = csr.LocalFields(lane_x);
+      for (int i = 0; i < n; ++i) {
+        x[static_cast<size_t>(i) * L + r] = static_cast<uint8_t>(lane_x[i]);
+        fields[static_cast<size_t>(i) * L + r] = lane_fields[i];
+      }
+    }
+  }
+
+  std::vector<double> dir(static_cast<size_t>(lanes));
+  std::vector<int> accepted_lane(static_cast<size_t>(lanes));
+  uint64_t accepts = 0;
+  double temperature = schedule.t_initial;
+  MetropolisBands bands;
+  int sweeps_run = 0;
+  for (int sweep = 0; sweep < options.sweeps_per_read; ++sweep) {
+    if (StopRequested(control.stop)) break;
+    ++sweeps_run;
+    bands.Prepare(temperature);
+    for (int i = 0; i < n; ++i) {
+      double* frow = &fields[static_cast<size_t>(i) * L];
+      uint8_t* xrow = &x[static_cast<size_t>(i) * L];
+      int num_accepted = 0;
+      for (int r = 0; r < lanes; ++r) {
+        const double delta = xrow[r] ? -frow[r] : frow[r];
+        // Same accept rule (and same draw count) as the scalar kernel:
+        // one uniform draw per uphill proposal.
+        const bool accept =
+            delta <= 0.0 || bands.UnderExp(rngs[r].UniformDouble(), -delta);
+        if (accept) {
+          xrow[r] ^= 1;
+          energy[r] += delta;
+          ++accepts;
+          accepted_lane[num_accepted++] = r;
+        }
+      }
+      if (num_accepted == 0) continue;
+      const int32_t row_begin = csr.offsets[i];
+      const int count = csr.offsets[i + 1] - row_begin;
+      if (count == 0) continue;
+      if (num_accepted <= kScalarUpdateLanes) {
+        for (int a = 0; a < num_accepted; ++a) {
+          const int r = accepted_lane[a];
+          const double d = xrow[r] ? 1.0 : -1.0;  // exact d * w products
+          for (int32_t k = row_begin; k < row_begin + count; ++k) {
+            fields[static_cast<size_t>(csr.columns[k]) * L + r] +=
+                d * csr.weights[k];
+          }
+        }
+      } else {
+        // dir is only materialised on the vector path, so rejected lanes
+        // cost no stores at the cold end of the schedule.
+        std::fill(dir.begin(), dir.begin() + lanes, 0.0);
+        for (int a = 0; a < num_accepted; ++a) {
+          const int r = accepted_lane[a];
+          dir[static_cast<size_t>(r)] = xrow[r] ? 1.0 : -1.0;
+        }
+        simd.sa_row_update(fields.data(), csr.columns.data() + row_begin,
+                           csr.weights.data() + row_begin, count, L,
+                           dir.data());
+      }
+    }
+    temperature *= schedule.cooling;
+  }
+
+  for (int r = 0; r < lanes; ++r) {
+    std::vector<int> out(n);
+    for (int i = 0; i < n; ++i) {
+      out[i] = x[static_cast<size_t>(i) * L + r];
+    }
+    reads[static_cast<size_t>(first_read) + r] =
+        QuboSolution{std::move(out), energy[r]};
+  }
+  if (control.metrics != nullptr) {
+    // Totals match what `lanes` scalar reads would have recorded.
+    control.metrics->Count("sa.reads", static_cast<uint64_t>(lanes));
+    control.metrics->Count("sa.sweeps", static_cast<uint64_t>(lanes) *
+                                            static_cast<uint64_t>(sweeps_run));
+    control.metrics->Count("sa.proposals",
+                           static_cast<uint64_t>(lanes) *
+                               static_cast<uint64_t>(sweeps_run) *
+                               static_cast<uint64_t>(n));
+    control.metrics->Count("sa.accepts", accepts);
+  }
 }
 
 }  // namespace
@@ -113,6 +248,26 @@ std::vector<QuboSolution> SolveQuboSimulatedAnnealing(const Qubo& qubo,
   StageSpan solve_span(control.trace, "sa.solve");
   const Rng base(rng.Next());
   std::vector<QuboSolution> reads(options.num_reads);
+  if (options.kernel == SolverKernel::kBatched) {
+    // SoA replica groups: each task anneals up to kReplicaBatch reads in
+    // lock step. Group boundaries depend only on the read index, so the
+    // result set matches kIncremental bit for bit at any parallelism.
+    const int64_t groups =
+        (options.num_reads + kReplicaBatch - 1) / kReplicaBatch;
+    const auto run_group = [&](int64_t group) {
+      StageSpan group_span(control.trace, "sa.read_batch");
+      const int64_t first_read = group * kReplicaBatch;
+      const int lanes = static_cast<int>(std::min<int64_t>(
+          kReplicaBatch, options.num_reads - first_read));
+      RunSaBatchedGroup(csr, options, schedule, base, n, first_read, lanes,
+                        reads);
+    };
+    std::optional<ThreadPool> local_pool;
+    ParallelFor(ResolvePool(control.pool, control.parallelism, local_pool), 0,
+                groups, run_group);
+    SortByEnergy(reads);
+    return reads;
+  }
   const auto run_read = [&](int64_t read) {
     StageSpan read_span(control.trace, "sa.read");
     Rng read_rng = base.Fork(static_cast<uint64_t>(read));
@@ -185,7 +340,8 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
           ? options.tenure
           : static_cast<int>(std::sqrt(static_cast<double>(n))) + 10;
   const QuboCsr& csr = qubo.Csr();
-  const bool incremental = options.kernel == SolverKernel::kIncremental;
+  // Tabu has no batched variant: kBatched runs the incremental kernel.
+  const bool incremental = options.kernel != SolverKernel::kReference;
   constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
   const SolverControl& control = options.control;
@@ -275,6 +431,18 @@ std::vector<QuboSolution> SolveQuboTabuSearch(const Qubo& qubo,
               options.num_restarts, run_restart);
   SortByEnergy(restarts);
   return restarts;
+}
+
+const char* SolverKernelName(SolverKernel kernel) {
+  switch (kernel) {
+    case SolverKernel::kIncremental:
+      return "incremental";
+    case SolverKernel::kReference:
+      return "reference";
+    case SolverKernel::kBatched:
+      return "batched";
+  }
+  return "unknown";
 }
 
 const QuboSolution& BestSolution(const std::vector<QuboSolution>& solutions) {

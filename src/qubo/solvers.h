@@ -25,13 +25,25 @@ struct QuboSolution {
 enum class SolverKernel {
   /// Persistent local fields h_i = linear_i + sum_j w_ij x_j kept in sync
   /// with the state: O(1) per proposal, O(degree) per *accepted* flip.
-  /// The default and the production hot path.
   kIncremental,
   /// O(degree) neighbourhood scan per proposal (the pre-refactor
   /// behaviour). Kept as the independent reference implementation for the
   /// kernel-parity tests and the speedup benchmarks.
   kReference,
+  /// Multi-replica structure-of-arrays kernel (SA and SQA): groups of
+  /// reads anneal together, with each variable's per-replica local fields
+  /// in one contiguous plane so accepted flips update all replicas with
+  /// SIMD lanes (util/simd.h). Per-replica Rng::Fork streams and an
+  /// exponent-bound Metropolis filter (qubo/metropolis.h) keep every
+  /// replica's trajectory bit-identical to the same read under
+  /// kIncremental, at any parallelism. The default and the production hot
+  /// path. Tabu has no batched variant and treats this as kIncremental.
+  kBatched,
 };
+
+/// Lowercase kernel name for logs, reports, and the CLI ("incremental",
+/// "reference", "batched").
+const char* SolverKernelName(SolverKernel kernel);
 
 /// Exact minimisation by Gray-code enumeration with incremental energy
 /// updates: O(2^n * avg_degree). Fails beyond `max_variables` (default 28,
@@ -52,8 +64,9 @@ struct SaOptions {
   /// parallelism, pool, cooperative stop, and the observability sinks
   /// (see SolverControl for the per-field contracts).
   SolverControl control;
-  /// Inner-loop implementation; kReference is for tests and benches.
-  SolverKernel kernel = SolverKernel::kIncremental;
+  /// Inner-loop implementation; kBatched (the default) is bit-identical
+  /// to kIncremental; kReference is for tests and benches.
+  SolverKernel kernel = SolverKernel::kBatched;
 
   /// Deprecated aliases into `control`, kept for one release so existing
   /// call sites keep compiling; address `control` directly in new code.

@@ -4,14 +4,11 @@
 #include <cmath>
 #include <mutex>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "obs/obs.h"
 #include "qubo/qubo_csr.h"
 #include "util/check.h"
 #include "util/sampling.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -59,113 +56,16 @@ ThreadPool* GatedPool(ThreadPool* pool, uint64_t amplitudes) {
 }
 
 // ---------------------------------------------------------------------------
-// Butterfly kernels. All of them compute exactly
+// Butterfly and phase kernels live in util/simd (runtime-dispatched
+// scalar/SSE2/AVX2/AVX-512 tiers). All tiers compute exactly
 //   lo' = c*lo + (0,-sn)*hi     hi' = (0,-sn)*lo + c*hi
 // with the same per-component rounding as the std::complex expression in
 // the reference kernel, so fused and reference amplitudes compare equal
-// with operator== (only signs of zeros can differ). The SSE2 variants
-// rely on x86 baseline semantics: one IEEE rounding per lane, no FMA
-// contraction, and XOR of the sign bit being an exact negation.
+// with operator== (only signs of zeros can differ) on every tier — see
+// the determinism contract in util/simd.h. Dispatch granularity is one
+// block or row run per indirect call, so the function-pointer hop is
+// amortised over thousands of amplitudes.
 // ---------------------------------------------------------------------------
-
-/// Scalar butterfly on interleaved (re, im) floats.
-inline void Butterfly1(float* lo, float* hi, float c, float sn) {
-  const float re0 = lo[0], im0 = lo[1], re1 = hi[0], im1 = hi[1];
-  lo[0] = c * re0 + sn * im1;
-  lo[1] = c * im0 - sn * re1;
-  hi[0] = sn * im0 + c * re1;
-  hi[1] = -(sn * re0) + c * im1;
-}
-
-#if defined(__SSE2__)
-
-/// Negates lanes 1 and 3 (the imaginary components of two interleaved
-/// complex values) by flipping their sign bits.
-inline __m128 NegateOdd(__m128 v) {
-  const __m128 mask =
-      _mm_castsi128_ps(_mm_set_epi32(0x80000000, 0, 0x80000000, 0));
-  return _mm_xor_ps(v, mask);
-}
-
-/// Two butterflies at once: lo/hi each hold two interleaved complex
-/// amplitudes. vc/vs are broadcast cos(beta)/sin(beta).
-inline void ButterflyVec(float* lo, float* hi, __m128 vc, __m128 vs) {
-  const __m128 v0 = _mm_loadu_ps(lo);
-  const __m128 v1 = _mm_loadu_ps(hi);
-  const __m128 sw0 = _mm_shuffle_ps(v0, v0, _MM_SHUFFLE(2, 3, 0, 1));
-  const __m128 sw1 = _mm_shuffle_ps(v1, v1, _MM_SHUFFLE(2, 3, 0, 1));
-  _mm_storeu_ps(lo, _mm_add_ps(_mm_mul_ps(vc, v0),
-                               NegateOdd(_mm_mul_ps(vs, sw1))));
-  _mm_storeu_ps(hi, _mm_add_ps(NegateOdd(_mm_mul_ps(vs, sw0)),
-                               _mm_mul_ps(vc, v1)));
-}
-
-/// Qubit-0 butterfly: the pair is adjacent, so one vector holds both
-/// amplitudes as [re0 im0 re1 im1]. The lo lanes add c*v first and the
-/// hi lanes add the sine term first, mirroring the scalar operand order.
-inline void ButterflyQ0Vec(float* a, __m128 vc, __m128 vs) {
-  const __m128 v = _mm_loadu_ps(a);
-  const __m128 sw = _mm_shuffle_ps(v, v, _MM_SHUFFLE(0, 1, 2, 3));
-  const __m128 t = _mm_mul_ps(vs, sw);
-  const __m128 mask =
-      _mm_castsi128_ps(_mm_set_epi32(0x80000000, 0, 0x80000000, 0));
-  const __m128 tt = _mm_xor_ps(t, mask);
-  const __m128 cv = _mm_mul_ps(vc, v);
-  const __m128 lo = _mm_add_ps(cv, tt);
-  const __m128 hi = _mm_add_ps(tt, cv);
-  _mm_storeu_ps(a, _mm_shuffle_ps(lo, hi, _MM_SHUFFLE(3, 2, 1, 0)));
-}
-
-/// Element-wise complex multiply of two interleaved amplitudes by two
-/// interleaved table factors: a *= t.
-inline void PhaseVec(float* a, const float* t) {
-  const __m128 va = _mm_loadu_ps(a);
-  const __m128 vt = _mm_loadu_ps(t);
-  const __m128 prpr = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(2, 2, 0, 0));
-  const __m128 pipi = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(3, 3, 1, 1));
-  const __m128 swa = _mm_shuffle_ps(va, va, _MM_SHUFFLE(2, 3, 0, 1));
-  const __m128 x = _mm_mul_ps(va, prpr);
-  const __m128 y = _mm_mul_ps(swa, pipi);
-  const __m128 mask =
-      _mm_castsi128_ps(_mm_set_epi32(0, 0x80000000, 0, 0x80000000));
-  _mm_storeu_ps(a, _mm_add_ps(x, _mm_xor_ps(y, mask)));
-}
-
-#endif  // __SSE2__
-
-/// Mixer butterflies for all qubits with bit < block_qubits, applied to
-/// one cache-resident block of `bsz` amplitudes starting at `a` (floats,
-/// interleaved). Qubits are applied in ascending order, exactly as the
-/// reference kernel orders its per-qubit sweeps.
-inline void MixerLowBlock(float* a, int64_t bsz, int block_qubits, float c,
-                          float sn) {
-#if defined(__SSE2__)
-  const __m128 vc = _mm_set1_ps(c);
-  const __m128 vs = _mm_set1_ps(sn);
-  const int64_t floats = 2 * bsz;
-  // block_qubits >= 1 always (Create requires n >= 1), so qubit 0 and a
-  // block of at least two amplitudes exist.
-  for (int64_t f = 0; f + 4 <= floats; f += 4) ButterflyQ0Vec(a + f, vc, vs);
-  for (int q = 1; q < block_qubits; ++q) {
-    const int64_t bit = int64_t{1} << q;
-    for (int64_t g = 0; g < bsz; g += 2 * bit) {
-      float* lo = a + 2 * g;
-      float* hi = a + 2 * (g + bit);
-      for (int64_t f = 0; f < 2 * bit; f += 4) ButterflyVec(lo + f, hi + f,
-                                                            vc, vs);
-    }
-  }
-#else
-  for (int q = 0; q < block_qubits; ++q) {
-    const int64_t bit = int64_t{1} << q;
-    for (int64_t g = 0; g < bsz; g += 2 * bit) {
-      for (int64_t l = 0; l < bit; ++l) {
-        Butterfly1(a + 2 * (g + l), a + 2 * (g + l + bit), c, sn);
-      }
-    }
-  }
-#endif
-}
 
 /// Mixer butterflies for all qubits with bit >= block_qubits. Amplitude
 /// index = row * bsz + column; high qubits only pair up row indices at a
@@ -179,10 +79,7 @@ void MixerHighSweep(float* amps, int n, int block_qubits, float c, float sn,
   const int64_t bsz = int64_t{1} << block_qubits;
   const int64_t tile = std::min(bsz, kHighTile);
   const int64_t half_rows = int64_t{1} << (h - 1);
-#if defined(__SSE2__)
-  const __m128 vc = _mm_set1_ps(c);
-  const __m128 vs = _mm_set1_ps(sn);
-#endif
+  const SimdOps& simd = Simd();
   ParallelForBlocks(
       pool, 0, bsz, tile, [&](int64_t col_begin, int64_t col_end) {
         for (int64_t l0 = col_begin; l0 < col_end; l0 += tile) {
@@ -194,15 +91,7 @@ void MixerHighSweep(float* amps, int n, int block_qubits, float c, float sn,
               const int64_t row = ((rk & ~rlow) << 1) | (rk & rlow);
               float* lo = amps + 2 * (row * bsz + l0);
               float* hi = amps + 2 * ((row | rbit) * bsz + l0);
-#if defined(__SSE2__)
-              for (int64_t f = 0; f < 2 * cols; f += 4) {
-                ButterflyVec(lo + f, hi + f, vc, vs);
-              }
-#else
-              for (int64_t l = 0; l < cols; ++l) {
-                Butterfly1(lo + 2 * l, hi + 2 * l, c, sn);
-              }
-#endif
+              simd.butterfly_rows(lo, hi, 2 * cols, c, sn);
             }
           }
         }
@@ -225,6 +114,7 @@ void FusedLayer(std::complex<float>* amps_c, const float* cost,
   const float sn = std::sin(beta);
   float* amps = reinterpret_cast<float*>(amps_c);
   const float* table = reinterpret_cast<const float*>(factors);
+  const SimdOps& simd = Simd();
 
   ParallelForBlocks(
       pool, 0, static_cast<int64_t>(size), bsz,
@@ -232,14 +122,7 @@ void FusedLayer(std::complex<float>* amps_c, const float* cost,
         for (int64_t b0 = begin; b0 < end; b0 += bsz) {
           float* a = amps + 2 * b0;
           if (table != nullptr) {
-            const float* t = table + 2 * b0;
-#if defined(__SSE2__)
-            for (int64_t f = 0; f + 4 <= 2 * bsz; f += 4) {
-              PhaseVec(a + f, t + f);
-            }
-#else
-            for (int64_t i = b0; i < b0 + bsz; ++i) amps_c[i] *= factors[i];
-#endif
+            simd.phase_rows(a, table + 2 * b0, 2 * bsz);
           } else {
             for (int64_t i = b0; i < b0 + bsz; ++i) {
               const float angle = -gamma * cost[i];
@@ -247,7 +130,7 @@ void FusedLayer(std::complex<float>* amps_c, const float* cost,
                                                std::sin(angle));
             }
           }
-          MixerLowBlock(a, bsz, block_qubits, c, sn);
+          simd.mixer_low_block(a, bsz, block_qubits, c, sn);
         }
       });
   MixerHighSweep(amps, n, block_qubits, c, sn, pool);
@@ -494,11 +377,12 @@ void QaoaSimulator::ApplyMixerLayer(double beta, SimKernel kernel) {
     const float c = std::cos(b);
     const float sn = std::sin(b);
     float* amps = reinterpret_cast<float*>(amplitudes_.data());
+    const SimdOps& simd = Simd();
     ParallelForBlocks(pool, 0, static_cast<int64_t>(size), bsz,
                       [&](int64_t begin, int64_t end) {
                         for (int64_t b0 = begin; b0 < end; b0 += bsz) {
-                          MixerLowBlock(amps + 2 * b0, bsz, block_qubits, c,
-                                        sn);
+                          simd.mixer_low_block(amps + 2 * b0, bsz,
+                                               block_qubits, c, sn);
                         }
                       });
     MixerHighSweep(amps, num_qubits_, block_qubits, c, sn, pool);

@@ -41,10 +41,11 @@ struct SqaOptions {
   /// stops annealing where it is and still returns its best Trotter
   /// slice.
   SolverControl control;
-  /// Inner-loop implementation: persistent per-slice local fields
-  /// (kIncremental, default) or the O(degree) scan per proposal
-  /// (kReference, for parity tests and benches).
-  SolverKernel kernel = SolverKernel::kIncremental;
+  /// Inner-loop implementation: SoA replica groups with SIMD neighbour
+  /// updates (kBatched, default — bit-identical to kIncremental),
+  /// persistent per-slice local fields (kIncremental), or the O(degree)
+  /// scan per proposal (kReference, for parity tests and benches).
+  SolverKernel kernel = SolverKernel::kBatched;
 
   /// Deprecated aliases into `control` (see SaOptions).
   int& parallelism = control.parallelism;

@@ -15,8 +15,6 @@ uint64_t SplitMix64(uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(uint64_t seed) {
@@ -24,18 +22,6 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : state_) s = SplitMix64(sm);
   // Guard against the (astronomically unlikely) all-zero state.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
-}
-
-uint64_t Rng::Next() {
-  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
 }
 
 uint64_t Rng::UniformInt(uint64_t bound) {
@@ -54,14 +40,6 @@ int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
                   UniformInt(static_cast<uint64_t>(hi - lo) + 1));
 }
 
-double Rng::UniformDouble() {
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::UniformDouble(double lo, double hi) {
-  return lo + (hi - lo) * UniformDouble();
-}
-
 double Rng::Gaussian() {
   if (have_cached_gaussian_) {
     have_cached_gaussian_ = false;
@@ -77,7 +55,6 @@ double Rng::Gaussian() {
   return radius * std::cos(angle);
 }
 
-bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
 
 size_t Rng::Categorical(const std::vector<double>& weights) {
   QJO_CHECK(!weights.empty());

@@ -18,8 +18,20 @@ class Rng {
   /// Seeds the generator with splitmix64 expansion of `seed`.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-  /// Uniform 64-bit value.
-  uint64_t Next();
+  /// Uniform 64-bit value. Defined inline: the annealing kernels draw
+  /// once per uphill proposal, so the call overhead of an out-of-line
+  /// definition is measurable in their inner loops.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, bound). `bound` must be > 0.
   uint64_t UniformInt(uint64_t bound);
@@ -28,16 +40,20 @@ class Rng {
   int64_t UniformRange(int64_t lo, int64_t hi);
 
   /// Uniform double in [0, 1).
-  double UniformDouble();
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double UniformDouble(double lo, double hi);
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
 
   /// Standard normal variate (Box-Muller).
   double Gaussian();
 
   /// Bernoulli trial with success probability `p`.
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) { return UniformDouble() < p; }
 
   /// Samples an index from an unnormalised non-negative weight vector.
   /// Returns weights.size()-1 on accumulated rounding slack.
@@ -65,6 +81,8 @@ class Rng {
   Rng Fork(uint64_t stream_id) const;
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t state_[4];
   bool have_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;

@@ -1,0 +1,139 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace qjo {
+namespace simd_internal {
+
+// Implemented by the per-ISA translation units; each returns nullptr when
+// its tier was not compiled in (missing compiler flag or non-x86 target).
+const SimdOps* GetScalarOps();
+const SimdOps* GetSse2Ops();
+const SimdOps* GetAvx2Ops();
+const SimdOps* GetAvx512Ops();
+
+}  // namespace simd_internal
+
+namespace {
+
+/// True when the host CPU (and OS, via XCR0 for the AVX state) can
+/// execute the tier. Compile-time availability is checked separately by
+/// the per-ISA getters.
+bool HostSupports(SimdIsa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kSse2:
+#if defined(__x86_64__)
+      return true;  // architectural baseline
+#else
+      return __builtin_cpu_supports("sse2");
+#endif
+    case SimdIsa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case SimdIsa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return isa == SimdIsa::kScalar;
+#endif
+}
+
+const SimdOps* CompiledOpsFor(SimdIsa isa) {
+  using namespace simd_internal;
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return GetScalarOps();
+    case SimdIsa::kSse2:
+      return GetSse2Ops();
+    case SimdIsa::kAvx2:
+      return GetAvx2Ops();
+    case SimdIsa::kAvx512:
+      return GetAvx512Ops();
+  }
+  return nullptr;
+}
+
+/// Widest available tier at most `cap`. The scalar tier is always
+/// compiled in, so this never returns null.
+const SimdOps* WidestUpTo(SimdIsa cap) {
+  for (int t = static_cast<int>(cap); t > 0; --t) {
+    const SimdIsa isa = static_cast<SimdIsa>(t);
+    if (HostSupports(isa)) {
+      const SimdOps* ops = CompiledOpsFor(isa);
+      if (ops != nullptr) return ops;
+    }
+  }
+  return simd_internal::GetScalarOps();
+}
+
+const SimdOps* ResolveDefault() {
+  SimdIsa cap = SimdIsa::kAvx512;
+  if (const char* env = std::getenv("QJO_SIMD")) {
+    SimdIsa requested;
+    if (ParseSimdIsa(env, &requested)) cap = requested;
+  }
+  return WidestUpTo(cap);
+}
+
+std::atomic<const SimdOps*> g_ops{nullptr};
+
+}  // namespace
+
+const char* SimdIsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kSse2:
+      return "sse2";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdIsa(const char* name, SimdIsa* out) {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = SimdIsa::kScalar;
+  } else if (std::strcmp(name, "sse2") == 0) {
+    *out = SimdIsa::kSse2;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = SimdIsa::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = SimdIsa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const SimdOps& Simd() {
+  const SimdOps* ops = g_ops.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Racing first calls resolve the same table; the store is idempotent.
+    ops = ResolveDefault();
+    g_ops.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+const SimdOps* SimdOpsFor(SimdIsa isa) {
+  if (!HostSupports(isa)) return nullptr;
+  return CompiledOpsFor(isa);
+}
+
+bool SetSimd(SimdIsa isa) {
+  const SimdOps* ops = SimdOpsFor(isa);
+  if (ops == nullptr) return false;
+  g_ops.store(ops, std::memory_order_release);
+  return true;
+}
+
+}  // namespace qjo

@@ -1,0 +1,26 @@
+#include "util/simd.h"
+#include "util/simd_internal.h"
+
+// The portable tier: plain C++ loops, compiled without any vector ISA
+// flags. Always present — dispatch falls back here on any host.
+
+namespace qjo {
+namespace simd_internal {
+
+const SimdOps* GetScalarOps() {
+  static const SimdOps ops = [] {
+    SimdOps o;
+    o.isa = SimdIsa::kScalar;
+    o.name = "scalar";
+    o.mixer_low_block = &ScalarMixerLowBlock;
+    o.butterfly_rows = &ScalarButterflyRows;
+    o.phase_rows = &ScalarPhaseRows;
+    o.sa_row_update = &ScalarSaRowUpdate;
+    o.sqa_row_update = &ScalarSqaRowUpdate;
+    return o;
+  }();
+  return &ops;
+}
+
+}  // namespace simd_internal
+}  // namespace qjo

@@ -1,0 +1,175 @@
+#include "util/simd.h"
+#include "util/simd_internal.h"
+
+// SSE2 tier: 4-wide float butterflies/phases (moved here from the
+// original hand-vectorised sim/qaoa_simulator.cc fast path) and 2-wide
+// double replica-plane updates. Compiled without extra flags on x86-64
+// (SSE2 is the architectural baseline).
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+#include <xmmintrin.h>
+
+namespace qjo {
+namespace simd_internal {
+namespace {
+
+/// Negates lanes 1 and 3 (the imaginary components of two interleaved
+/// complex floats).
+inline __m128 NegateOdd(__m128 v) {
+  const __m128 mask = _mm_castsi128_ps(
+      _mm_set_epi32(0x80000000, 0, 0x80000000, 0));
+  return _mm_xor_ps(v, mask);
+}
+
+/// Two mixer butterflies between interleaved complex pairs at lo and hi:
+/// per lane exactly ScalarButterfly1's mul/add sequence.
+inline void ButterflyVec(float* lo, float* hi, __m128 vc, __m128 vs) {
+  const __m128 v0 = _mm_loadu_ps(lo);
+  const __m128 v1 = _mm_loadu_ps(hi);
+  const __m128 sw0 = _mm_shuffle_ps(v0, v0, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 sw1 = _mm_shuffle_ps(v1, v1, _MM_SHUFFLE(2, 3, 0, 1));
+  _mm_storeu_ps(
+      lo, _mm_add_ps(_mm_mul_ps(vc, v0), NegateOdd(_mm_mul_ps(vs, sw1))));
+  _mm_storeu_ps(
+      hi, _mm_add_ps(NegateOdd(_mm_mul_ps(vs, sw0)), _mm_mul_ps(vc, v1)));
+}
+
+/// Qubit-0 butterfly on two adjacent complex floats [re0 im0 re1 im1]:
+/// the lo/hi pair lives inside one vector, so reverse-shuffle pairs the
+/// partners and a final blend re-assembles the result.
+inline void ButterflyQ0Vec(float* a, __m128 vc, __m128 vs) {
+  const __m128 v = _mm_loadu_ps(a);
+  const __m128 sw = _mm_shuffle_ps(v, v, _MM_SHUFFLE(0, 1, 2, 3));
+  const __m128 tt = NegateOdd(_mm_mul_ps(vs, sw));
+  const __m128 cv = _mm_mul_ps(vc, v);
+  const __m128 lo = _mm_add_ps(cv, tt);
+  const __m128 hi = _mm_add_ps(tt, cv);
+  _mm_storeu_ps(a, _mm_shuffle_ps(lo, hi, _MM_SHUFFLE(3, 2, 1, 0)));
+}
+
+/// Complex multiply of two interleaved pairs: a *= t.
+inline void PhaseVec(float* a, const float* t) {
+  const __m128 va = _mm_loadu_ps(a);
+  const __m128 vt = _mm_loadu_ps(t);
+  const __m128 prpr = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(2, 2, 0, 0));
+  const __m128 pipi = _mm_shuffle_ps(vt, vt, _MM_SHUFFLE(3, 3, 1, 1));
+  const __m128 swa = _mm_shuffle_ps(va, va, _MM_SHUFFLE(2, 3, 0, 1));
+  const __m128 mask = _mm_castsi128_ps(
+      _mm_set_epi32(0, 0x80000000, 0, 0x80000000));
+  const __m128 x = _mm_mul_ps(va, prpr);
+  const __m128 y = _mm_mul_ps(swa, pipi);
+  _mm_storeu_ps(a, _mm_add_ps(x, _mm_xor_ps(y, mask)));
+}
+
+void ButterflyRowsSse2(float* lo, float* hi, int64_t floats, float c,
+                       float sn) {
+  const __m128 vc = _mm_set1_ps(c);
+  const __m128 vs = _mm_set1_ps(sn);
+  int64_t f = 0;
+  for (; f + 4 <= floats; f += 4) ButterflyVec(lo + f, hi + f, vc, vs);
+  for (; f + 2 <= floats; f += 2) ScalarButterfly1(lo + f, hi + f, c, sn);
+}
+
+void MixerLowBlockSse2(float* a, int64_t bsz, int block_qubits, float c,
+                       float sn) {
+  const int64_t floats = 2 * bsz;
+  if (block_qubits >= 1) {
+    const __m128 vc = _mm_set1_ps(c);
+    const __m128 vs = _mm_set1_ps(sn);
+    int64_t f = 0;
+    for (; f + 4 <= floats; f += 4) ButterflyQ0Vec(a + f, vc, vs);
+  }
+  for (int q = 1; q < block_qubits; ++q) {
+    const int64_t bit = int64_t{1} << q;
+    for (int64_t g = 0; g < bsz; g += 2 * bit) {
+      ButterflyRowsSse2(a + 2 * g, a + 2 * (g + bit), 2 * bit, c, sn);
+    }
+  }
+}
+
+void PhaseRowsSse2(float* a, const float* t, int64_t floats) {
+  int64_t f = 0;
+  for (; f + 4 <= floats; f += 4) PhaseVec(a + f, t + f);
+  if (f < floats) ScalarPhaseRows(a + f, t + f, floats - f);
+}
+
+// Lane chunks are the outer loop so the invariant dir vector loads once
+// per chunk instead of once per neighbour (the compiler cannot hoist it
+// itself: dir and fields are both double* and may alias). Each plane
+// element still accumulates its k terms in ascending order, so results
+// stay bit-identical to the neighbour-outer form.
+void SaRowUpdateSse2(double* fields, const int32_t* cols, const double* w,
+                     int count, int64_t lanes, const double* dir) {
+  int64_t r = 0;
+  for (; r + 2 <= lanes; r += 2) {
+    const __m128d vd = _mm_loadu_pd(dir + r);
+    for (int k = 0; k < count; ++k) {
+      double* row = fields + static_cast<int64_t>(cols[k]) * lanes + r;
+      const __m128d vw = _mm_set1_pd(w[k]);
+      _mm_storeu_pd(row, _mm_add_pd(_mm_loadu_pd(row), _mm_mul_pd(vd, vw)));
+    }
+  }
+  for (; r < lanes; ++r) {
+    const double d = dir[r];
+    for (int k = 0; k < count; ++k) {
+      fields[static_cast<int64_t>(cols[k]) * lanes + r] += d * w[k];
+    }
+  }
+}
+
+void SqaRowUpdateSse2(double* fields, const int32_t* cols,
+                      const int32_t* edge_ids, const double* w_planes,
+                      int count, int64_t lanes, const double* dir) {
+  int64_t r = 0;
+  for (; r + 2 <= lanes; r += 2) {
+    const __m128d vd = _mm_loadu_pd(dir + r);
+    for (int k = 0; k < count; ++k) {
+      double* row = fields + static_cast<int64_t>(cols[k]) * lanes + r;
+      const double* wp =
+          w_planes + static_cast<int64_t>(edge_ids[k]) * lanes + r;
+      const __m128d vw = _mm_loadu_pd(wp);
+      _mm_storeu_pd(row, _mm_add_pd(_mm_loadu_pd(row), _mm_mul_pd(vd, vw)));
+    }
+  }
+  for (; r < lanes; ++r) {
+    const double d = dir[r];
+    for (int k = 0; k < count; ++k) {
+      fields[static_cast<int64_t>(cols[k]) * lanes + r] +=
+          d * w_planes[static_cast<int64_t>(edge_ids[k]) * lanes + r];
+    }
+  }
+}
+
+}  // namespace
+
+const SimdOps* GetSse2Ops() {
+  static const SimdOps ops = [] {
+    SimdOps o;
+    o.isa = SimdIsa::kSse2;
+    o.name = "sse2";
+    o.mixer_low_block = &MixerLowBlockSse2;
+    o.butterfly_rows = &ButterflyRowsSse2;
+    o.phase_rows = &PhaseRowsSse2;
+    o.sa_row_update = &SaRowUpdateSse2;
+    o.sqa_row_update = &SqaRowUpdateSse2;
+    return o;
+  }();
+  return &ops;
+}
+
+}  // namespace simd_internal
+}  // namespace qjo
+
+#else  // !defined(__SSE2__)
+
+namespace qjo {
+namespace simd_internal {
+
+const SimdOps* GetSse2Ops() { return nullptr; }
+
+}  // namespace simd_internal
+}  // namespace qjo
+
+#endif  // defined(__SSE2__)

@@ -492,6 +492,39 @@ TEST(SimulatedAnnealingTest, KernelsBitIdenticalOnDyadicProblems) {
   }
 }
 
+TEST(SimulatedAnnealingTest, BatchedKernelsBitIdenticalToScalarReads) {
+  // The batched SoA kernel performs the *same* per-replica FP operations
+  // as the incremental kernel (exact +-1 * w products, same draw
+  // sequence), so bit-identity holds on continuous weights — no dyadic
+  // restriction — for every replica count (full groups, partial tail
+  // lanes, a single lane) at every parallelism.
+  Rng make_rng(91);
+  for (int n : {17, 40}) {
+    const Qubo qubo = RandomQubo(n, 0.5, make_rng);
+    SaOptions options;
+    options.sweeps_per_read = 80;
+    for (int num_reads : {1, 4, 17}) {
+      options.num_reads = num_reads;
+      for (int parallelism : {1, 4, 8}) {
+        options.parallelism = parallelism;
+        options.kernel = SolverKernel::kIncremental;
+        Rng rng_inc(19);
+        const auto scalar = SolveQuboSimulatedAnnealing(qubo, options, rng_inc);
+        options.kernel = SolverKernel::kBatched;
+        Rng rng_bat(19);
+        const auto batched = SolveQuboSimulatedAnnealing(qubo, options, rng_bat);
+        ASSERT_EQ(scalar.size(), batched.size());
+        for (size_t i = 0; i < scalar.size(); ++i) {
+          EXPECT_EQ(scalar[i].energy, batched[i].energy)
+              << "n " << n << " reads " << num_reads << " parallelism "
+              << parallelism << " read " << i;
+          EXPECT_EQ(scalar[i].assignment, batched[i].assignment);
+        }
+      }
+    }
+  }
+}
+
 TEST(TabuSearchTest, KernelsBitIdenticalOnDyadicProblems) {
   Rng make_rng(97);
   const Qubo qubo = DyadicRandomQubo(32, 0.5, make_rng);

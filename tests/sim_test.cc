@@ -528,6 +528,42 @@ TEST(SqaTest, KernelsBitIdenticalOnDyadicProblems) {
   }
 }
 
+TEST(SqaTest, BatchedKernelsBitIdenticalToScalarReads) {
+  // The batched SoA kernel mirrors the incremental kernel's per-replica
+  // operand order exactly (exact +-2 * J products, same per-lane draw
+  // sequence including the ICE Gaussians), so bit-identity holds on
+  // continuous coefficients *with* noise, for full groups, partial tail
+  // lanes, and a single lane, at every parallelism.
+  Rng make_rng(67);
+  const IsingModel ising = RandomIsing(15, 0.4, make_rng);
+  SqaOptions options;
+  options.annealing_time_us = 4.0;
+  options.sweeps_per_us = 4.0;
+  options.trotter_slices = 5;
+  options.ice_sigma = 0.02;
+  for (int num_reads : {1, 4, 17}) {
+    options.num_reads = num_reads;
+    for (int parallelism : {1, 4, 8}) {
+      options.parallelism = parallelism;
+      options.kernel = SolverKernel::kIncremental;
+      Rng rng_inc(71);
+      auto scalar = RunSqa(ising, options, rng_inc);
+      options.kernel = SolverKernel::kBatched;
+      Rng rng_bat(71);
+      auto batched = RunSqa(ising, options, rng_bat);
+      ASSERT_TRUE(scalar.ok());
+      ASSERT_TRUE(batched.ok());
+      ASSERT_EQ(scalar->size(), batched->size());
+      for (size_t i = 0; i < scalar->size(); ++i) {
+        EXPECT_EQ((*scalar)[i].energy, (*batched)[i].energy)
+            << "reads " << num_reads << " parallelism " << parallelism
+            << " read " << i;
+        EXPECT_EQ((*scalar)[i].spins, (*batched)[i].spins);
+      }
+    }
+  }
+}
+
 TEST(StateVectorTest, DeterministicAcrossParallelism) {
   // 15 qubits = 32768 amplitudes = two blocks: the blocked kernels and
   // reductions must produce the same bits with and without a pool.
