@@ -25,6 +25,7 @@
 #include "jo/join_tree.h"
 #include "jo/query_generator.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -55,6 +56,8 @@ int RunSuite() {
 
   ThreadPool pool(parallelism);
   std::vector<Metric> metrics;
+  metrics.push_back(
+      {"simd_isa", static_cast<double>(static_cast<int>(Simd().isa))});
   metrics.push_back({"deadline_ms", deadline_ms});
   metrics.push_back({"parallelism", static_cast<double>(parallelism)});
   metrics.push_back({"fast_mode", fast ? 1.0 : 0.0});

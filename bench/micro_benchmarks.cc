@@ -538,7 +538,12 @@ int RunObsOverheadSuite() {
                     std::getenv("QJO_OBS_BENCH_FAST") != nullptr;
   const int repeats = fast ? 3 : 5;
   std::vector<KernelMetric> metrics_out;
+  metrics_out.push_back(
+      {"simd_isa", static_cast<double>(static_cast<int>(Simd().isa))});
   metrics_out.push_back({"fast_mode", fast ? 1.0 : 0.0});
+  // The overhead workload is deliberately serial; emitted so the suite
+  // satisfies the common bench schema (tools/check_bench_schema.py).
+  metrics_out.push_back({"parallelism", 1.0});
 
   // 1. Disabled-primitive cost: a StageSpan with both sinks null must
   // compile down to a couple of branches. DoNotOptimize keeps the loop

@@ -30,6 +30,7 @@
 #include "qubo/solvers.h"
 #include "sim/sqa.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -81,6 +82,8 @@ int RunSuite() {
 
   ThreadPool pool(parallelism);
   std::vector<Metric> metrics;
+  metrics.push_back(
+      {"simd_isa", static_cast<double>(static_cast<int>(Simd().isa))});
   metrics.push_back({"n", static_cast<double>(n)});
   metrics.push_back({"instances", static_cast<double>(instances)});
   metrics.push_back({"sweep_budget", static_cast<double>(sweep_budget)});

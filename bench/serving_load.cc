@@ -1,0 +1,378 @@
+// Serving-layer load benchmark: drives the multi-tenant OptimizerService
+// with the two canonical arrival processes and reports latency
+// percentiles, admission-control behaviour and plan-cache effectiveness.
+//
+//  * Closed loop — C clients, each submitting its next request the moment
+//    the previous one resolves. Measures peak sustainable throughput and
+//    in-service latency with zero queue pressure from the load generator
+//    itself.
+//  * Open loop — requests arrive on a fixed clock at 1.5x the measured
+//    closed-loop throughput (deliberate oversubscription), with a bounded
+//    queue and per-request deadlines. Measures how the service sheds load:
+//    ResourceExhausted rejects at the queue cap, degradation to the
+//    classical fallback under deadline pressure, and the latency of what
+//    still completes (open-loop latencies include queue wait, so they —
+//    not the closed-loop numbers — are what a client would see under
+//    overload).
+//
+// Every admitted request's future must resolve: admitted != resolved is a
+// silent drop and fails the bench (exit 1), as does a closed-loop p99
+// above the generous smoke bound. Timing assertions stay loose — CI
+// machines are noisy; the hard guarantees (bit-identity, admission edge
+// cases) live in tests/serve_test.cc.
+//
+// Writes BENCH_serving.json (override with QJO_BENCH_SERVING_JSON).
+// QJO_SERVING_BENCH_FAST=1 shrinks the load for the ctest / CI smoke.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "jo/query.h"
+#include "jo/query_generator.h"
+#include "serve/optimizer_service.h"
+#include "util/random.h"
+#include "util/simd.h"
+#include "util/thread_pool.h"
+
+namespace qjo {
+namespace {
+
+struct Metric {
+  std::string name;
+  double value;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+struct LoadStats {
+  int submitted = 0;
+  int admitted = 0;
+  int rejected = 0;
+  int resolved = 0;
+  int ok = 0;
+  int failed = 0;
+  int cache_hits = 0;
+  int degraded = 0;
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;  ///< submit -> future resolution, admitted only
+
+  double throughput_rps() const {
+    return wall_ms > 0.0 ? 1000.0 * resolved / wall_ms : 0.0;
+  }
+  double goodput_rps() const {
+    return wall_ms > 0.0 ? 1000.0 * ok / wall_ms : 0.0;
+  }
+  double cache_hit_rate() const {
+    return resolved > 0 ? static_cast<double>(cache_hits) / resolved : 0.0;
+  }
+};
+
+void EmitCase(std::vector<Metric>* metrics, const std::string& prefix,
+              const LoadStats& s) {
+  metrics->push_back({prefix + "requests", static_cast<double>(s.submitted)});
+  metrics->push_back({prefix + "admitted", static_cast<double>(s.admitted)});
+  metrics->push_back({prefix + "rejected", static_cast<double>(s.rejected)});
+  metrics->push_back({prefix + "resolved", static_cast<double>(s.resolved)});
+  metrics->push_back({prefix + "failed", static_cast<double>(s.failed)});
+  metrics->push_back({prefix + "degraded", static_cast<double>(s.degraded)});
+  metrics->push_back({prefix + "wall_ms", s.wall_ms});
+  metrics->push_back({prefix + "throughput_rps", s.throughput_rps()});
+  metrics->push_back({prefix + "goodput_rps", s.goodput_rps()});
+  metrics->push_back({prefix + "cache_hit_rate", s.cache_hit_rate()});
+  metrics->push_back({prefix + "p50_ms", Percentile(s.latencies_ms, 50.0)});
+  metrics->push_back({prefix + "p95_ms", Percentile(s.latencies_ms, 95.0)});
+  metrics->push_back({prefix + "p99_ms", Percentile(s.latencies_ms, 99.0)});
+  std::cout << prefix << "throughput " << s.throughput_rps() << " req/s, "
+            << "goodput " << s.goodput_rps() << " req/s, p50 "
+            << Percentile(s.latencies_ms, 50.0) << " ms, p95 "
+            << Percentile(s.latencies_ms, 95.0) << " ms, p99 "
+            << Percentile(s.latencies_ms, 99.0) << " ms, " << s.rejected
+            << " rejected, " << s.degraded << " degraded, cache hit rate "
+            << s.cache_hit_rate() << "\n";
+}
+
+std::vector<Query> MakeQueries(int count, int relations) {
+  Rng rng(4242);
+  QueryGenOptions gen;
+  gen.num_relations = relations;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  std::vector<Query> queries;
+  queries.reserve(count);
+  const QueryGraphType graphs[] = {QueryGraphType::kChain,
+                                   QueryGraphType::kStar,
+                                   QueryGraphType::kCycle};
+  for (int i = 0; i < count; ++i) {
+    gen.graph_type = graphs[i % 3];
+    auto query = GenerateQuery(gen, rng);
+    if (!query.ok()) {
+      std::cerr << "query generation failed: " << query.status().ToString()
+                << "\n";
+      std::exit(1);
+    }
+    queries.push_back(*std::move(query));
+  }
+  return queries;
+}
+
+QjoConfig MakeConfig() {
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 32;
+  config.seed = 7;
+  return config;
+}
+
+ServeRequest MakeRequest(const std::vector<Query>& queries, int index,
+                         int tenants, double deadline_ms) {
+  ServeRequest request;
+  request.query = queries[static_cast<size_t>(index) % queries.size()];
+  request.config = MakeConfig();
+  request.tenant = "tenant-" + std::to_string(index % tenants);
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+/// Closed loop: `clients` threads, each keeping exactly one request in
+/// flight until `total` requests have been submitted overall.
+LoadStats RunClosedLoop(const std::vector<Query>& queries, ThreadPool* pool,
+                        int clients, int total, int tenants) {
+  ServeOptions options;
+  options.workers = clients;
+  options.queue_capacity = static_cast<size_t>(2 * clients);
+  options.pool = pool;
+  OptimizerService service(options);
+
+  std::mutex mutex;  // guards the shared stats
+  LoadStats stats;
+  std::atomic<int> next{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+          auto submit = std::chrono::steady_clock::now();
+          auto future =
+              service.Submit(MakeRequest(queries, i, tenants, -1.0));
+          if (!future.ok()) {
+            std::lock_guard<std::mutex> lock(mutex);
+            ++stats.submitted;
+            ++stats.rejected;
+            continue;
+          }
+          ServeResult result = std::move(future).value().get();
+          const double latency_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - submit)
+                  .count();
+          std::lock_guard<std::mutex> lock(mutex);
+          ++stats.submitted;
+          ++stats.admitted;
+          ++stats.resolved;
+          stats.latencies_ms.push_back(latency_ms);
+          if (result.status.ok()) {
+            ++stats.ok;
+          } else {
+            ++stats.failed;
+          }
+          if (result.cache_hit) ++stats.cache_hits;
+          if (result.degraded) ++stats.degraded;
+        }
+      });
+    }
+  }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return stats;
+}
+
+/// Open loop: submit on a fixed arrival clock regardless of completions;
+/// the service's admission control is what bounds the backlog.
+LoadStats RunOpenLoop(const std::vector<Query>& queries, ThreadPool* pool,
+                      int workers, int total, int tenants,
+                      double inter_arrival_ms, double deadline_ms,
+                      size_t queue_capacity) {
+  ServeOptions options;
+  options.workers = workers;
+  options.queue_capacity = queue_capacity;
+  options.default_deadline_ms = deadline_ms;
+  options.pool = pool;
+  OptimizerService service(options);
+
+  LoadStats stats;
+  struct InFlight {
+    std::chrono::steady_clock::time_point submit;
+    std::future<ServeResult> future;
+  };
+  std::vector<InFlight> in_flight;
+  in_flight.reserve(total);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < total; ++i) {
+    const auto arrival =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(i *
+                                                           inter_arrival_ms));
+    std::this_thread::sleep_until(arrival);
+    ++stats.submitted;
+    auto future =
+        service.Submit(MakeRequest(queries, i, tenants, deadline_ms));
+    if (!future.ok()) {
+      ++stats.rejected;
+      continue;
+    }
+    ++stats.admitted;
+    in_flight.push_back(
+        {std::chrono::steady_clock::now(), std::move(future).value()});
+  }
+  for (auto& flight : in_flight) {
+    ServeResult result = flight.future.get();
+    ++stats.resolved;
+    stats.latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                     std::chrono::steady_clock::now() -
+                                     flight.submit)
+                                     .count());
+    if (result.status.ok()) {
+      ++stats.ok;
+    } else {
+      ++stats.failed;
+    }
+    if (result.cache_hit) ++stats.cache_hits;
+    if (result.degraded) ++stats.degraded;
+  }
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return stats;
+}
+
+int RunSuite() {
+  const bool fast = std::getenv("QJO_SERVING_BENCH_FAST") != nullptr;
+  const int parallelism = bench::Parallelism();
+
+  bench::Banner("serving_load",
+                "multi-tenant serving layer under open/closed-loop load");
+  bench::PaperNote(
+      "the co-design question at the systems layer: a quantum-portfolio "
+      "optimiser only displaces a classical one if a shared service can "
+      "admit, cache, deadline and degrade thousands of requests");
+
+  const int clients = fast ? 4 : 8;
+  const int closed_total = fast ? 48 : 320;
+  const int open_total = fast ? 48 : 240;
+  const int tenants = 4;
+  const int query_pool = 6;
+
+  std::vector<Query> queries = MakeQueries(query_pool, 5);
+  ThreadPool pool(parallelism);
+
+  std::vector<Metric> metrics;
+  metrics.push_back({"simd_isa",
+                     static_cast<double>(static_cast<int>(Simd().isa))});
+  metrics.push_back({"parallelism", static_cast<double>(parallelism)});
+  metrics.push_back({"fast_mode", fast ? 1.0 : 0.0});
+  metrics.push_back({"tenants", static_cast<double>(tenants)});
+  metrics.push_back({"query_pool", static_cast<double>(query_pool)});
+  metrics.push_back({"closed_clients", static_cast<double>(clients)});
+
+  std::cout << "closed loop: " << clients << " clients, " << closed_total
+            << " requests\n";
+  LoadStats closed =
+      RunClosedLoop(queries, &pool, clients, closed_total, tenants);
+  EmitCase(&metrics, "closed_", closed);
+
+  // Open loop at 1.5x the closed-loop sustainable rate: admission control
+  // has to shed the excess.
+  const double sustainable_rps = std::max(1.0, closed.throughput_rps());
+  const double inter_arrival_ms = 1000.0 / (1.5 * sustainable_rps);
+  const double deadline_ms = fast ? 250.0 : 500.0;
+  const size_t queue_cap = fast ? 8 : 16;
+  std::cout << "open loop: " << open_total << " arrivals every "
+            << inter_arrival_ms << " ms (1.5x closed-loop rate), deadline "
+            << deadline_ms << " ms, queue cap " << queue_cap << "\n";
+  LoadStats open =
+      RunOpenLoop(queries, &pool, clients, open_total, tenants,
+                  inter_arrival_ms, deadline_ms, queue_cap);
+  metrics.push_back({"open_offered_rps", 1000.0 / inter_arrival_ms});
+  metrics.push_back({"open_deadline_ms", deadline_ms});
+  metrics.push_back({"open_queue_capacity", static_cast<double>(queue_cap)});
+  EmitCase(&metrics, "open_", open);
+
+  // --- Smoke gates. ---
+  // Silent drops: every admitted request must resolve its future.
+  const int silent_drops =
+      (closed.admitted - closed.resolved) + (open.admitted - open.resolved);
+  metrics.push_back({"silent_drops", static_cast<double>(silent_drops)});
+  // Accounting: submit either admits or rejects, nothing else.
+  const bool accounting_exact =
+      closed.submitted == closed.admitted + closed.rejected &&
+      open.submitted == open.admitted + open.rejected;
+  // Generous p99 bound for the closed loop (no queue oversubscription, so
+  // latency is essentially solve time; the bound only catches pathologies
+  // like a wedged worker or a lost wakeup).
+  const double p99_bound_ms = 5000.0;
+  const double closed_p99 = Percentile(closed.latencies_ms, 99.0);
+  metrics.push_back({"closed_p99_bound_ms", p99_bound_ms});
+
+  bool ok = true;
+  if (silent_drops != 0) {
+    std::cerr << "FAIL: " << silent_drops << " admitted futures never resolved\n";
+    ok = false;
+  }
+  if (!accounting_exact) {
+    std::cerr << "FAIL: admit/reject accounting does not add up\n";
+    ok = false;
+  }
+  if (closed.failed != 0) {
+    std::cerr << "FAIL: " << closed.failed
+              << " closed-loop requests returned an error status\n";
+    ok = false;
+  }
+  if (closed_p99 > p99_bound_ms) {
+    std::cerr << "FAIL: closed-loop p99 " << closed_p99 << " ms exceeds "
+              << p99_bound_ms << " ms\n";
+    ok = false;
+  }
+  metrics.push_back({"smoke_ok", ok ? 1.0 : 0.0});
+
+  const char* json_path = std::getenv("QJO_BENCH_SERVING_JSON");
+  const std::string path =
+      json_path != nullptr ? json_path : "BENCH_serving.json";
+  std::ofstream out(path);
+  out << "{\n";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    out << "  \"" << metrics[i].name << "\": " << metrics[i].value
+        << (i + 1 < metrics.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  out.close();
+  std::cout << "wrote " << path << std::endl;
+
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace qjo
+
+int main() { return qjo::RunSuite(); }

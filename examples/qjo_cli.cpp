@@ -10,18 +10,26 @@
 //           [--parallelism T] [--kernel reference|incremental|batched]
 //           [--noiseless] [--verbose]
 //           [--trace-out FILE] [--metrics-out FILE]
+//           [--serve] [--serve-requests R] [--serve-tenants T]
+//           [--serve-workers W] [--serve-queue-cap Q]
+//           [--serve-tenant-quota Q] [--serve-deadline-ms D]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/obs.h"
 
 #include "core/quantum_optimizer.h"
 #include "jo/classical.h"
 #include "jo/query_generator.h"
+#include "serve/optimizer_service.h"
+#include "util/thread_pool.h"
 
 namespace qjo {
 namespace {
@@ -45,6 +53,15 @@ struct CliArgs {
   int decomp_window = 0;  // 0 = DecompOptions default
   std::string trace_out;    // empty = no trace recording
   std::string metrics_out;  // empty = no metrics recording
+
+  // --serve mode: drive a batch of requests through OptimizerService.
+  bool serve = false;
+  int serve_requests = 32;
+  int serve_tenants = 4;
+  int serve_workers = 2;
+  size_t serve_queue_cap = 256;
+  size_t serve_tenant_quota = 0;  // 0 = unlimited
+  double serve_deadline_ms = -1.0;
 };
 
 int Fail(const char* message) {
@@ -86,10 +103,153 @@ void PrintHelp() {
       "                    pipeline stage (open via chrome://tracing or\n"
       "                    https://ui.perfetto.dev)\n"
       "  --metrics-out FILE  write the merged solver/pipeline metrics as\n"
-      "                    flat JSON\n");
+      "                    flat JSON\n"
+      "  --serve           serving-layer demo: submit a stream of requests\n"
+      "                    through the multi-tenant OptimizerService (with\n"
+      "                    admission control + plan cache) and print the\n"
+      "                    per-request outcomes and service stats. The\n"
+      "                    backend/query flags above shape each request\n"
+      "  --serve-requests R  requests to submit (default 32; repeats of a\n"
+      "                    small query set, so the plan cache gets hits)\n"
+      "  --serve-tenants T   distinct tenants round-robined (default 4)\n"
+      "  --serve-workers W   service dispatcher workers (default 2)\n"
+      "  --serve-queue-cap Q admission queue capacity (default 256)\n"
+      "  --serve-tenant-quota Q  per-tenant in-flight cap (default 0 = off)\n"
+      "  --serve-deadline-ms D   per-request deadline incl. queue wait\n"
+      "                    (default: none)\n");
+}
+
+int RunServe(const CliArgs& args) {
+  // One distinct query per tenant; every tenant re-submits its own query,
+  // so the stream exercises both cache misses (first touch) and hits.
+  Rng rng(args.seed);
+  QueryGenOptions gen;
+  gen.num_relations = args.relations;
+  gen.graph_type = args.graph;
+  gen.min_log_card = 2.0;
+  gen.max_log_card = 4.0;
+  const int tenants = std::max(1, args.serve_tenants);
+  std::vector<Query> queries;
+  queries.reserve(tenants);
+  for (int t = 0; t < tenants; ++t) {
+    auto query = GenerateQuery(gen, rng);
+    if (!query.ok()) {
+      std::fprintf(stderr, "query generation failed: %s\n",
+                   query.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(*std::move(query));
+  }
+
+  QjoConfig config;
+  config.backend = args.backend;
+  config.num_thresholds = args.thresholds;
+  config.omega = args.omega;
+  config.shots = args.shots;
+  config.sqa.num_reads = args.shots;
+  config.noiseless = args.noiseless;
+  config.seed = args.seed;
+  config.parallelism = args.parallelism;
+  config.solver_kernel = args.kernel;
+  config.portfolio.deadline_ms = args.deadline_ms;
+  config.portfolio.sweep_budget = args.sweep_budget;
+
+  std::optional<TraceRecorder> trace;
+  std::optional<MetricsRegistry> metrics;
+
+  ThreadPool pool(std::max(1, args.parallelism));
+  ServeOptions options;
+  options.workers = args.serve_workers;
+  options.queue_capacity = args.serve_queue_cap;
+  options.per_tenant_inflight = args.serve_tenant_quota;
+  options.default_deadline_ms = args.serve_deadline_ms;
+  options.pool = &pool;
+  if (!args.trace_out.empty()) options.trace = &trace.emplace();
+  if (!args.metrics_out.empty()) options.metrics = &metrics.emplace();
+
+  OptimizerService service(options);
+  struct Outcome {
+    int index;
+    std::string tenant;
+    std::future<ServeResult> future;
+  };
+  std::vector<Outcome> admitted;
+  int rejected = 0;
+  for (int i = 0; i < args.serve_requests; ++i) {
+    const int t = i % tenants;
+    ServeRequest request;
+    request.query = queries[t];
+    request.config = config;
+    request.tenant = "tenant-" + std::to_string(t);
+    double retry_after = 0.0;
+    auto future = service.Submit(std::move(request), &retry_after);
+    if (!future.ok()) {
+      ++rejected;
+      if (args.verbose) {
+        std::printf("request %3d rejected: %s\n", i,
+                    future.status().ToString().c_str());
+      }
+      continue;
+    }
+    admitted.push_back(
+        {i, "tenant-" + std::to_string(t), std::move(future).value()});
+  }
+
+  int ok = 0, failed = 0, hits = 0, degraded = 0;
+  for (auto& outcome : admitted) {
+    ServeResult result = outcome.future.get();
+    if (result.status.ok()) {
+      ++ok;
+    } else {
+      ++failed;
+    }
+    if (result.cache_hit) ++hits;
+    if (result.degraded) ++degraded;
+    if (args.verbose) {
+      std::printf("request %3d %-9s %s queue %.2f ms, solve %.2f ms%s%s\n",
+                  outcome.index, outcome.tenant.c_str(),
+                  result.status.ok() ? "ok    " : "FAILED", result.queue_ms,
+                  result.solve_ms, result.cache_hit ? ", cache hit" : "",
+                  result.degraded ? ", degraded" : "");
+      if (!result.status.ok()) {
+        std::printf("            %s\n", result.status.ToString().c_str());
+      }
+    }
+  }
+  service.Drain();
+
+  const auto stats = service.stats();
+  std::printf(
+      "serve: %llu submitted, %d admitted, %d rejected "
+      "(%llu queue-full, %llu tenant-quota)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<int>(admitted.size()), rejected,
+      static_cast<unsigned long long>(stats.rejected_queue_full),
+      static_cast<unsigned long long>(stats.rejected_tenant_quota));
+  std::printf("serve: %d ok, %d failed, %d cache hits, %d degraded\n", ok,
+              failed, hits, degraded);
+  if (service.plan_cache() != nullptr) {
+    const auto cache = service.plan_cache()->stats();
+    std::printf(
+        "plan cache: %llu hits / %llu misses (%.0f%% hit rate), "
+        "%llu evictions, %llu ttl expirations\n",
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.misses),
+        100.0 * cache.hit_rate(),
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.ttl_expirations));
+  }
+  if (trace.has_value() && trace->WriteChromeTraceFile(args.trace_out)) {
+    std::printf("trace written to %s\n", args.trace_out.c_str());
+  }
+  if (metrics.has_value() && metrics->WriteJsonFile(args.metrics_out)) {
+    std::printf("metrics written to %s\n", args.metrics_out.c_str());
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int RunCli(const CliArgs& args) {
+  if (args.serve) return RunServe(args);
   Rng rng(args.seed);
   QueryGenOptions gen;
   gen.num_relations = args.relations;
@@ -284,6 +444,34 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--metrics-out needs a file path");
       args.metrics_out = v;
+    } else if (flag == "--serve") {
+      args.serve = true;
+    } else if (flag == "--serve-requests") {
+      const char* v = next();
+      if (!v) return Fail("--serve-requests needs a value");
+      args.serve_requests = std::atoi(v);
+    } else if (flag == "--serve-tenants") {
+      const char* v = next();
+      if (!v) return Fail("--serve-tenants needs a value");
+      args.serve_tenants = std::atoi(v);
+    } else if (flag == "--serve-workers") {
+      const char* v = next();
+      if (!v) return Fail("--serve-workers needs a value");
+      args.serve_workers = std::atoi(v);
+      if (args.serve_workers < 1) return Fail("--serve-workers must be >= 1");
+    } else if (flag == "--serve-queue-cap") {
+      const char* v = next();
+      if (!v) return Fail("--serve-queue-cap needs a value");
+      args.serve_queue_cap = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--serve-tenant-quota") {
+      const char* v = next();
+      if (!v) return Fail("--serve-tenant-quota needs a value");
+      args.serve_tenant_quota =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (flag == "--serve-deadline-ms") {
+      const char* v = next();
+      if (!v) return Fail("--serve-deadline-ms needs a value");
+      args.serve_deadline_ms = std::atof(v);
     } else if (flag == "--noiseless") {
       args.noiseless = true;
     } else if (flag == "--verbose") {

@@ -173,30 +173,57 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   const auto request_stop = [&] {
     if (deadline_mode) stop.store(true, std::memory_order_relaxed);
   };
+  // External cancel token (serving-layer deadline, caller shutdown):
+  // relayed onto the internal token in any budget mode — a fired token
+  // is an unconditional cancel, unlike the opportunistic early exits.
+  const std::atomic<bool>* external = options.stop;
 
-  // Deadline watchdog: flips the stop token when the budget expires, or
-  // exits silently when the race finishes first.
+  // Deadline watchdog: flips the internal stop token when the wall-clock
+  // budget expires or the external cancel token fires, and exits silently
+  // when the race finishes first. The external token is polled at 1 ms
+  // granularity — the solvers themselves only check between sweeps, so
+  // millisecond relay latency is below their own reaction time.
   std::mutex watchdog_mutex;
   std::condition_variable watchdog_cv;
   bool race_done = false;
   bool deadline_expired = false;
   std::optional<std::jthread> watchdog;
-  if (deadline_mode) {
+  if (deadline_mode || external != nullptr) {
     watchdog.emplace([&] {
+      const Clock::time_point hard_deadline =
+          deadline_mode
+              ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       options.deadline_ms))
+              : Clock::time_point::max();
       std::unique_lock<std::mutex> lock(watchdog_mutex);
-      if (!watchdog_cv.wait_for(
-              lock, std::chrono::duration<double, std::milli>(
-                        options.deadline_ms),
-              [&] { return race_done; })) {
-        deadline_expired = true;
-        stop.store(true, std::memory_order_relaxed);
+      for (;;) {
+        Clock::time_point wake = hard_deadline;
+        if (external != nullptr) {
+          wake = std::min(wake, Clock::now() + std::chrono::milliseconds(1));
+        }
+        if (watchdog_cv.wait_until(lock, wake, [&] { return race_done; })) {
+          return;  // race finished first
+        }
+        if (external != nullptr &&
+            external->load(std::memory_order_relaxed)) {
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (Clock::now() >= hard_deadline) {
+          deadline_expired = true;
+          stop.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
 
   const Rng base(rng.Next());
   const auto stop_requested = [&] {
-    return stop.load(std::memory_order_relaxed);
+    return stop.load(std::memory_order_relaxed) ||
+           (external != nullptr &&
+            external->load(std::memory_order_relaxed));
   };
 
   // Strand span names, indexed by the strand enum (= vector index).

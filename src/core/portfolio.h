@@ -65,6 +65,16 @@ struct PortfolioOptions {
   int parallelism = 1;
   ThreadPool* pool = nullptr;  ///< optional externally-owned pool
 
+  /// Optional externally-owned cancel token (e.g. a per-request deadline
+  /// token armed with the serving layer's DeadlineMonitor). When it
+  /// fires, the race relays it onto its internal stop token — in *any*
+  /// budget mode — and every strand winds down exactly as on deadline
+  /// expiry (the incumbent so far wins; the JO layer still guarantees a
+  /// plan). While the token stays unset it never influences the race, so
+  /// sweep-budget runs remain bit-reproducible; once it fires, results
+  /// are truncation-dependent like any wall-clock cut-off.
+  const std::atomic<bool>* stop = nullptr;
+
   /// Observability sinks (null-sink default, not owned). When attached,
   /// the race records one span per strand (plus the nested solver-call
   /// and per-read spans via SolverControl) and publishes per-strand

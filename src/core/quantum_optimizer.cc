@@ -197,6 +197,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       sa.kernel = config.solver_kernel;
       sa.control.parallelism = config.parallelism;
       sa.control.pool = config.pool;
+      sa.control.stop = config.stop;
       sa.control.trace = config.trace;
       sa.control.metrics = config.metrics;
       const std::vector<QuboSolution> reads =
@@ -340,6 +341,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
         sqa.control.parallelism = config.parallelism;
       }
       if (sqa.control.pool == nullptr) sqa.control.pool = config.pool;
+      if (sqa.control.stop == nullptr) sqa.control.stop = config.stop;
       sqa.control.trace = config.trace;
       sqa.control.metrics = config.metrics;
       QJO_ASSIGN_OR_RETURN(std::vector<SqaSample> reads,
@@ -362,6 +364,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       race.solver_kernel = config.solver_kernel;
       if (race.parallelism <= 1) race.parallelism = config.parallelism;
       if (race.pool == nullptr) race.pool = config.pool;
+      if (race.stop == nullptr) race.stop = config.stop;
       if (race.trace == nullptr) race.trace = config.trace;
       if (race.metrics == nullptr) race.metrics = config.metrics;
       // The decomposition strand re-encodes window subqueries constantly;

@@ -1,6 +1,7 @@
 #ifndef QJO_CORE_QUANTUM_OPTIMIZER_H_
 #define QJO_CORE_QUANTUM_OPTIMIZER_H_
 
+#include <atomic>
 #include <optional>
 #include <span>
 #include <string>
@@ -109,6 +110,17 @@ struct QjoConfig {
   /// Null = every run encodes from scratch; OptimizeJoinOrderBatch
   /// supplies a batch-wide cache automatically.
   QuboBuildCache* qubo_cache = nullptr;
+
+  /// Optional externally-owned cooperative stop token (e.g. flipped by
+  /// the serving layer's DeadlineMonitor when a per-request deadline
+  /// expires). Plumbed into the stochastic solvers' SolverControl::stop
+  /// and the portfolio race: once it fires, running sweeps wind down and
+  /// the pipeline returns whatever state was reached (the portfolio
+  /// still guarantees a valid plan via its classical fallback). The
+  /// exact and QAOA backends are not cooperative and run to completion.
+  /// While the token stays unset, results are bit-identical to a run
+  /// without one.
+  const std::atomic<bool>* stop = nullptr;
 
   // --- Observability sinks (null-sink default, not owned). ---
   /// When attached, every pipeline stage (encode, oracle DP, solve,

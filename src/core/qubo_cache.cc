@@ -78,11 +78,11 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(std::string_view(key));
     if (it != entries_.end()) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
       return it->second->second;
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
   }
   // Build outside the lock: a slow encode must not serialise unrelated
   // queries of a batch. A concurrent miss on the same key builds the same
@@ -101,7 +101,7 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
     // no longer dump every hot entry.
     entries_.erase(std::string_view(lru_.back().first));
     lru_.pop_back();
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   lru_.emplace_front(key, std::move(built));
   entries_.emplace(std::string_view(lru_.front().first), lru_.begin());
@@ -109,11 +109,13 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
 }
 
 QuboBuildCache::Stats QuboBuildCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Lock-free by design (see the header contract): relaxed loads of
+  // counters that are only ever incremented, so concurrent lookups are
+  // never serialised behind a stats scrape.
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,6 +1,7 @@
 #ifndef QJO_CORE_QUBO_CACHE_H_
 #define QJO_CORE_QUBO_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -86,6 +87,15 @@ class QuboBuildCache {
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
   };
+  /// Race-free snapshot of the counters, safe to call concurrently with
+  /// any number of GetOrBuild calls and never contending on the entry
+  /// mutex. Memory-order contract: counters are incremented with relaxed
+  /// atomics and read with relaxed loads — each counter is individually
+  /// exact and monotone, but a snapshot taken mid-operation may observe
+  /// one counter of a concurrent lookup and not another (e.g. a miss
+  /// counted whose insert has not landed yet). Once the writers quiesce,
+  /// a snapshot is exact; cross-counter invariants (hits + misses ==
+  /// lookups) hold only at quiescence.
   Stats stats() const;
 
   size_t size() const;
@@ -97,9 +107,11 @@ class QuboBuildCache {
 
   const size_t max_entries_;
   mutable std::mutex mutex_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  /// Relaxed atomics so stats() never blocks a lookup (see the contract
+  /// on stats()); everything else stays under mutex_.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
   LruList lru_;
   /// Keys view into the node-stable strings owned by `lru_`.
   std::unordered_map<std::string_view, LruList::iterator> entries_;

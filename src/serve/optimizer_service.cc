@@ -1,0 +1,396 @@
+#include "serve/optimizer_service.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "jo/classical.h"
+#include "obs/obs.h"
+
+namespace qjo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+void AppendU64(std::string* key, const char* tag, uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "|%s=%llx", tag,
+                static_cast<unsigned long long>(v));
+  key->append(buf);
+}
+
+void AppendI64(std::string* key, const char* tag, int64_t v) {
+  AppendU64(key, tag, static_cast<uint64_t>(v));
+}
+
+void AppendDouble(std::string* key, const char* tag, double v) {
+  // Bit-exact, same convention as JoEncodingFingerprint: distinct doubles
+  // never collide.
+  AppendU64(key, tag, std::bit_cast<uint64_t>(v));
+}
+
+}  // namespace
+
+OptimizerService::OptimizerService(const ServeOptions& options)
+    : options_(options) {
+  if (options_.enable_plan_cache) {
+    cache_ = std::make_unique<PlanCache>(options_.cache);
+  }
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(
+        [this](std::stop_token stop) { WorkerLoop(std::move(stop)); });
+  }
+}
+
+OptimizerService::~OptimizerService() {
+  for (auto& worker : workers_) worker.request_stop();
+  // wait(lock, stop, pred) wakes on request_stop; joining here (instead of
+  // relying on member destruction order) lets us fail the never-dispatched
+  // requests afterwards knowing no worker will race us for them.
+  for (auto& worker : workers_) worker.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [tenant, lane] : lanes_) {
+    for (auto& pending : lane) {
+      ServeResult result;
+      result.status = Status::FailedPrecondition(
+          "optimizer service shut down before the request was dispatched");
+      pending->promise.set_value(std::move(result));
+    }
+  }
+  lanes_.clear();
+  rotation_.clear();
+  tenant_inflight_.clear();
+  queued_ = 0;
+  drained_.notify_all();
+}
+
+StatusOr<std::future<ServeResult>> OptimizerService::Submit(
+    ServeRequest request, double* retry_after_ms) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) options_.metrics->Count("serve.requests");
+
+  const auto now = Clock::now();
+  const double budget_ms = request.deadline_ms > 0.0
+                               ? request.deadline_ms
+                               : options_.default_deadline_ms;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Retry-after hint: the backlog ahead of (and including) this request,
+  // paced at the observed mean solve time, spread over the workers.
+  const double backlog = static_cast<double>(queued_ + running_ + 1);
+  const double hint = avg_solve_ms_.load(std::memory_order_relaxed) *
+                      backlog /
+                      static_cast<double>(std::max<size_t>(1, workers_.size()));
+  if (queued_ >= options_.queue_capacity) {
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+    if (options_.metrics != nullptr) {
+      options_.metrics->Count("serve.rejected.queue_full");
+    }
+    if (retry_after_ms != nullptr) *retry_after_ms = hint;
+    return Status::ResourceExhausted("serving queue full (" +
+                                     std::to_string(options_.queue_capacity) +
+                                     " queued); retry after ~" +
+                                     std::to_string(hint) + " ms");
+  }
+  if (options_.per_tenant_inflight > 0) {
+    auto it = tenant_inflight_.find(request.tenant);
+    if (it != tenant_inflight_.end() &&
+        it->second >= options_.per_tenant_inflight) {
+      rejected_tenant_quota_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      if (options_.metrics != nullptr) {
+        options_.metrics->Count("serve.rejected.tenant_quota");
+      }
+      if (retry_after_ms != nullptr) *retry_after_ms = hint;
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant + "' at its in-flight quota (" +
+          std::to_string(options_.per_tenant_inflight) + "); retry after ~" +
+          std::to_string(hint) + " ms");
+    }
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->submitted = now;
+  pending->deadline_ms = budget_ms;
+  pending->deadline = budget_ms > 0.0
+                          ? now + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          budget_ms))
+                          : Clock::time_point::max();
+  std::future<ServeResult> future = pending->promise.get_future();
+
+  const std::string& tenant = pending->request.tenant;
+  auto lane = lanes_.find(tenant);
+  if (lane == lanes_.end()) {
+    // Invariant: rotation_ lists exactly the tenants with a lane (lanes
+    // are erased the moment they drain), so a fresh lane joins the
+    // round-robin here and nowhere else.
+    lane = lanes_.emplace(tenant, std::deque<std::unique_ptr<Pending>>())
+               .first;
+    rotation_.push_back(tenant);
+  }
+  lane->second.push_back(std::move(pending));
+  ++queued_;
+  ++tenant_inflight_[tenant];
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+std::unique_ptr<OptimizerService::Pending> OptimizerService::PopLocked() {
+  while (!rotation_.empty()) {
+    if (rotation_next_ >= rotation_.size()) rotation_next_ = 0;
+    auto lane = lanes_.find(rotation_[rotation_next_]);
+    if (lane == lanes_.end() || lane->second.empty()) {
+      if (lane != lanes_.end()) lanes_.erase(lane);
+      rotation_.erase(rotation_.begin() +
+                      static_cast<ptrdiff_t>(rotation_next_));
+      continue;
+    }
+    auto pending = std::move(lane->second.front());
+    lane->second.pop_front();
+    --queued_;
+    if (lane->second.empty()) {
+      lanes_.erase(lane);
+      rotation_.erase(rotation_.begin() +
+                      static_cast<ptrdiff_t>(rotation_next_));
+    } else {
+      ++rotation_next_;
+    }
+    return pending;
+  }
+  return nullptr;
+}
+
+void OptimizerService::WorkerLoop(std::stop_token stop) {
+  while (true) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!work_ready_.wait(lock, stop, [this] { return queued_ > 0; })) {
+        return;  // stop requested and queue empty
+      }
+      // Shutting down: leave queued requests for the destructor to fail
+      // instead of dispatching new work.
+      if (stop.stop_requested()) return;
+      pending = PopLocked();
+      if (pending == nullptr) continue;
+      ++running_;
+    }
+    Process(*pending);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      FinishTenant(pending->request.tenant);
+    }
+    drained_.notify_all();
+  }
+}
+
+void OptimizerService::FinishTenant(const std::string& tenant) {
+  auto it = tenant_inflight_.find(tenant);
+  if (it == tenant_inflight_.end()) return;
+  if (--it->second == 0) tenant_inflight_.erase(it);
+}
+
+void OptimizerService::Process(Pending& pending) {
+  const auto dequeued = Clock::now();
+  const ServeRequest& request = pending.request;
+  ServeResult result;
+  result.queue_ms = MsBetween(pending.submitted, dequeued);
+  if (options_.trace != nullptr) {
+    options_.trace->Record("serve.queue", pending.submitted, dequeued);
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->Observe("serve.queue_ms", result.queue_ms);
+  }
+
+  double remaining_ms = std::numeric_limits<double>::infinity();
+  if (pending.deadline_ms > 0.0) {
+    remaining_ms = MsBetween(dequeued, pending.deadline);
+  }
+
+  // Cache first: a hit costs microseconds, so even an expired request is
+  // better served from the cache than degraded.
+  std::string key;
+  std::shared_ptr<const QjoReport> hit;
+  if (cache_ != nullptr && !request.bypass_cache) {
+    key = PlanKey(request.query, request.config);
+    hit = cache_->Lookup(key);
+  }
+  if (hit != nullptr) {
+    result.report = *hit;
+    result.cache_hit = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.metrics != nullptr) options_.metrics->Count("serve.cache_hit");
+  } else if (remaining_ms <= options_.degrade_margin_ms) {
+    // Graceful degradation: (almost) no budget left at dequeue — answer
+    // with the classical fallback instead of missing the deadline or
+    // failing outright.
+    result.degraded = true;
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.metrics != nullptr) options_.metrics->Count("serve.degraded");
+    if (remaining_ms <= 0.0) {
+      result.deadline_expired_in_queue = true;
+      expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.metrics != nullptr) {
+        options_.metrics->Count("serve.expired_in_queue");
+      }
+    }
+    const auto solve_start = Clock::now();
+    result.status = DegradedSolve(request, &result.report);
+    result.solve_ms = MsBetween(solve_start, Clock::now());
+  } else {
+    QjoConfig config = request.config;
+    if (config.pool == nullptr) config.pool = options_.pool;
+    if (config.trace == nullptr) config.trace = options_.trace;
+    if (config.metrics == nullptr) config.metrics = options_.metrics;
+
+    // Arm the shared monitor so deadline expiry mid-solve flips the stop
+    // token and the portfolio/decomp strands wind down cooperatively. A
+    // caller-supplied token is respected as-is (never overridden).
+    std::atomic<bool> token{false};
+    uint64_t arm_id = 0;
+    bool armed = false;
+    if (std::isfinite(remaining_ms) && config.stop == nullptr) {
+      config.stop = &token;
+      arm_id = monitor_.Arm(&token, pending.deadline);
+      armed = true;
+    }
+
+    const auto solve_start = Clock::now();
+    StatusOr<QjoReport> report = [&] {
+      StageSpan span(options_.trace, "serve.solve");
+      return OptimizeJoinOrder(request.query, config);
+    }();
+    if (armed) monitor_.Disarm(arm_id);
+    result.solve_ms = MsBetween(solve_start, Clock::now());
+
+    // EWMA of solve time feeding the retry-after hint. Plain load/store:
+    // concurrent updates may drop each other, which only blurs a hint.
+    const double prev = avg_solve_ms_.load(std::memory_order_relaxed);
+    avg_solve_ms_.store(0.8 * prev + 0.2 * result.solve_ms,
+                        std::memory_order_relaxed);
+
+    if (report.ok()) {
+      result.report = std::move(report).value();
+      // Never cache a truncated (token-fired) result: it reflects this
+      // request's deadline, not the config's full-budget answer.
+      const bool truncated =
+          armed && token.load(std::memory_order_relaxed);
+      if (cache_ != nullptr && !request.bypass_cache && !key.empty() &&
+          !truncated && result.report.found_valid) {
+        cache_->Insert(key, result.report);
+      }
+    } else {
+      result.status = report.status();
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->Observe("serve.solve_ms", result.solve_ms);
+    }
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    options_.metrics->Count("serve.completed");
+    if (cache_ != nullptr) cache_->ExportGauges(options_.metrics);
+  }
+  pending.promise.set_value(std::move(result));
+}
+
+Status OptimizerService::DegradedSolve(const ServeRequest& request,
+                                       QjoReport* report) {
+  StatusOr<JoResult> plan = OptimizeDp(request.query);
+  const bool exact = plan.ok();
+  if (!plan.ok() && plan.status().code() == StatusCode::kResourceExhausted) {
+    plan = OptimizeGreedy(request.query);
+  }
+  if (!plan.ok()) return plan.status();
+  report->found_valid = true;
+  report->best_order = plan->order;
+  report->best_cost = plan->cost;
+  if (exact) {
+    report->optimal_order = plan->order;
+    report->optimal_cost = plan->cost;
+  }
+  report->portfolio.found_valid = true;
+  report->portfolio.best_order = plan->order;
+  report->portfolio.best_cost = plan->cost;
+  report->portfolio.used_classical_fallback = true;
+  report->portfolio.winner = "classical_fallback";
+  return Status::Ok();
+}
+
+void OptimizerService::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+}
+
+std::string OptimizerService::PlanKey(const Query& query,
+                                      const QjoConfig& config) {
+  JoEncodingOptions enc;
+  enc.thresholds = config.thresholds;
+  enc.num_thresholds = config.num_thresholds;
+  enc.omega = config.omega;
+  std::string key = JoEncodingFingerprint(query, enc);
+  key += "|backend=";
+  key += QjoBackendName(config.backend);
+  AppendU64(&key, "seed", config.seed);
+  AppendI64(&key, "kernel", static_cast<int64_t>(config.solver_kernel));
+  AppendI64(&key, "shots", config.shots);
+  AppendI64(&key, "qi", config.qaoa_iterations);
+  AppendI64(&key, "qg", config.qaoa_grid);
+  AppendI64(&key, "noiseless", config.noiseless ? 1 : 0);
+  AppendI64(&key, "sqa_reads", config.sqa.num_reads);
+  const PortfolioOptions& p = config.portfolio;
+  AppendDouble(&key, "p_dl", p.deadline_ms);
+  AppendI64(&key, "p_sb", p.sweep_budget);
+  AppendI64(&key, "p_rpr", p.reads_per_round);
+  AppendI64(&key, "p_spr", p.sweeps_per_round);
+  const uint64_t strands = (p.enable_exact ? 1u : 0u) |
+                           (p.enable_sa ? 2u : 0u) |
+                           (p.enable_tabu ? 4u : 0u) |
+                           (p.enable_sqa ? 8u : 0u) |
+                           (p.enable_qaoa ? 16u : 0u) |
+                           (p.enable_decomp ? 32u : 0u);
+  AppendU64(&key, "p_strands", strands);
+  AppendI64(&key, "p_mev", p.max_exact_variables);
+  AppendI64(&key, "p_mqv", p.max_qaoa_variables);
+  AppendI64(&key, "p_qs", p.qaoa_shots);
+  AppendI64(&key, "p_qi", p.qaoa_iterations);
+  AppendI64(&key, "p_mdr", p.min_decomp_relations);
+  AppendDouble(&key, "p_lb", p.lower_bound);
+  return key;
+}
+
+OptimizerService::Stats OptimizerService::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_tenant_quota =
+      rejected_tenant_quota_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t OptimizerService::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+}  // namespace qjo

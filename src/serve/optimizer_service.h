@@ -1,0 +1,226 @@
+#ifndef QJO_SERVE_OPTIMIZER_SERVICE_H_
+#define QJO_SERVE_OPTIMIZER_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/quantum_optimizer.h"
+#include "qubo/deadline_monitor.h"
+#include "serve/plan_cache.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+
+namespace qjo {
+
+/// Configuration of an OptimizerService instance.
+struct ServeOptions {
+  /// Dispatcher workers draining the admission queue. Each worker runs one
+  /// request at a time end-to-end; the solve itself fans out over the
+  /// shared `pool` (nested ParallelFor serialises safely), so workers
+  /// bound *concurrent requests*, not threads.
+  int workers = 2;
+  /// Total queued (not yet dispatched) requests across all tenants; a
+  /// submit past this cap is rejected with ResourceExhausted and a
+  /// retry-after hint instead of queueing unboundedly.
+  size_t queue_capacity = 256;
+  /// Per-tenant cap on queued + running requests; 0 = unlimited. A tenant
+  /// at its quota is rejected (ResourceExhausted) even when the global
+  /// queue has room — one chatty tenant cannot starve the others, and
+  /// round-robin dispatch across tenants prevents head-of-line blocking
+  /// behind a tenant with a deep backlog.
+  size_t per_tenant_inflight = 0;
+  /// Deadline applied to requests that do not carry their own; <= 0 = no
+  /// default deadline.
+  double default_deadline_ms = -1.0;
+  /// When a request reaches a worker with less than this much of its
+  /// deadline remaining, the full pipeline is skipped in favour of the
+  /// classical DP/greedy fallback (graceful degradation: an approximate
+  /// plan beats a deadline miss).
+  double degrade_margin_ms = 5.0;
+
+  /// Plan/result cache over (encoding fingerprint, result-determining
+  /// config) — see OptimizerService::PlanKey.
+  bool enable_plan_cache = true;
+  PlanCacheOptions cache;
+
+  /// Optional externally-owned solve pool shared by every request (the
+  /// OptimizeJoinOrderBatch ownership rule applies: the service never
+  /// creates a second pool when one is supplied). Null = per-request
+  /// transient pools per the QjoConfig contract.
+  ThreadPool* pool = nullptr;
+
+  /// Observability sinks (null-sink default, not owned). The service
+  /// records serve.queue/serve.solve spans and serve.* counters and
+  /// exports the plan-cache gauges on every completion.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// One optimisation request submitted to the service.
+struct ServeRequest {
+  Query query;
+  QjoConfig config;
+  /// Admission-control identity; requests with the same tenant share one
+  /// quota and one round-robin slot.
+  std::string tenant = "default";
+  /// Wall-clock budget from *submit* (queue wait included); <= 0 = use
+  /// ServeOptions::default_deadline_ms.
+  double deadline_ms = -1.0;
+  /// Skip the plan cache for this request (always solve, never insert).
+  bool bypass_cache = false;
+};
+
+/// Outcome of one served request.
+struct ServeResult {
+  Status status = Status::Ok();
+  QjoReport report;
+  /// The report came from the plan cache (no solve ran).
+  bool cache_hit = false;
+  /// The report came from the degraded classical fallback path (deadline
+  /// pressure at dequeue), not the full pipeline.
+  bool degraded = false;
+  /// The deadline had fully expired before a worker picked the request
+  /// up; the result is the classical fallback (degraded is also true).
+  bool deadline_expired_in_queue = false;
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+};
+
+/// Multi-tenant serving front door for the join-order optimiser: one
+/// service multiplexes many in-flight OptimizeJoinOrder requests over a
+/// bounded worker set and one shared ThreadPool.
+///
+///  * Admission control — Submit() rejects (never blocks) when the global
+///    queue is full or the tenant is at its in-flight quota, returning
+///    ResourceExhausted plus a retry-after hint derived from the observed
+///    mean solve time and current backlog.
+///  * No head-of-line blocking — queued requests live in per-tenant FIFO
+///    lanes; workers pop round-robin across tenants, so a tenant with a
+///    thousand queued requests delays a new tenant by at most one request
+///    per worker.
+///  * Deadlines — a request's wall budget covers queue wait + solve. The
+///    shared DeadlineMonitor arms one stop token per dispatched request;
+///    expiry winds the portfolio/decomp strands down cooperatively.
+///    Requests dequeued with (almost) no budget left degrade to the
+///    classical DP/greedy fallback instead of failing.
+///  * Plan cache — results are memoized by PlanKey(); a hit returns the
+///    cached report without touching the solvers.
+///
+/// Determinism: a cache-miss request that never has its stop token fire
+/// returns a report bit-identical to a direct OptimizeJoinOrder(query,
+/// config) call, at any worker count and pool parallelism (the solvers'
+/// existing contract; the service adds no RNG or cross-request coupling).
+class OptimizerService {
+ public:
+  explicit OptimizerService(const ServeOptions& options = {});
+  /// Fails queued, never-dispatched requests with FailedPrecondition and
+  /// joins the workers. In-flight solves run to completion.
+  ~OptimizerService();
+
+  OptimizerService(const OptimizerService&) = delete;
+  OptimizerService& operator=(const OptimizerService&) = delete;
+
+  /// Admits or rejects `request`. On admission the future resolves once a
+  /// worker finishes the request (possibly with a degraded or failed
+  /// ServeResult — per-request errors land in ServeResult::status, not
+  /// here). On rejection returns ResourceExhausted and, when
+  /// `retry_after_ms` is non-null, writes a backoff hint estimating when
+  /// capacity frees up.
+  StatusOr<std::future<ServeResult>> Submit(ServeRequest request,
+                                            double* retry_after_ms = nullptr);
+
+  /// Blocks until every admitted request has resolved its future. New
+  /// submits during a drain are allowed and also waited for.
+  void Drain();
+
+  /// Cache key of a request: the encoding fingerprint (query + threshold
+  /// grid + omega, bit-exact) extended with every QjoConfig field that
+  /// determines the report (backend, seed, parallel-independent solver
+  /// settings...). Fields that only affect *where* work runs
+  /// (parallelism, pool, sinks) are excluded — the determinism contract
+  /// makes them result-neutral. Caveat: the exotic hardware-model fields
+  /// (DeviceProperties, transpile/embedding options, custom topologies)
+  /// are *not* keyed — a deployment varying them per request must set
+  /// `bypass_cache`.
+  static std::string PlanKey(const Query& query, const QjoConfig& config);
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_tenant_quota = 0;
+    uint64_t completed = 0;
+    uint64_t degraded = 0;
+    uint64_t expired_in_queue = 0;
+    uint64_t cache_hits = 0;
+  };
+  /// Race-free snapshot (same relaxed-atomic contract as the caches).
+  Stats stats() const;
+
+  PlanCache* plan_cache() { return cache_.get(); }
+  size_t queued() const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResult> promise;
+    std::chrono::steady_clock::time_point submitted;
+    /// Resolved absolute deadline; time_point::max() = none.
+    std::chrono::steady_clock::time_point deadline;
+    double deadline_ms = -1.0;  ///< resolved budget; <= 0 = none
+  };
+
+  void WorkerLoop(std::stop_token stop);
+  /// Pops the next request round-robin across tenant lanes; null when the
+  /// queue is empty. Caller holds `mutex_`.
+  std::unique_ptr<Pending> PopLocked();
+  void Process(Pending& pending);
+  /// Classical DP (greedy past the DP size cap) fallback; also labels the
+  /// report's portfolio section so callers see the degradation.
+  Status DegradedSolve(const ServeRequest& request, QjoReport* report);
+  void FinishTenant(const std::string& tenant);
+
+  const ServeOptions options_;
+  std::unique_ptr<PlanCache> cache_;  ///< null when the cache is disabled
+  DeadlineMonitor monitor_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable_any work_ready_;
+  std::condition_variable drained_;
+  /// Per-tenant FIFO lanes + round-robin rotation over tenants with
+  /// queued work.
+  std::unordered_map<std::string, std::deque<std::unique_ptr<Pending>>>
+      lanes_;
+  std::vector<std::string> rotation_;
+  size_t rotation_next_ = 0;
+  /// queued + running per tenant (admission quota accounting).
+  std::unordered_map<std::string, size_t> tenant_inflight_;
+  size_t queued_ = 0;
+  size_t running_ = 0;
+
+  /// EWMA of observed solve wall time, feeding the retry-after hint.
+  std::atomic<double> avg_solve_ms_{50.0};
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_queue_full_{0};
+  std::atomic<uint64_t> rejected_tenant_quota_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> expired_in_queue_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+
+  std::vector<std::jthread> workers_;  ///< last member: join before the rest
+};
+
+}  // namespace qjo
+
+#endif  // QJO_SERVE_OPTIMIZER_SERVICE_H_

@@ -1,0 +1,137 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "obs/obs.h"
+
+namespace qjo {
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheOptions& options)
+    : capacity_per_shard_(std::max<size_t>(1, options.capacity_per_shard)),
+      ttl_ms_(options.ttl_ms) {
+  const size_t shards =
+      RoundUpPow2(static_cast<size_t>(std::max(1, options.num_shards)));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanCache::Shard& PlanCache::ShardFor(std::string_view key) {
+  const size_t h = std::hash<std::string_view>{}(key);
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+bool PlanCache::Expired(const Entry& entry, Clock::time_point now) const {
+  if (ttl_ms_ <= 0.0) return false;
+  const double age_ms =
+      std::chrono::duration<double, std::milli>(now - entry.inserted).count();
+  return age_ms > ttl_ms_;
+}
+
+std::shared_ptr<const QjoReport> PlanCache::Lookup(std::string_view key) {
+  return LookupAt(key, Clock::now());
+}
+
+std::shared_ptr<const QjoReport> PlanCache::LookupAt(std::string_view key,
+                                                     Clock::time_point now) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (Expired(*it->second, now)) {
+    shard.lru.erase(it->second);
+    shard.entries.erase(it);
+    ttl_expirations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Refresh recency: move the hit to the front of the LRU list. Splice
+  // keeps the node (and therefore the string the map's key views) alive.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return shard.lru.front().report;
+}
+
+void PlanCache::Insert(std::string_view key, QjoReport report) {
+  InsertAt(key, std::move(report), Clock::now());
+}
+
+void PlanCache::InsertAt(std::string_view key, QjoReport report,
+                         Clock::time_point now) {
+  auto value = std::make_shared<const QjoReport>(std::move(report));
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Replace in place and refresh both recency and the TTL clock.
+    it->second->report = std::move(value);
+    it->second->inserted = now;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= capacity_per_shard_) {
+    // Sweep expired entries first so TTL victims are never miscounted as
+    // LRU evictions.
+    for (auto node = shard.lru.begin(); node != shard.lru.end();) {
+      if (Expired(*node, now)) {
+        shard.entries.erase(std::string_view(node->key));
+        node = shard.lru.erase(node);
+        ttl_expirations_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++node;
+      }
+    }
+  }
+  while (shard.lru.size() >= capacity_per_shard_) {
+    shard.entries.erase(std::string_view(shard.lru.back().key));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value), now});
+  shard.entries.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.ttl_expirations = ttl_expirations_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanCache::ExportGauges(MetricsRegistry* metrics) const {
+  if (metrics == nullptr) return;
+  const Stats s = stats();
+  metrics->GaugeMax("serve.cache.hits", static_cast<double>(s.hits));
+  metrics->GaugeMax("serve.cache.misses", static_cast<double>(s.misses));
+  metrics->GaugeMax("serve.cache.evictions", static_cast<double>(s.evictions));
+  metrics->GaugeMax("serve.cache.ttl_expirations",
+                    static_cast<double>(s.ttl_expirations));
+}
+
+size_t PlanCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace qjo

@@ -1,0 +1,128 @@
+#ifndef QJO_SERVE_PLAN_CACHE_H_
+#define QJO_SERVE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/quantum_optimizer.h"
+
+namespace qjo {
+
+class MetricsRegistry;
+
+/// Configuration of the serving layer's plan/result cache.
+struct PlanCacheOptions {
+  /// Shard count; rounded up to the next power of two so the shard pick
+  /// is a mask. More shards = less lock contention between concurrent
+  /// service workers hitting unrelated keys.
+  int num_shards = 8;
+  /// Per-shard LRU capacity (total capacity = shards x this).
+  size_t capacity_per_shard = 128;
+  /// Entry time-to-live in milliseconds; <= 0 = entries never expire.
+  /// TTL exists because cached plans embed cardinality estimates — a
+  /// serving deployment refreshing statistics wants stale plans aged
+  /// out even when the key space is small enough to never hit the LRU.
+  double ttl_ms = -1.0;
+};
+
+/// Sharded full plan/result cache of the serving layer: where
+/// QuboBuildCache memoizes the *encoding* (MILP -> BILP -> QUBO) so a
+/// repeated query skips the rebuild, PlanCache memoizes the entire
+/// pipeline *answer* (the QjoReport, join order included) so a repeated
+/// request skips the solve as well. Keyed by the serving plan key — the
+/// encoding fingerprint extended with every result-determining QjoConfig
+/// field (see OptimizerService::PlanKey).
+///
+/// Eviction order: expired entries go first. A lookup that lands on an
+/// expired entry removes it (counted as ttl_expiration + miss, never as
+/// an eviction); an insert into a full shard first sweeps that shard's
+/// expired entries (ttl_expirations) and only displaces the
+/// least-recently-used live entry (evictions) when none were expired.
+/// Hits refresh recency; a re-insert of a present key replaces the value
+/// in place and refreshes its insert time without evicting anything.
+///
+/// Stats follow the QuboBuildCache memory-order contract: relaxed atomic
+/// increments, lock-free relaxed reads — each counter individually exact
+/// and monotone, cross-counter consistency only at quiescence. stats()
+/// never touches a shard mutex, so scraping metrics cannot stall a
+/// lookup.
+class PlanCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit PlanCache(const PlanCacheOptions& options = {});
+
+  /// Returns the cached report for `key`, or null on miss/expiry.
+  /// The *At overloads take an explicit clock reading so tests can drive
+  /// TTL behaviour deterministically.
+  std::shared_ptr<const QjoReport> Lookup(std::string_view key);
+  std::shared_ptr<const QjoReport> LookupAt(std::string_view key,
+                                            Clock::time_point now);
+
+  /// Inserts (or replaces) the entry for `key`.
+  void Insert(std::string_view key, QjoReport report);
+  void InsertAt(std::string_view key, QjoReport report, Clock::time_point now);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Live entries displaced by inserts into a full shard.
+    uint64_t evictions = 0;
+    /// Entries removed because their TTL had passed (on lookup or by the
+    /// pre-eviction sweep of a full insert).
+    uint64_t ttl_expirations = 0;
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+  Stats stats() const;
+
+  /// Publishes the counters as `serve.cache.{hits,misses,evictions,
+  /// ttl_expirations}` gauges (cumulative values under max-merge, so the
+  /// exported numbers are the latest totals). Null registry = no-op.
+  void ExportGauges(MetricsRegistry* metrics) const;
+
+  size_t size() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QjoReport> report;
+    Clock::time_point inserted;
+  };
+  /// Most-recently-used entries sit at the front; eviction pops the back.
+  using LruList = std::list<Entry>;
+  struct Shard {
+    std::mutex mutex;
+    LruList lru;
+    /// Keys view into the node-stable strings owned by `lru`.
+    std::unordered_map<std::string_view, LruList::iterator> entries;
+  };
+
+  Shard& ShardFor(std::string_view key);
+  bool Expired(const Entry& entry, Clock::time_point now) const;
+
+  const size_t capacity_per_shard_;
+  const double ttl_ms_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> ttl_expirations_{0};
+};
+
+}  // namespace qjo
+
+#endif  // QJO_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,566 @@
+// Serving-layer tests: admission-control edge cases, deadline handling,
+// plan-cache TTL/LRU semantics, and the bit-identity contract (a
+// cache-miss response equals a direct OptimizeJoinOrder call at any
+// worker count). The ctest "concurrency" entries run these under
+// ThreadSanitizer via the tsan preset.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quantum_optimizer.h"
+#include "jo/query.h"
+#include "obs/obs.h"
+#include "qubo/deadline_monitor.h"
+#include "serve/optimizer_service.h"
+#include "serve/plan_cache.h"
+#include "util/thread_pool.h"
+
+namespace qjo {
+namespace {
+
+using namespace std::chrono_literals;
+
+Query MakeQuery(int relations, double base_card = 10.0) {
+  Query q;
+  for (int t = 0; t < relations; ++t) {
+    q.AddRelation("R" + std::to_string(t), base_card + t);
+  }
+  for (int t = 0; t + 1 < relations; ++t) {
+    EXPECT_TRUE(q.AddPredicate(t, t + 1, 0.1).ok());
+  }
+  return q;
+}
+
+QjoConfig FastConfig(uint64_t seed = 7) {
+  QjoConfig config;
+  config.backend = QjoBackend::kSimulatedAnnealing;
+  config.shots = 32;
+  config.seed = seed;
+  return config;
+}
+
+/// A request whose solve occupies a worker long enough (hundreds of ms)
+/// for the test to line up queue states behind it.
+ServeRequest SlowRequest(const std::string& tenant = "default") {
+  ServeRequest request;
+  request.query = MakeQuery(6);
+  request.config = FastConfig(11);
+  request.config.shots = 1500;
+  request.tenant = tenant;
+  request.bypass_cache = true;
+  return request;
+}
+
+ServeRequest QuickRequest(const std::string& tenant = "default",
+                          uint64_t seed = 7) {
+  ServeRequest request;
+  request.query = MakeQuery(3);
+  request.config = FastConfig(seed);
+  request.tenant = tenant;
+  return request;
+}
+
+/// Waits until the admission queue is empty (every submitted request has
+/// been picked up by a worker).
+void WaitDequeued(OptimizerService& service) {
+  const auto give_up = std::chrono::steady_clock::now() + 10s;
+  while (service.queued() > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "requests were never dequeued";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeadlineMonitor.
+
+TEST(DeadlineMonitorTest, FiresPastDeadlineAndCountsIt) {
+  DeadlineMonitor monitor;
+  std::atomic<bool> token{false};
+  monitor.Arm(&token, DeadlineMonitor::Clock::now() - 1ms);
+  const auto give_up = std::chrono::steady_clock::now() + 5s;
+  while (!token.load(std::memory_order_acquire)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "expired token never fired";
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(monitor.fired(), 1u);
+  EXPECT_EQ(monitor.armed(), 0u);  // fired entries are removed
+}
+
+TEST(DeadlineMonitorTest, DisarmWithdrawsWithoutFiring) {
+  DeadlineMonitor monitor;
+  std::atomic<bool> token{false};
+  const uint64_t id = monitor.Arm(&token, DeadlineMonitor::Clock::now() + 1h);
+  EXPECT_EQ(monitor.armed(), 1u);
+  monitor.Disarm(id);
+  EXPECT_EQ(monitor.armed(), 0u);
+  EXPECT_FALSE(token.load());
+  EXPECT_EQ(monitor.fired(), 0u);
+  monitor.Disarm(id);  // idempotent
+}
+
+TEST(DeadlineMonitorTest, NewerEarlierDeadlinePreempts) {
+  // Arming an earlier deadline after a later one must wake the monitor's
+  // sleep: the earlier token fires first, long before the later deadline.
+  DeadlineMonitor monitor;
+  std::atomic<bool> late{false};
+  std::atomic<bool> early{false};
+  monitor.Arm(&late, DeadlineMonitor::Clock::now() + 1h);
+  monitor.ArmAfterMs(&early, 5.0);
+  const auto give_up = std::chrono::steady_clock::now() + 5s;
+  while (!early.load(std::memory_order_acquire)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), give_up)
+        << "earlier-armed token never fired";
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_FALSE(late.load());
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache.
+
+QjoReport MakeReport(double cost) {
+  QjoReport report;
+  report.found_valid = true;
+  report.best_cost = cost;
+  return report;
+}
+
+TEST(PlanCacheTest, TtlExpiryIsNotAnEviction) {
+  PlanCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_per_shard = 2;
+  options.ttl_ms = 100.0;
+  PlanCache cache(options);
+  const auto t0 = PlanCache::Clock::now();
+
+  cache.InsertAt("a", MakeReport(1.0), t0);
+  cache.InsertAt("b", MakeReport(2.0), t0 + 10ms);
+  ASSERT_NE(cache.LookupAt("a", t0 + 50ms), nullptr);  // within TTL: hit
+
+  // Insert into the full shard after both TTLs passed: the sweep removes
+  // them as ttl_expirations, never as LRU evictions.
+  cache.InsertAt("c", MakeReport(3.0), t0 + 200ms);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.ttl_expirations, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A lookup landing on an expired entry also counts ttl_expiration +
+  // miss (and removes it).
+  cache.InsertAt("d", MakeReport(4.0), t0 + 200ms);
+  EXPECT_EQ(cache.LookupAt("d", t0 + 400ms), nullptr);
+  stats = cache.stats();
+  EXPECT_EQ(stats.ttl_expirations, 3u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PlanCacheTest, LruEvictsOnlyLiveEntries) {
+  PlanCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_per_shard = 2;
+  options.ttl_ms = 1000.0;
+  PlanCache cache(options);
+  const auto t0 = PlanCache::Clock::now();
+
+  cache.InsertAt("a", MakeReport(1.0), t0);
+  cache.InsertAt("b", MakeReport(2.0), t0 + 1ms);
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(cache.LookupAt("a", t0 + 2ms), nullptr);
+  cache.InsertAt("c", MakeReport(3.0), t0 + 3ms);  // full, nothing expired
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.ttl_expirations, 0u);
+  EXPECT_EQ(cache.LookupAt("b", t0 + 4ms), nullptr);   // evicted
+  EXPECT_NE(cache.LookupAt("a", t0 + 4ms), nullptr);   // survived
+  EXPECT_NE(cache.LookupAt("c", t0 + 4ms), nullptr);
+}
+
+TEST(PlanCacheTest, ReinsertRefreshesInPlace) {
+  PlanCacheOptions options;
+  options.num_shards = 1;
+  options.capacity_per_shard = 2;
+  options.ttl_ms = 100.0;
+  PlanCache cache(options);
+  const auto t0 = PlanCache::Clock::now();
+
+  cache.InsertAt("a", MakeReport(1.0), t0);
+  cache.InsertAt("a", MakeReport(9.0), t0 + 90ms);  // refresh value + TTL
+  const auto hit = cache.LookupAt("a", t0 + 150ms);  // alive: TTL restarted
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->best_cost, 9.0);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(PlanCacheTest, StatsReadableWhileConcurrentLookups) {
+  // The relaxed-atomic stats contract: readers never block or race
+  // writers (run under TSan via the concurrency label).
+  PlanCache cache(PlanCacheOptions{});
+  cache.Insert("hot", MakeReport(1.0));
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)cache.stats();
+    }
+  });
+  for (int i = 0; i < 5000; ++i) {
+    (void)cache.Lookup("hot");
+    (void)cache.Lookup("cold");
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 5000u);
+  EXPECT_EQ(stats.misses, 5000u);
+}
+
+TEST(PlanCacheTest, ExportsServeGauges) {
+  PlanCache cache(PlanCacheOptions{});
+  cache.Insert("k", MakeReport(1.0));
+  (void)cache.Lookup("k");
+  (void)cache.Lookup("absent");
+  MetricsRegistry metrics;
+  cache.ExportGauges(&metrics);
+  const auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.hits"), 1.0);
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.misses"), 1.0);
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.evictions"), 0.0);
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.ttl_expirations"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+
+TEST(ServeTest, RejectsWhenQueueFull) {
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  OptimizerService service(options);
+
+  auto slow = service.Submit(SlowRequest());
+  ASSERT_TRUE(slow.ok());
+  WaitDequeued(service);  // the worker holds it; the queue is empty again
+
+  auto queued = service.Submit(QuickRequest());
+  ASSERT_TRUE(queued.ok());  // fills the queue to capacity
+
+  double retry_after = 0.0;
+  auto rejected = service.Submit(QuickRequest(), &retry_after);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(retry_after, 0.0);
+
+  EXPECT_TRUE(std::move(slow).value().get().status.ok());
+  EXPECT_TRUE(std::move(queued).value().get().status.ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServeTest, TenantQuotaExactlyAtLimit) {
+  ServeOptions options;
+  options.workers = 1;
+  options.queue_capacity = 64;
+  options.per_tenant_inflight = 2;
+  OptimizerService service(options);
+
+  auto a0 = service.Submit(SlowRequest("a"));
+  ASSERT_TRUE(a0.ok());
+  WaitDequeued(service);
+  auto a1 = service.Submit(QuickRequest("a"));
+  ASSERT_TRUE(a1.ok()) << "second request is exactly at the quota";
+
+  double retry_after = 0.0;
+  auto a2 = service.Submit(QuickRequest("a"), &retry_after);
+  ASSERT_FALSE(a2.ok()) << "third request is over the quota";
+  EXPECT_EQ(a2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(retry_after, 0.0);
+
+  // Another tenant is unaffected by tenant a's quota.
+  auto b0 = service.Submit(QuickRequest("b"));
+  ASSERT_TRUE(b0.ok());
+
+  EXPECT_TRUE(std::move(a0).value().get().status.ok());
+  EXPECT_TRUE(std::move(a1).value().get().status.ok());
+  EXPECT_TRUE(std::move(b0).value().get().status.ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_tenant_quota, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and degradation.
+
+TEST(ServeTest, DeadlineExpiredAtDequeueDegradesToClassical) {
+  ServeOptions options;
+  options.workers = 1;
+  OptimizerService service(options);
+
+  auto slow = service.Submit(SlowRequest());
+  ASSERT_TRUE(slow.ok());
+  WaitDequeued(service);
+
+  // 1 ms of budget, behind a solve that takes hundreds: fully expired by
+  // dequeue time. The service answers with the classical fallback rather
+  // than failing.
+  ServeRequest expiring = QuickRequest();
+  expiring.deadline_ms = 1.0;
+  expiring.bypass_cache = true;
+  auto future = service.Submit(std::move(expiring));
+  ASSERT_TRUE(future.ok());
+
+  const ServeResult result = std::move(future).value().get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.deadline_expired_in_queue);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.report.found_valid);
+  EXPECT_TRUE(result.report.portfolio.used_classical_fallback);
+  EXPECT_EQ(result.report.portfolio.winner, "classical_fallback");
+  EXPECT_FALSE(result.cache_hit);
+
+  EXPECT_TRUE(std::move(slow).value().get().status.ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+}
+
+TEST(ServeTest, DegradesUnderDeadlinePressureBeforeExpiry) {
+  // A huge degrade margin makes any finite-deadline request take the
+  // degraded path deterministically — with budget still remaining, so
+  // deadline_expired_in_queue stays false.
+  ServeOptions options;
+  options.workers = 1;
+  options.degrade_margin_ms = 1e9;
+  OptimizerService service(options);
+
+  ServeRequest request = QuickRequest();
+  request.deadline_ms = 1e6;
+  request.bypass_cache = true;
+  auto future = service.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  const ServeResult result = std::move(future).value().get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.degraded);
+  EXPECT_FALSE(result.deadline_expired_in_queue);
+  EXPECT_TRUE(result.report.found_valid);
+  EXPECT_EQ(result.report.portfolio.winner, "classical_fallback");
+}
+
+TEST(ServeTest, StopTokenCancelsMidSolve) {
+  // A portfolio request with an effectively unbounded sweep budget but a
+  // short deadline: the DeadlineMonitor flips the stop token mid-solve
+  // and the race winds down with the classical guarantee intact. Without
+  // cancellation this solve would run for minutes.
+  ServeOptions options;
+  options.workers = 1;
+  options.degrade_margin_ms = 0.0;  // never take the degraded shortcut
+  OptimizerService service(options);
+
+  ServeRequest request;
+  request.query = MakeQuery(4);
+  request.config = FastConfig();
+  request.config.backend = QjoBackend::kPortfolio;
+  request.config.portfolio.sweep_budget = int64_t{1} << 40;
+  request.deadline_ms = 100.0;
+  request.bypass_cache = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto future = service.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  const ServeResult result = std::move(future).value().get();
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.report.found_valid)
+      << "portfolio must still hand back a valid plan after cancellation";
+  // Winding down is cooperative (between rounds), so allow generous slack
+  // over the 100 ms deadline — but far below the uncancelled runtime.
+  EXPECT_LT(elapsed_ms, 30000.0);
+}
+
+TEST(ServeTest, PreFiredCallerTokenShortCircuitsSolve) {
+  // A caller-supplied stop token is respected as-is; pre-fired, the
+  // portfolio race stops immediately and the classical fallback answers.
+  ServeOptions options;
+  options.workers = 1;
+  OptimizerService service(options);
+
+  std::atomic<bool> stop{true};
+  ServeRequest request;
+  request.query = MakeQuery(4);
+  request.config = FastConfig();
+  request.config.backend = QjoBackend::kPortfolio;
+  request.config.portfolio.sweep_budget = int64_t{1} << 40;
+  request.config.stop = &stop;
+  request.bypass_cache = true;
+
+  auto future = service.Submit(std::move(request));
+  ASSERT_TRUE(future.ok());
+  const ServeResult result = std::move(future).value().get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.report.found_valid);
+  EXPECT_TRUE(result.report.portfolio.used_classical_fallback);
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache through the service.
+
+TEST(ServeTest, CacheHitReturnsIdenticalReport) {
+  ServeOptions options;
+  options.workers = 1;  // serialise so the second submit sees the insert
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  OptimizerService service(options);
+
+  auto first = service.Submit(QuickRequest());
+  ASSERT_TRUE(first.ok());
+  const ServeResult miss = std::move(first).value().get();
+  ASSERT_TRUE(miss.status.ok());
+  EXPECT_FALSE(miss.cache_hit);
+
+  auto second = service.Submit(QuickRequest());
+  ASSERT_TRUE(second.ok());
+  const ServeResult hit = std::move(second).value().get();
+  ASSERT_TRUE(hit.status.ok());
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.report.best_cost, miss.report.best_cost);
+  EXPECT_EQ(hit.report.best_order, miss.report.best_order);
+  EXPECT_EQ(hit.report.stats.valid, miss.report.stats.valid);
+
+  const auto snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.hits"), 1.0);
+  EXPECT_EQ(snapshot.gauges.at("serve.cache.misses"), 1.0);
+  EXPECT_EQ(snapshot.counters.at("serve.cache_hit"), 1u);
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(ServeTest, PlanKeySeparatesResultDeterminingFields) {
+  const Query query = MakeQuery(3);
+  const QjoConfig base = FastConfig(7);
+  QjoConfig other_seed = base;
+  other_seed.seed = 8;
+  QjoConfig other_backend = base;
+  other_backend.backend = QjoBackend::kExact;
+  QjoConfig other_parallelism = base;
+  other_parallelism.parallelism = 8;
+
+  const std::string key = OptimizerService::PlanKey(query, base);
+  EXPECT_NE(key, OptimizerService::PlanKey(query, other_seed));
+  EXPECT_NE(key, OptimizerService::PlanKey(query, other_backend));
+  EXPECT_NE(key, OptimizerService::PlanKey(MakeQuery(4), base));
+  // Parallelism never changes results, so it must not split the cache.
+  EXPECT_EQ(key, OptimizerService::PlanKey(query, other_parallelism));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity.
+
+TEST(ServeTest, BitIdenticalToDirectCallsAcrossWorkerCounts) {
+  // The acceptance contract: a cache-miss response is bit-identical to
+  // the direct OptimizeJoinOrder call, at any worker count and with a
+  // shared pool under the futures.
+  std::vector<ServeRequest> requests;
+  for (int relations = 3; relations <= 5; ++relations) {
+    for (uint64_t seed : {7u, 71u, 713u}) {
+      ServeRequest request;
+      request.query = MakeQuery(relations);
+      request.config = FastConfig(seed);
+      request.config.shots = 96;
+      request.tenant = "t" + std::to_string(relations);
+      request.bypass_cache = true;  // force the solve path every time
+      requests.push_back(std::move(request));
+    }
+  }
+
+  std::vector<QjoReport> direct;
+  direct.reserve(requests.size());
+  for (const auto& request : requests) {
+    auto report = OptimizeJoinOrder(request.query, request.config);
+    ASSERT_TRUE(report.ok());
+    direct.push_back(std::move(report).value());
+  }
+
+  for (int workers : {1, 4, 8}) {
+    ThreadPool pool(4);
+    ServeOptions options;
+    options.workers = workers;
+    options.queue_capacity = 64;
+    options.pool = &pool;
+    OptimizerService service(options);
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(requests.size());
+    for (const auto& request : requests) {
+      auto future = service.Submit(request);
+      ASSERT_TRUE(future.ok());
+      futures.push_back(std::move(future).value());
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      const ServeResult result = futures[i].get();
+      ASSERT_TRUE(result.status.ok()) << "workers=" << workers << " slot " << i;
+      EXPECT_FALSE(result.cache_hit);
+      EXPECT_EQ(result.report.best_cost, direct[i].best_cost)
+          << "workers=" << workers << " slot " << i;
+      EXPECT_EQ(result.report.best_order, direct[i].best_order);
+      EXPECT_EQ(result.report.stats.valid, direct[i].stats.valid);
+      EXPECT_EQ(result.report.stats.optimal, direct[i].stats.optimal);
+    }
+    service.Drain();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+TEST(ServeTest, DrainWaitsForAllAdmittedRequests) {
+  ServeOptions options;
+  options.workers = 2;
+  OptimizerService service(options);
+  std::vector<std::future<ServeResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    auto future = service.Submit(QuickRequest("t" + std::to_string(i % 3),
+                                              static_cast<uint64_t>(i)));
+    ASSERT_TRUE(future.ok());
+    futures.push_back(std::move(future).value());
+  }
+  service.Drain();
+  for (auto& future : futures) {
+    // Drain implies every promise is already fulfilled.
+    ASSERT_EQ(future.wait_for(0s), std::future_status::ready);
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  EXPECT_EQ(service.stats().completed, 8u);
+}
+
+TEST(ServeTest, ShutdownFailsQueuedRequestsCleanly) {
+  std::future<ServeResult> in_flight;
+  std::future<ServeResult> orphaned;
+  {
+    ServeOptions options;
+    options.workers = 1;
+    OptimizerService service(options);
+    auto slow = service.Submit(SlowRequest());
+    ASSERT_TRUE(slow.ok());
+    in_flight = std::move(slow).value();
+    WaitDequeued(service);
+    auto queued = service.Submit(QuickRequest());
+    ASSERT_TRUE(queued.ok());
+    orphaned = std::move(queued).value();
+    // Service destructor runs here while the slow solve still occupies
+    // the only worker: the solve runs to completion, the queued request
+    // is never dispatched and fails with FailedPrecondition.
+  }
+  EXPECT_TRUE(in_flight.get().status.ok());
+  const ServeResult result = orphaned.get();
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace qjo
