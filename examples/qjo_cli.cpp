@@ -13,6 +13,8 @@
 //           [--serve] [--serve-requests R] [--serve-tenants T]
 //           [--serve-workers W] [--serve-queue-cap Q]
 //           [--serve-tenant-quota Q] [--serve-deadline-ms D]
+//           [--serve-duplicate-rate F] [--serve-tenant-rate R]
+//           [--serve-tenant-burst B] [--serve-warmup-file FILE]
 
 #include <algorithm>
 #include <cstdio>
@@ -62,6 +64,10 @@ struct CliArgs {
   size_t serve_queue_cap = 256;
   size_t serve_tenant_quota = 0;  // 0 = unlimited
   double serve_deadline_ms = -1.0;
+  double serve_duplicate_rate = 0.0;  // chance a submit repeats the previous
+  double serve_tenant_rate = 0.0;     // token-bucket admissions/sec (0 = off)
+  double serve_tenant_burst = 0.0;    // bucket capacity (0 = max(1, rate))
+  std::string serve_warmup_file;      // plan-cache key persistence
 };
 
 int Fail(const char* message) {
@@ -116,7 +122,17 @@ void PrintHelp() {
       "  --serve-queue-cap Q admission queue capacity (default 256)\n"
       "  --serve-tenant-quota Q  per-tenant in-flight cap (default 0 = off)\n"
       "  --serve-deadline-ms D   per-request deadline incl. queue wait\n"
-      "                    (default: none)\n");
+      "                    (default: none)\n"
+      "  --serve-duplicate-rate F  probability in [0,1] that a submit\n"
+      "                    repeats the previous request back-to-back —\n"
+      "                    duplicates coalesce onto the in-flight solve\n"
+      "                    (default 0)\n"
+      "  --serve-tenant-rate R   per-tenant token-bucket rate limit in\n"
+      "                    admissions/sec (default 0 = off)\n"
+      "  --serve-tenant-burst B  token-bucket capacity (default: max(1, R))\n"
+      "  --serve-warmup-file FILE  load plan-cache keys from FILE at start\n"
+      "                    (pre-solving matching requests before traffic)\n"
+      "                    and persist the live key set on drain\n");
 }
 
 int RunServe(const CliArgs& args) {
@@ -163,11 +179,29 @@ int RunServe(const CliArgs& args) {
   options.queue_capacity = args.serve_queue_cap;
   options.per_tenant_inflight = args.serve_tenant_quota;
   options.default_deadline_ms = args.serve_deadline_ms;
+  options.tenant_rate_per_sec = args.serve_tenant_rate;
+  options.tenant_burst = args.serve_tenant_burst;
+  options.warmup_file = args.serve_warmup_file;
   options.pool = &pool;
   if (!args.trace_out.empty()) options.trace = &trace.emplace();
   if (!args.metrics_out.empty()) options.metrics = &metrics.emplace();
 
   OptimizerService service(options);
+  if (!service.warmup_keys().empty()) {
+    // Replay the tenant query templates against the persisted key set so
+    // the cache starts hot for any of them served last run.
+    std::vector<ServeRequest> templates;
+    templates.reserve(queries.size());
+    for (const Query& query : queries) {
+      ServeRequest request;
+      request.query = query;
+      request.config = config;
+      templates.push_back(std::move(request));
+    }
+    const size_t warmed = service.WarmUp(templates);
+    std::printf("serve: warmed %zu plan-cache entries from %s\n", warmed,
+                args.serve_warmup_file.c_str());
+  }
   struct Outcome {
     int index;
     std::string tenant;
@@ -175,8 +209,16 @@ int RunServe(const CliArgs& args) {
   };
   std::vector<Outcome> admitted;
   int rejected = 0;
+  Rng dup_rng(args.seed + 1);
+  int last_t = 0;
   for (int i = 0; i < args.serve_requests; ++i) {
-    const int t = i % tenants;
+    // A duplicate re-submits the previous (tenant, query) back-to-back
+    // while the original is still in flight, so it coalesces instead of
+    // costing a second solve.
+    const bool duplicate = i > 0 && args.serve_duplicate_rate > 0.0 &&
+                           dup_rng.Bernoulli(args.serve_duplicate_rate);
+    const int t = duplicate ? last_t : i % tenants;
+    last_t = t;
     ServeRequest request;
     request.query = queries[t];
     request.config = config;
@@ -195,7 +237,7 @@ int RunServe(const CliArgs& args) {
         {i, "tenant-" + std::to_string(t), std::move(future).value()});
   }
 
-  int ok = 0, failed = 0, hits = 0, degraded = 0;
+  int ok = 0, failed = 0, hits = 0, degraded = 0, coalesced = 0;
   for (auto& outcome : admitted) {
     ServeResult result = outcome.future.get();
     if (result.status.ok()) {
@@ -205,11 +247,13 @@ int RunServe(const CliArgs& args) {
     }
     if (result.cache_hit) ++hits;
     if (result.degraded) ++degraded;
+    if (result.coalesced) ++coalesced;
     if (args.verbose) {
-      std::printf("request %3d %-9s %s queue %.2f ms, solve %.2f ms%s%s\n",
+      std::printf("request %3d %-9s %s queue %.2f ms, solve %.2f ms%s%s%s\n",
                   outcome.index, outcome.tenant.c_str(),
                   result.status.ok() ? "ok    " : "FAILED", result.queue_ms,
                   result.solve_ms, result.cache_hit ? ", cache hit" : "",
+                  result.coalesced ? ", coalesced" : "",
                   result.degraded ? ", degraded" : "");
       if (!result.status.ok()) {
         std::printf("            %s\n", result.status.ToString().c_str());
@@ -221,13 +265,24 @@ int RunServe(const CliArgs& args) {
   const auto stats = service.stats();
   std::printf(
       "serve: %llu submitted, %d admitted, %d rejected "
-      "(%llu queue-full, %llu tenant-quota)\n",
+      "(%llu queue-full, %llu tenant-quota, %llu rate-limited)\n",
       static_cast<unsigned long long>(stats.submitted),
       static_cast<int>(admitted.size()), rejected,
       static_cast<unsigned long long>(stats.rejected_queue_full),
-      static_cast<unsigned long long>(stats.rejected_tenant_quota));
-  std::printf("serve: %d ok, %d failed, %d cache hits, %d degraded\n", ok,
-              failed, hits, degraded);
+      static_cast<unsigned long long>(stats.rejected_tenant_quota),
+      static_cast<unsigned long long>(stats.rejected_rate_limited));
+  std::printf(
+      "serve: %d ok, %d failed, %d cache hits, %d coalesced, %d degraded "
+      "(%llu solves for %llu completions",
+      ok, failed, hits, coalesced, degraded,
+      static_cast<unsigned long long>(stats.solves),
+      static_cast<unsigned long long>(stats.completed));
+  if (stats.warmed > 0) {
+    std::printf("; %llu warmed, %llu warm hits",
+                static_cast<unsigned long long>(stats.warmed),
+                static_cast<unsigned long long>(stats.warm_hits));
+  }
+  std::printf(")\n");
   if (service.plan_cache() != nullptr) {
     const auto cache = service.plan_cache()->stats();
     std::printf(
@@ -472,6 +527,25 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--serve-deadline-ms needs a value");
       args.serve_deadline_ms = std::atof(v);
+    } else if (flag == "--serve-duplicate-rate") {
+      const char* v = next();
+      if (!v) return Fail("--serve-duplicate-rate needs a value");
+      args.serve_duplicate_rate = std::atof(v);
+      if (args.serve_duplicate_rate < 0.0 || args.serve_duplicate_rate > 1.0) {
+        return Fail("--serve-duplicate-rate must be in [0, 1]");
+      }
+    } else if (flag == "--serve-tenant-rate") {
+      const char* v = next();
+      if (!v) return Fail("--serve-tenant-rate needs a value");
+      args.serve_tenant_rate = std::atof(v);
+    } else if (flag == "--serve-tenant-burst") {
+      const char* v = next();
+      if (!v) return Fail("--serve-tenant-burst needs a value");
+      args.serve_tenant_burst = std::atof(v);
+    } else if (flag == "--serve-warmup-file") {
+      const char* v = next();
+      if (!v) return Fail("--serve-warmup-file needs a file path");
+      args.serve_warmup_file = v;
     } else if (flag == "--noiseless") {
       args.noiseless = true;
     } else if (flag == "--verbose") {

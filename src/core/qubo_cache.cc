@@ -75,37 +75,58 @@ StatusOr<std::shared_ptr<const JoQuboEncoding>> QuboBuildCache::GetOrBuild(
     const Query& query, const JoEncodingOptions& options) {
   const std::string key = JoEncodingFingerprint(query, options);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(std::string_view(key));
     if (it != entries_.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       lru_.splice(lru_.begin(), lru_, it->second);  // mark most recent
       return it->second->second;
     }
+    // Single-flight: if another thread is mid-build on this key, wait on
+    // its BuildState instead of encoding a duplicate. Waiters count as
+    // hits (they reuse a build) plus coalesced_builds.
+    if (auto building = building_.find(key); building != building_.end()) {
+      std::shared_ptr<BuildState> state = building->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_builds_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      std::unique_lock<std::mutex> wait_lock(state->mutex);
+      state->cv.wait(wait_lock, [&] { return state->done; });
+      return state->result;
+    }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    building_.emplace(key, std::make_shared<BuildState>());
   }
   // Build outside the lock: a slow encode must not serialise unrelated
-  // queries of a batch. A concurrent miss on the same key builds the same
-  // (deterministic) entry; the first insert wins.
-  QJO_ASSIGN_OR_RETURN(std::shared_ptr<const JoQuboEncoding> built,
-                       BuildJoQuboEncoding(query, options));
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (auto it = entries_.find(std::string_view(key)); it != entries_.end()) {
-    // A concurrent build of the same key won the insert race: keep the
-    // published entry and drop this duplicate without evicting anything.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->second;
+  // queries of a batch. The building_ entry guarantees no concurrent
+  // build of the same key; publish to waiters whatever happens.
+  StatusOr<std::shared_ptr<const JoQuboEncoding>> built =
+      BuildJoQuboEncoding(query, options);
+  std::shared_ptr<BuildState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto building = building_.find(key);
+    state = building->second;
+    building_.erase(building);
+    if (built.ok()) {
+      if (entries_.size() >= max_entries_) {
+        // Displace exactly the least-recently-used entry; one cold key
+        // can no longer dump every hot entry.
+        entries_.erase(std::string_view(lru_.back().first));
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lru_.emplace_front(key, *built);
+      entries_.emplace(std::string_view(lru_.front().first), lru_.begin());
+    }
   }
-  if (entries_.size() >= max_entries_) {
-    // Displace exactly the least-recently-used entry; one cold key can
-    // no longer dump every hot entry.
-    entries_.erase(std::string_view(lru_.back().first));
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> publish(state->mutex);
+    state->result = built;
+    state->done = true;
   }
-  lru_.emplace_front(key, std::move(built));
-  entries_.emplace(std::string_view(lru_.front().first), lru_.begin());
-  return lru_.front().second;
+  state->cv.notify_all();
+  return built;
 }
 
 QuboBuildCache::Stats QuboBuildCache::stats() const {
@@ -116,6 +137,7 @@ QuboBuildCache::Stats QuboBuildCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.coalesced_builds = coalesced_builds_.load(std::memory_order_relaxed);
   return s;
 }
 

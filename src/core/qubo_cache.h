@@ -2,6 +2,7 @@
 #define QJO_CORE_QUBO_CACHE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -61,18 +62,25 @@ std::string JoEncodingFingerprint(const Query& query,
 /// cached. When an insert would exceed `max_entries`, exactly the
 /// least-recently-used entry is evicted (entries already handed out stay
 /// alive through their shared_ptr); a lookup that finds the key already
-/// present — including the re-check after a concurrent same-key build —
-/// never evicts anything. Eviction counts are surfaced in Stats so a
-/// workload that thrashes the cache (e.g. a decomposition loop whose
+/// present never evicts anything. Eviction counts are surfaced in Stats
+/// so a workload that thrashes the cache (e.g. a decomposition loop whose
 /// window shapes exceed the capacity) is visible instead of silent.
+///
+/// Builds are single-flight: a miss that lands while another thread is
+/// already building the same key waits for that build and shares its
+/// result instead of encoding a duplicate — with the serving layer
+/// pointing every request at one shared cache, concurrent requests can
+/// never build the same QUBO twice. Waiters are counted as hits (they
+/// reused a build) plus `coalesced_builds`; a failed build is handed to
+/// its waiters but never cached, so the next caller retries.
 class QuboBuildCache {
  public:
   explicit QuboBuildCache(size_t max_entries = 1024);
 
   /// Returns the cached entry for (query, options), building and
-  /// inserting it on a miss. Concurrent misses on the same key may build
-  /// twice; exactly one result is retained (the duplicate insert is
-  /// dropped without evicting anything).
+  /// inserting it on a miss. Concurrent misses on the same key
+  /// single-flight: one thread builds, the rest block on that build and
+  /// share its result.
   StatusOr<std::shared_ptr<const JoQuboEncoding>> GetOrBuild(
       const Query& query, const JoEncodingOptions& options);
 
@@ -82,6 +90,10 @@ class QuboBuildCache {
     /// Entries displaced one at a time (LRU order) by inserts at
     /// capacity. Never incremented by hits or duplicate-key inserts.
     uint64_t evictions = 0;
+    /// Lookups that found the key being built by another thread and
+    /// waited for that build instead of starting a duplicate one. Such
+    /// lookups are also counted in `hits`.
+    uint64_t coalesced_builds = 0;
     double hit_rate() const {
       const uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
@@ -105,6 +117,17 @@ class QuboBuildCache {
   using LruList =
       std::list<std::pair<std::string, std::shared_ptr<const JoQuboEncoding>>>;
 
+  /// One in-flight build: the builder publishes its result under `mutex`
+  /// and notifies; waiters block on `cv`. Lives in `building_` only while
+  /// the build runs, but shared_ptr-held waiters may outlive that window.
+  struct BuildState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    StatusOr<std::shared_ptr<const JoQuboEncoding>> result =
+        Status::Internal("build not finished");
+  };
+
   const size_t max_entries_;
   mutable std::mutex mutex_;
   /// Relaxed atomics so stats() never blocks a lookup (see the contract
@@ -112,9 +135,13 @@ class QuboBuildCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> coalesced_builds_{0};
   LruList lru_;
   /// Keys view into the node-stable strings owned by `lru_`.
   std::unordered_map<std::string_view, LruList::iterator> entries_;
+  /// Keys currently being built (single-flight registry). Owns its key
+  /// strings: the LRU node does not exist until the build lands.
+  std::unordered_map<std::string, std::shared_ptr<BuildState>> building_;
 };
 
 }  // namespace qjo

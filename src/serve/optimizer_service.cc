@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 #include "jo/classical.h"
@@ -15,6 +17,8 @@ namespace qjo {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+constexpr char kWarmupHeader[] = "qjo-plan-cache-keys v1";
 
 double MsBetween(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
@@ -39,11 +43,38 @@ void AppendDouble(std::string* key, const char* tag, double v) {
 
 }  // namespace
 
+double RetryAfterHintMs(double avg_solve_ms, size_t backlog, size_t workers,
+                        double max_retry_after_ms) {
+  constexpr double kDefaultAvgMs = 50.0;
+  if (!std::isfinite(avg_solve_ms) || avg_solve_ms <= 0.0) {
+    avg_solve_ms = kDefaultAvgMs;
+  }
+  const double hint = avg_solve_ms * static_cast<double>(backlog) /
+                      static_cast<double>(std::max<size_t>(1, workers));
+  if (max_retry_after_ms > 0.0 && hint > max_retry_after_ms) {
+    return max_retry_after_ms;
+  }
+  return std::max(hint, 0.0);
+}
+
 OptimizerService::OptimizerService(const ServeOptions& options)
     : options_(options) {
   if (options_.enable_plan_cache) {
     cache_ = std::make_unique<PlanCache>(options_.cache);
   }
+  if (options_.share_build_cache) {
+    build_cache_ = std::make_unique<QuboBuildCache>(
+        std::max<size_t>(1, options_.build_cache_entries));
+  }
+  if (!options_.warmup_file.empty()) {
+    pending_warmup_keys_ = LoadWarmupKeys(options_.warmup_file);
+    if (options_.metrics != nullptr && !pending_warmup_keys_.empty()) {
+      options_.metrics->Count("serve.warmup.keys_loaded",
+                              pending_warmup_keys_.size());
+    }
+  }
+  reaper_ = std::jthread(
+      [this](std::stop_token stop) { ReaperLoop(std::move(stop)); });
   const int workers = std::max(1, options_.workers);
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {
@@ -54,24 +85,38 @@ OptimizerService::OptimizerService(const ServeOptions& options)
 
 OptimizerService::~OptimizerService() {
   for (auto& worker : workers_) worker.request_stop();
+  reaper_.request_stop();
   // wait(lock, stop, pred) wakes on request_stop; joining here (instead of
   // relying on member destruction order) lets us fail the never-dispatched
   // requests afterwards knowing no worker will race us for them.
   for (auto& worker : workers_) worker.join();
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [tenant, lane] : lanes_) {
-    for (auto& pending : lane) {
+  reaper_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto fail = [](Pending& pending) {
       ServeResult result;
       result.status = Status::FailedPrecondition(
           "optimizer service shut down before the request was dispatched");
-      pending->promise.set_value(std::move(result));
+      pending.promise.set_value(std::move(result));
+    };
+    for (auto& [tenant, lane] : lanes_) {
+      for (auto& pending : lane) fail(*pending);
     }
+    // Followers whose leader never got dispatched (it sits in a lane
+    // above) or whose leader's epilogue raced shutdown are still parked
+    // here; they hold no queue slot, so the lane sweep missed them.
+    for (auto& [key, entry] : inflight_) {
+      for (auto& pending : entry->followers) fail(*pending);
+    }
+    lanes_.clear();
+    rotation_.clear();
+    inflight_.clear();
+    tenant_inflight_.clear();
+    queued_ = 0;
+    coalesced_waiting_ = 0;
   }
-  lanes_.clear();
-  rotation_.clear();
-  tenant_inflight_.clear();
-  queued_ = 0;
   drained_.notify_all();
+  if (!options_.warmup_file.empty()) SaveWarmupKeys(options_.warmup_file);
 }
 
 StatusOr<std::future<ServeResult>> OptimizerService::Submit(
@@ -83,15 +128,66 @@ StatusOr<std::future<ServeResult>> OptimizerService::Submit(
   const double budget_ms = request.deadline_ms > 0.0
                                ? request.deadline_ms
                                : options_.default_deadline_ms;
+  const bool coalescible = options_.enable_coalescing && !request.bypass_cache;
+  // The plan key doubles as the single-flight identity, so compute it
+  // whenever either consumer (cache or coalescer) wants it — outside the
+  // lock; fingerprinting a large query under the admission mutex would
+  // serialise every submit behind it.
+  std::string key;
+  if (coalescible || (cache_ != nullptr && !request.bypass_cache)) {
+    key = PlanKey(request.query, request.config);
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   // Retry-after hint: the backlog ahead of (and including) this request,
   // paced at the observed mean solve time, spread over the workers.
-  const double backlog = static_cast<double>(queued_ + running_ + 1);
-  const double hint = avg_solve_ms_.load(std::memory_order_relaxed) *
-                      backlog /
-                      static_cast<double>(std::max<size_t>(1, workers_.size()));
-  if (queued_ >= options_.queue_capacity) {
+  const double hint =
+      RetryAfterHintMs(avg_solve_ms_.load(std::memory_order_relaxed),
+                       queued_ + running_ + 1, workers_.size(),
+                       options_.max_retry_after_ms);
+  const auto inflight =
+      coalescible ? inflight_.find(key) : inflight_.end();
+  const bool follower = coalescible && inflight != inflight_.end();
+  const double cost = follower ? options_.follower_quota_weight : 1.0;
+
+  // Rate limit first: the bucket polices how often a tenant may knock at
+  // all, before shared resources (queue slots, quotas) are considered.
+  if (options_.tenant_rate_per_sec > 0.0) {
+    auto bucket = buckets_.find(request.tenant);
+    if (bucket == buckets_.end()) {
+      const double burst = options_.tenant_burst > 0.0
+                               ? options_.tenant_burst
+                               : std::max(1.0, options_.tenant_rate_per_sec);
+      bucket = buckets_
+                   .emplace(request.tenant,
+                            TokenBucket(options_.tenant_rate_per_sec, burst,
+                                        now))
+                   .first;
+    }
+    double refill_ms = 0.0;
+    if (!bucket->second.TryAcquireAt(now, cost, &refill_ms)) {
+      rejected_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      if (options_.metrics != nullptr) {
+        options_.metrics->Count("serve.rejected.rate_limited");
+      }
+      // The bucket rejected, so the honest hint is its refill time — the
+      // queue-depth estimate says when a *worker* frees up, which is
+      // irrelevant while the tenant is over rate.
+      const double bucket_hint =
+          options_.max_retry_after_ms > 0.0
+              ? std::min(refill_ms, options_.max_retry_after_ms)
+              : refill_ms;
+      if (retry_after_ms != nullptr) *retry_after_ms = bucket_hint;
+      return Status::ResourceExhausted(
+          "tenant '" + request.tenant + "' over its request rate (" +
+          std::to_string(options_.tenant_rate_per_sec) +
+          "/s); retry after ~" + std::to_string(bucket_hint) + " ms");
+    }
+  }
+  // A follower takes no queue slot, so the capacity check applies only to
+  // requests that will actually occupy one.
+  if (!follower && queued_ >= options_.queue_capacity) {
     rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
     if (options_.metrics != nullptr) {
@@ -105,8 +201,9 @@ StatusOr<std::future<ServeResult>> OptimizerService::Submit(
   }
   if (options_.per_tenant_inflight > 0) {
     auto it = tenant_inflight_.find(request.tenant);
-    if (it != tenant_inflight_.end() &&
-        it->second >= options_.per_tenant_inflight) {
+    const double current = it != tenant_inflight_.end() ? it->second : 0.0;
+    if (current + cost >
+        static_cast<double>(options_.per_tenant_inflight) + 1e-9) {
       rejected_tenant_quota_.fetch_add(1, std::memory_order_relaxed);
       lock.unlock();
       if (options_.metrics != nullptr) {
@@ -129,8 +226,37 @@ StatusOr<std::future<ServeResult>> OptimizerService::Submit(
                                       std::chrono::duration<double, std::milli>(
                                           budget_ms))
                           : Clock::time_point::max();
+  pending->plan_key = std::move(key);
+  pending->quota_cost = cost;
   std::future<ServeResult> future = pending->promise.get_future();
+  tenant_inflight_[pending->request.tenant] += cost;
 
+  if (follower) {
+    // Single flight: attach to the in-flight leader instead of queueing a
+    // second solve for the same plan key. The leader's epilogue resolves
+    // (or, if its answer isn't shareable, re-dispatches) us; the reaper
+    // covers our own deadline meanwhile.
+    inflight->second->followers.push_back(std::move(pending));
+    ++coalesced_waiting_;
+    ++reaper_generation_;
+    lock.unlock();
+    reaper_wakeup_.notify_all();
+    return future;
+  }
+  if (coalescible) {
+    // Register the single-flight entry at admission (not at dispatch), so
+    // a duplicate arriving while the leader still queues coalesces too.
+    pending->is_leader = true;
+    inflight_.emplace(pending->plan_key, std::make_unique<InflightSolve>());
+  }
+  EnqueueLocked(std::move(pending), /*front=*/false);
+  lock.unlock();
+  work_ready_.notify_one();
+  return future;
+}
+
+void OptimizerService::EnqueueLocked(std::unique_ptr<Pending> pending,
+                                     bool front) {
   const std::string& tenant = pending->request.tenant;
   auto lane = lanes_.find(tenant);
   if (lane == lanes_.end()) {
@@ -141,12 +267,12 @@ StatusOr<std::future<ServeResult>> OptimizerService::Submit(
                .first;
     rotation_.push_back(tenant);
   }
-  lane->second.push_back(std::move(pending));
+  if (front) {
+    lane->second.push_front(std::move(pending));
+  } else {
+    lane->second.push_back(std::move(pending));
+  }
   ++queued_;
-  ++tenant_inflight_[tenant];
-  lock.unlock();
-  work_ready_.notify_one();
-  return future;
 }
 
 std::unique_ptr<OptimizerService::Pending> OptimizerService::PopLocked() {
@@ -193,16 +319,80 @@ void OptimizerService::WorkerLoop(std::stop_token stop) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
-      FinishTenant(pending->request.tenant);
+      FinishTenant(pending->request.tenant, pending->quota_cost);
     }
     drained_.notify_all();
   }
 }
 
-void OptimizerService::FinishTenant(const std::string& tenant) {
+void OptimizerService::ReaperLoop(std::stop_token stop) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop.stop_requested()) {
+    const auto now = Clock::now();
+    auto next = Clock::time_point::max();
+    std::vector<std::unique_ptr<Pending>> expired;
+    for (auto& [key, entry] : inflight_) {
+      auto& followers = entry->followers;
+      for (size_t i = 0; i < followers.size();) {
+        if (followers[i]->deadline <= now) {
+          expired.push_back(std::move(followers[i]));
+          followers[i] = std::move(followers.back());
+          followers.pop_back();
+        } else {
+          next = std::min(next, followers[i]->deadline);
+          ++i;
+        }
+      }
+    }
+    if (!expired.empty()) {
+      // Solve outside the lock: the degraded fallback is classical DP and
+      // can take milliseconds, which must not stall admission.
+      lock.unlock();
+      for (auto& pending : expired) {
+        ServeResult result;
+        result.degraded = true;
+        result.deadline_expired_in_queue = true;
+        degraded_.fetch_add(1, std::memory_order_relaxed);
+        expired_in_queue_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics != nullptr) {
+          options_.metrics->Count("serve.degraded");
+          options_.metrics->Count("serve.expired_in_queue");
+        }
+        const auto solve_start = Clock::now();
+        result.queue_ms = MsBetween(pending->submitted, solve_start);
+        result.status = DegradedSolve(pending->request, &result.report);
+        result.solve_ms = MsBetween(solve_start, Clock::now());
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics != nullptr) options_.metrics->Count("serve.completed");
+        pending->promise.set_value(std::move(result));
+      }
+      lock.lock();
+      // Release accounting only after the promises resolved, so Drain()
+      // cannot return while a follower's future is still unset.
+      for (auto& pending : expired) {
+        --coalesced_waiting_;
+        FinishTenant(pending->request.tenant, pending->quota_cost);
+      }
+      drained_.notify_all();
+      continue;  // re-scan: attaches may have happened while unlocked
+    }
+    const uint64_t generation = reaper_generation_;
+    const auto rearmed = [this, generation] {
+      return reaper_generation_ != generation;
+    };
+    if (next == Clock::time_point::max()) {
+      reaper_wakeup_.wait(lock, stop, rearmed);
+    } else {
+      reaper_wakeup_.wait_until(lock, stop, next, rearmed);
+    }
+  }
+}
+
+void OptimizerService::FinishTenant(const std::string& tenant, double cost) {
   auto it = tenant_inflight_.find(tenant);
   if (it == tenant_inflight_.end()) return;
-  if (--it->second == 0) tenant_inflight_.erase(it);
+  it->second -= cost;
+  if (it->second <= 1e-9) tenant_inflight_.erase(it);
 }
 
 void OptimizerService::Process(Pending& pending) {
@@ -224,17 +414,26 @@ void OptimizerService::Process(Pending& pending) {
 
   // Cache first: a hit costs microseconds, so even an expired request is
   // better served from the cache than degraded.
-  std::string key;
+  const std::string& key = pending.plan_key;
   std::shared_ptr<const QjoReport> hit;
-  if (cache_ != nullptr && !request.bypass_cache) {
-    key = PlanKey(request.query, request.config);
-    hit = cache_->Lookup(key);
-  }
+  const bool use_cache =
+      cache_ != nullptr && !request.bypass_cache && !key.empty();
+  if (use_cache) hit = cache_->Lookup(key);
+  bool truncated = false;
   if (hit != nullptr) {
     result.report = *hit;
     result.cache_hit = true;
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
     if (options_.metrics != nullptr) options_.metrics->Count("serve.cache_hit");
+    if (has_warmed_keys_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (warmed_keys_.count(key) != 0) {
+        warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.metrics != nullptr) {
+          options_.metrics->Count("serve.warmup.hits");
+        }
+      }
+    }
   } else if (remaining_ms <= options_.degrade_margin_ms) {
     // Graceful degradation: (almost) no budget left at dequeue — answer
     // with the classical fallback instead of missing the deadline or
@@ -257,6 +456,12 @@ void OptimizerService::Process(Pending& pending) {
     if (config.pool == nullptr) config.pool = options_.pool;
     if (config.trace == nullptr) config.trace = options_.trace;
     if (config.metrics == nullptr) config.metrics = options_.metrics;
+    // Shared build cache: even when the plan cache misses, the encode
+    // stage reuses any prior request's CSR build for this fingerprint. A
+    // request carrying its own cache keeps it (caller wins).
+    if (config.qubo_cache == nullptr && build_cache_ != nullptr) {
+      config.qubo_cache = build_cache_.get();
+    }
 
     // Arm the shared monitor so deadline expiry mid-solve flips the stop
     // token and the portfolio/decomp strands wind down cooperatively. A
@@ -270,6 +475,7 @@ void OptimizerService::Process(Pending& pending) {
       armed = true;
     }
 
+    solves_.fetch_add(1, std::memory_order_relaxed);
     const auto solve_start = Clock::now();
     StatusOr<QjoReport> report = [&] {
       StageSpan span(options_.trace, "serve.solve");
@@ -288,10 +494,8 @@ void OptimizerService::Process(Pending& pending) {
       result.report = std::move(report).value();
       // Never cache a truncated (token-fired) result: it reflects this
       // request's deadline, not the config's full-budget answer.
-      const bool truncated =
-          armed && token.load(std::memory_order_relaxed);
-      if (cache_ != nullptr && !request.bypass_cache && !key.empty() &&
-          !truncated && result.report.found_valid) {
+      truncated = armed && token.load(std::memory_order_relaxed);
+      if (use_cache && !truncated && result.report.found_valid) {
         cache_->Insert(key, result.report);
       }
     } else {
@@ -307,7 +511,71 @@ void OptimizerService::Process(Pending& pending) {
     options_.metrics->Count("serve.completed");
     if (cache_ != nullptr) cache_->ExportGauges(options_.metrics);
   }
+  if (pending.is_leader) {
+    // Shareable = the full-fidelity answer any follower would have
+    // computed itself: not degraded, not deadline-truncated, valid (a
+    // cache hit qualifies — cached entries met the same bar on insert).
+    const bool shareable = result.status.ok() && !result.degraded &&
+                           !truncated && result.report.found_valid;
+    FinishInflight(pending, result, shareable);
+  }
   pending.promise.set_value(std::move(result));
+}
+
+void OptimizerService::FinishInflight(Pending& leader,
+                                      const ServeResult& result,
+                                      bool shareable) {
+  std::vector<std::unique_ptr<Pending>> followers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(leader.plan_key);
+    // The entry is registered at the leader's admission and removed only
+    // here (or at shutdown), so it must still be present.
+    if (it != inflight_.end()) {
+      followers = std::move(it->second->followers);
+      inflight_.erase(it);
+    }
+  }
+  if (followers.empty()) return;
+  const auto now = Clock::now();
+  if (shareable) {
+    for (auto& follower : followers) {
+      ServeResult copy;
+      copy.report = result.report;
+      copy.cache_hit = result.cache_hit;
+      copy.coalesced = true;
+      copy.queue_ms = MsBetween(follower->submitted, now);
+      copy.solve_ms = 0.0;
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (options_.metrics != nullptr) {
+        options_.metrics->Count("serve.coalesced");
+        options_.metrics->Count("serve.completed");
+      }
+      follower->promise.set_value(std::move(copy));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Accounting drops only after every promise resolved (Drain must not
+    // return while a follower's future is unset).
+    for (auto& follower : followers) {
+      --coalesced_waiting_;
+      FinishTenant(follower->request.tenant, follower->quota_cost);
+    }
+  } else {
+    // The leader's answer is degraded/truncated/failed — private to its
+    // own deadline or fate, not something to fan out. Re-dispatch the
+    // followers as ordinary requests; push_front keeps their effective
+    // queueing from restarting at the back. They stay non-leaders (no new
+    // single-flight entry), so two of them can't re-coalesce into a
+    // second stampede of waiting.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& follower : followers) {
+      --coalesced_waiting_;
+      EnqueueLocked(std::move(follower), /*front=*/true);
+    }
+    work_ready_.notify_all();
+  }
+  drained_.notify_all();
 }
 
 Status OptimizerService::DegradedSolve(const ServeRequest& request,
@@ -334,8 +602,75 @@ Status OptimizerService::DegradedSolve(const ServeRequest& request,
 }
 
 void OptimizerService::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drained_.wait(lock, [this] { return queued_ == 0 && running_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] {
+      return queued_ == 0 && running_ == 0 && coalesced_waiting_ == 0;
+    });
+  }
+  if (!options_.warmup_file.empty()) SaveWarmupKeys(options_.warmup_file);
+}
+
+size_t OptimizerService::WarmUp(const std::vector<std::string>& keys,
+                                std::span<const ServeRequest> workload) {
+  if (cache_ == nullptr || keys.empty()) return 0;
+  StageSpan span(options_.trace, "serve.warmup");
+  const std::unordered_set<std::string_view> wanted(keys.begin(), keys.end());
+  std::unordered_set<std::string> done;
+  size_t warmed = 0;
+  for (const ServeRequest& request : workload) {
+    if (request.bypass_cache) continue;
+    std::string key = PlanKey(request.query, request.config);
+    if (wanted.find(key) == wanted.end() || done.count(key) != 0) continue;
+    done.insert(key);
+    QjoConfig config = request.config;
+    if (config.pool == nullptr) config.pool = options_.pool;
+    if (config.trace == nullptr) config.trace = options_.trace;
+    if (config.metrics == nullptr) config.metrics = options_.metrics;
+    if (config.qubo_cache == nullptr && build_cache_ != nullptr) {
+      config.qubo_cache = build_cache_.get();
+    }
+    StatusOr<QjoReport> report = OptimizeJoinOrder(request.query, config);
+    if (!report.ok() || !report->found_valid) continue;
+    cache_->Insert(key, std::move(report).value());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      warmed_keys_.insert(std::move(key));
+    }
+    has_warmed_keys_.store(true, std::memory_order_relaxed);
+    warmed_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.metrics != nullptr) {
+      options_.metrics->Count("serve.warmup.warmed");
+    }
+    ++warmed;
+  }
+  return warmed;
+}
+
+size_t OptimizerService::WarmUp(std::span<const ServeRequest> workload) {
+  return WarmUp(pending_warmup_keys_, workload);
+}
+
+bool OptimizerService::SaveWarmupKeys(const std::string& path) const {
+  if (cache_ == nullptr) return false;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << kWarmupHeader << "\n";
+  for (const std::string& key : cache_->Keys()) out << key << "\n";
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> OptimizerService::LoadWarmupKeys(
+    const std::string& path) {
+  std::vector<std::string> keys;
+  std::ifstream in(path);
+  std::string line;
+  if (!in || !std::getline(in, line) || line != kWarmupHeader) return keys;
+  while (std::getline(in, line)) {
+    if (!line.empty()) keys.push_back(line);
+  }
+  return keys;
 }
 
 std::string OptimizerService::PlanKey(const Query& query,
@@ -381,16 +716,27 @@ OptimizerService::Stats OptimizerService::stats() const {
   s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
   s.rejected_tenant_quota =
       rejected_tenant_quota_.load(std::memory_order_relaxed);
+  s.rejected_rate_limited =
+      rejected_rate_limited_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.solves = solves_.load(std::memory_order_relaxed);
+  s.warmed = warmed_.load(std::memory_order_relaxed);
+  s.warm_hits = warm_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
 size_t OptimizerService::queued() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queued_;
+}
+
+size_t OptimizerService::coalesced_waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return coalesced_waiting_;
 }
 
 }  // namespace qjo

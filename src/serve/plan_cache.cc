@@ -125,6 +125,21 @@ void PlanCache::ExportGauges(MetricsRegistry* metrics) const {
                     static_cast<double>(s.ttl_expirations));
 }
 
+std::vector<std::string> PlanCache::Keys() const {
+  return KeysAt(Clock::now());
+}
+
+std::vector<std::string> PlanCache::KeysAt(Clock::time_point now) const {
+  std::vector<std::string> keys;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) {
+      if (!Expired(entry, now)) keys.push_back(entry.key);
+    }
+  }
+  return keys;
+}
+
 size_t PlanCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {

@@ -92,6 +92,13 @@ class PlanCache {
   /// exported numbers are the latest totals). Null registry = no-op.
   void ExportGauges(MetricsRegistry* metrics) const;
 
+  /// Snapshot of every live (non-expired at `now`) key, most recently
+  /// used first within each shard. This is the warm-up export: the
+  /// serving layer persists it on Drain()/shutdown and replays a matching
+  /// workload through WarmUp() on the next start.
+  std::vector<std::string> Keys() const;
+  std::vector<std::string> KeysAt(Clock::time_point now) const;
+
   size_t size() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
 

@@ -1,0 +1,53 @@
+#include "serve/token_bucket.h"
+
+#include <algorithm>
+
+namespace qjo {
+namespace {
+
+constexpr double kMinRate = 1e-9;  ///< tokens/sec; avoids divide-by-zero
+
+double SecondsBetween(TokenBucket::Clock::time_point from,
+                      TokenBucket::Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst,
+                         Clock::time_point start)
+    : rate_per_sec_(std::max(rate_per_sec, kMinRate)),
+      burst_(std::max(burst, kMinRate)),
+      tokens_(burst_),
+      last_refill_(start) {}
+
+void TokenBucket::RefillTo(Clock::time_point now) {
+  if (now <= last_refill_) return;  // steady_clock, but stay defensive
+  tokens_ = std::min(burst_,
+                     tokens_ + rate_per_sec_ * SecondsBetween(last_refill_, now));
+  last_refill_ = now;
+}
+
+bool TokenBucket::TryAcquireAt(Clock::time_point now, double cost,
+                               double* retry_after_ms) {
+  RefillTo(now);
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    return true;
+  }
+  if (retry_after_ms != nullptr) {
+    // Time until the deficit accrues at the refill rate. A cost above the
+    // burst ceiling can never succeed; report the full-cost refill time
+    // anyway so the caller sees a finite (if hopeless) number.
+    *retry_after_ms = 1000.0 * (cost - tokens_) / rate_per_sec_;
+  }
+  return false;
+}
+
+double TokenBucket::TokensAt(Clock::time_point now) const {
+  if (now <= last_refill_) return tokens_;
+  return std::min(burst_,
+                  tokens_ + rate_per_sec_ * SecondsBetween(last_refill_, now));
+}
+
+}  // namespace qjo

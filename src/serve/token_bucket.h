@@ -1,0 +1,52 @@
+#ifndef QJO_SERVE_TOKEN_BUCKET_H_
+#define QJO_SERVE_TOKEN_BUCKET_H_
+
+#include <chrono>
+
+namespace qjo {
+
+/// Classic token-bucket rate limiter: `rate_per_sec` tokens accrue
+/// continuously up to a `burst` ceiling, and an acquisition succeeds only
+/// when the bucket holds the full cost. The serving layer keeps one per
+/// tenant to police *request rate* independently of the in-flight quota
+/// (which polices concurrency): a tenant hammering cheap cache hits can
+/// stay under its quota forever yet still monopolise the admission path.
+///
+/// Deliberately clock-free: every method takes an explicit time point, so
+/// the service passes the submit timestamp it already read and tests
+/// drive refill behaviour deterministically. Not internally synchronised
+/// — the owner serialises access (the service holds its admission mutex).
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts full (burst tokens) at `start`. Non-positive rate/burst are
+  /// clamped to tiny positive values so a misconfigured bucket rejects
+  /// (almost) everything instead of dividing by zero.
+  TokenBucket(double rate_per_sec, double burst, Clock::time_point start);
+
+  /// Takes `cost` tokens at `now` if available and returns true. On
+  /// refusal returns false and, when `retry_after_ms` is non-null, writes
+  /// the exact time until the deficit refills at the configured rate —
+  /// the hint is derived from bucket state, not queue depth.
+  bool TryAcquireAt(Clock::time_point now, double cost,
+                    double* retry_after_ms = nullptr);
+
+  /// Tokens available at `now` (refill applied, before any acquisition).
+  double TokensAt(Clock::time_point now) const;
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
+
+ private:
+  void RefillTo(Clock::time_point now);
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+}  // namespace qjo
+
+#endif  // QJO_SERVE_TOKEN_BUCKET_H_

@@ -1,6 +1,9 @@
+#include <atomic>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -469,6 +472,43 @@ TEST(QuboCacheTest, PresentKeyNeverEvicts) {
   EXPECT_EQ(stats.evictions, 0u);
   EXPECT_EQ(stats.hits, 3u);
   EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(QuboCacheTest, ConcurrentGetOrBuildIsSingleFlight) {
+  // N threads racing GetOrBuild on one cold key: exactly one build runs
+  // (single flight); every other caller either waits on the in-progress
+  // build (coalesced) or hits the finished entry, and all of them share
+  // the same immutable encoding. Runs under TSan via the concurrency
+  // label.
+  const Query q = MakeChainQuery(6);
+  QuboBuildCache cache;
+  JoEncodingOptions options;
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const JoQuboEncoding>> results(kThreads);
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Spin barrier so the calls overlap instead of serialising on
+      // thread start-up.
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < kThreads) {
+      }
+      auto encoding = cache.GetOrBuild(q, options);
+      if (encoding.ok()) results[t] = *std::move(encoding);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  ASSERT_NE(results[0], nullptr);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t].get(), results[0].get()) << "thread " << t;
+  }
+  const QuboBuildCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u) << "exactly one build despite the stampede";
+  EXPECT_EQ(stats.hits, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_LE(stats.coalesced_builds, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(QuboCacheTest, EvictedEntriesStayAliveThroughSharedPtr) {

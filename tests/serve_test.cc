@@ -6,18 +6,24 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <future>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/quantum_optimizer.h"
+#include "core/qubo_cache.h"
 #include "jo/query.h"
 #include "obs/obs.h"
 #include "qubo/deadline_monitor.h"
 #include "serve/optimizer_service.h"
 #include "serve/plan_cache.h"
+#include "serve/token_bucket.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
@@ -53,6 +59,18 @@ ServeRequest SlowRequest(const std::string& tenant = "default") {
   request.config.shots = 1500;
   request.tenant = tenant;
   request.bypass_cache = true;
+  return request;
+}
+
+/// Coalescible twin of SlowRequest: same long solve, but cache/coalescing
+/// stay enabled so repeated calls share one plan key.
+ServeRequest SlowCoalescible(const std::string& tenant = "default",
+                             int shots = 1500) {
+  ServeRequest request;
+  request.query = MakeQuery(6);
+  request.config = FastConfig(11);
+  request.config.shots = shots;
+  request.tenant = tenant;
   return request;
 }
 
@@ -250,8 +268,10 @@ TEST(ServeTest, RejectsWhenQueueFull) {
   auto queued = service.Submit(QuickRequest());
   ASSERT_TRUE(queued.ok());  // fills the queue to capacity
 
+  // Distinct seed = distinct plan key, so this cannot coalesce onto the
+  // queued request and must face the capacity check.
   double retry_after = 0.0;
-  auto rejected = service.Submit(QuickRequest(), &retry_after);
+  auto rejected = service.Submit(QuickRequest("default", 8), &retry_after);
   ASSERT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   EXPECT_GT(retry_after, 0.0);
@@ -560,6 +580,299 @@ TEST(ServeTest, ShutdownFailsQueuedRequestsCleanly) {
   const ServeResult result = orphaned.get();
   EXPECT_FALSE(result.status.ok());
   EXPECT_EQ(result.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Retry-after hint.
+
+TEST(RetryAfterTest, MonotoneInBacklogAndClamped) {
+  const double max_ms = 500.0;
+  double prev = 0.0;
+  for (size_t backlog = 0; backlog <= 64; ++backlog) {
+    const double hint = RetryAfterHintMs(40.0, backlog, 4, max_ms);
+    EXPECT_GE(hint, prev) << "hint must grow with queue depth";
+    EXPECT_LE(hint, max_ms);
+    prev = hint;
+  }
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(40.0, 2, 4, max_ms), 20.0);
+  // A huge average saturates at the clamp instead of telling clients to
+  // come back in an hour.
+  EXPECT_DOUBLE_EQ(RetryAfterHintMs(1e9, 64, 1, max_ms), max_ms);
+}
+
+TEST(RetryAfterTest, PathologicalAverageFallsBackToDefault) {
+  const double pathological[] = {std::nan(""),
+                                 std::numeric_limits<double>::infinity(),
+                                 -std::numeric_limits<double>::infinity(),
+                                 -5.0, 0.0};
+  for (const double avg : pathological) {
+    double prev = 0.0;
+    for (size_t backlog = 0; backlog <= 32; ++backlog) {
+      const double hint = RetryAfterHintMs(avg, backlog, 2, 1000.0);
+      EXPECT_TRUE(std::isfinite(hint)) << "avg=" << avg;
+      EXPECT_GE(hint, prev);
+      EXPECT_LE(hint, 1000.0);
+      prev = hint;
+    }
+    // The default estimate (50 ms) takes over: 50 * 2 / 2 workers.
+    EXPECT_DOUBLE_EQ(RetryAfterHintMs(avg, 2, 2, 1e9), 50.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket.
+
+TEST(TokenBucketTest, BurstThenRefillDeterministically) {
+  const auto t0 = TokenBucket::Clock::now();
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/2.0, t0);
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(t0), 2.0);  // starts full
+  EXPECT_TRUE(bucket.TryAcquireAt(t0, 1.0));
+  EXPECT_TRUE(bucket.TryAcquireAt(t0, 1.0));
+  double retry = 0.0;
+  EXPECT_FALSE(bucket.TryAcquireAt(t0, 1.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 100.0);  // one token at 10/s = 100 ms away
+  // 50 ms later half a token has accrued — still short for cost 1.
+  EXPECT_FALSE(bucket.TryAcquireAt(t0 + 50ms, 1.0, &retry));
+  EXPECT_DOUBLE_EQ(retry, 50.0);  // the hint tracks the shrinking deficit
+  EXPECT_TRUE(bucket.TryAcquireAt(t0 + 100ms, 1.0));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurstAndFractionalCostsWork) {
+  const auto t0 = TokenBucket::Clock::now();
+  TokenBucket bucket(/*rate_per_sec=*/100.0, /*burst=*/3.0, t0);
+  // An idle eternity never banks more than the burst.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(t0 + std::chrono::minutes(10)), 3.0);
+  // Fractional costs (the follower quota weight) debit exactly.
+  EXPECT_TRUE(bucket.TryAcquireAt(t0, 0.25));
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(t0), 2.75);
+}
+
+TEST(ServeTest, RateLimitRejectionsUseBucketRefillHint) {
+  ServeOptions options;
+  options.workers = 1;
+  options.tenant_rate_per_sec = 1.0;  // refill far slower than the test
+  options.tenant_burst = 1.0;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  OptimizerService service(options);
+
+  auto admitted = service.Submit(QuickRequest("t"));
+  ASSERT_TRUE(admitted.ok()) << "burst admits the first request";
+  double retry_after = 0.0;
+  auto limited = service.Submit(QuickRequest("t", 8), &retry_after);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted);
+  // The bucket needs ~1 s to bank a whole token again; the queue-depth
+  // estimate would have said a few hundred ms at most.
+  EXPECT_GT(retry_after, 500.0);
+  EXPECT_LE(retry_after, options.max_retry_after_ms);
+
+  // Another tenant holds its own (full) bucket.
+  auto other = service.Submit(QuickRequest("u", 9));
+  ASSERT_TRUE(other.ok());
+
+  EXPECT_TRUE(std::move(admitted).value().get().status.ok());
+  EXPECT_TRUE(std::move(other).value().get().status.ok());
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_rate_limited, 1u);
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.rejected_tenant_quota, 0u);
+  EXPECT_EQ(metrics.Snapshot().counters.at("serve.rejected.rate_limited"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Single-flight coalescing.
+
+TEST(ServeTest, CoalescesIdenticalSubmitsToOneSolve) {
+  // The tentpole acceptance bar: N identical concurrent submits cost
+  // exactly one pipeline solve — measured three independent ways (service
+  // solve count, shared build-cache misses, thread-pool task dispatches)
+  // — at any worker count, and every response is bit-identical to the
+  // direct OptimizeJoinOrder call.
+  ServeRequest base = SlowCoalescible("default", /*shots=*/600);
+  base.config.parallelism = 4;
+
+  ThreadPool pool(4);
+  QjoConfig direct_config = base.config;
+  direct_config.pool = &pool;
+  const uint64_t direct_before = pool.tasks_dispatched();
+  auto direct = OptimizeJoinOrder(base.query, direct_config);
+  ASSERT_TRUE(direct.ok());
+  const uint64_t direct_tasks = pool.tasks_dispatched() - direct_before;
+
+  constexpr int kDuplicates = 6;
+  for (int workers : {1, 4, 8}) {
+    ServeOptions options;
+    options.workers = workers;
+    options.pool = &pool;
+    options.enable_plan_cache = false;  // isolate coalescing from the cache
+    OptimizerService service(options);
+    const uint64_t tasks_before = pool.tasks_dispatched();
+    std::vector<std::future<ServeResult>> futures;
+    futures.reserve(kDuplicates);
+    for (int i = 0; i < kDuplicates; ++i) {
+      auto future = service.Submit(base);
+      ASSERT_TRUE(future.ok()) << "workers=" << workers << " dup " << i;
+      futures.push_back(std::move(future).value());
+    }
+    int coalesced = 0;
+    for (auto& future : futures) {
+      const ServeResult result = future.get();
+      ASSERT_TRUE(result.status.ok()) << "workers=" << workers;
+      if (result.coalesced) {
+        ++coalesced;
+        EXPECT_EQ(result.solve_ms, 0.0) << "followers never solve";
+      }
+      EXPECT_EQ(result.report.best_cost, direct->best_cost)
+          << "workers=" << workers;
+      EXPECT_EQ(result.report.best_order, direct->best_order);
+      EXPECT_EQ(result.report.stats.valid, direct->stats.valid);
+      EXPECT_EQ(result.report.stats.optimal, direct->stats.optimal);
+    }
+    service.Drain();
+    EXPECT_EQ(coalesced, kDuplicates - 1) << "workers=" << workers;
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.solves, 1u) << "workers=" << workers;
+    EXPECT_EQ(stats.coalesced, static_cast<uint64_t>(kDuplicates - 1));
+    EXPECT_EQ(stats.completed, static_cast<uint64_t>(kDuplicates));
+    ASSERT_NE(service.build_cache(), nullptr);
+    EXPECT_EQ(service.build_cache()->stats().misses, 1u)
+        << "one QUBO build total, workers=" << workers;
+    EXPECT_EQ(pool.tasks_dispatched() - tasks_before, direct_tasks)
+        << "the coalesced batch must dispatch exactly a single solve's "
+           "work, workers="
+        << workers;
+  }
+}
+
+TEST(ServeTest, ExpiredFollowerDegradesInsteadOfWaitingForLeader) {
+  ServeOptions options;
+  options.workers = 1;
+  OptimizerService service(options);
+
+  // The leader occupies the only worker for on the order of a second.
+  auto leader = service.Submit(SlowCoalescible("default", /*shots=*/4000));
+  ASSERT_TRUE(leader.ok());
+  WaitDequeued(service);
+
+  // An identical request with a 20 ms budget coalesces onto the leader;
+  // the follower reaper must answer it (degraded) on its own deadline
+  // instead of letting it block until the leader finishes.
+  ServeRequest dup = SlowCoalescible("default", /*shots=*/4000);
+  dup.deadline_ms = 20.0;
+  auto follower = service.Submit(std::move(dup));
+  ASSERT_TRUE(follower.ok());
+  EXPECT_EQ(service.queued(), 0u) << "a follower never takes a queue slot";
+
+  const ServeResult result = std::move(follower).value().get();
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.degraded);
+  EXPECT_TRUE(result.deadline_expired_in_queue);
+  EXPECT_FALSE(result.coalesced);
+  EXPECT_TRUE(result.report.found_valid);
+  EXPECT_EQ(result.report.portfolio.winner, "classical_fallback");
+
+  const ServeResult leader_result = std::move(leader).value().get();
+  ASSERT_TRUE(leader_result.status.ok());
+  EXPECT_FALSE(leader_result.degraded) << "the leader ran its full budget";
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.expired_in_queue, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.coalesced, 0u) << "a degraded follower is not coalesced";
+}
+
+TEST(ServeTest, FollowerReRunsWhenLeaderResultIsNotShareable) {
+  ServeOptions options;
+  options.workers = 1;
+  OptimizerService service(options);
+
+  // A non-coalescible blocker pins the only worker.
+  auto blocker = service.Submit(SlowRequest());
+  ASSERT_TRUE(blocker.ok());
+  WaitDequeued(service);
+
+  // The leader queues behind it with a budget that expires before
+  // dequeue, so its answer is the degraded fallback — private to its own
+  // deadline, not something to fan out to the deadline-less follower.
+  ServeRequest leader_request = QuickRequest("default", 99);
+  leader_request.deadline_ms = 1.0;
+  auto leader = service.Submit(std::move(leader_request));
+  ASSERT_TRUE(leader.ok());
+  auto follower = service.Submit(QuickRequest("default", 99));
+  ASSERT_TRUE(follower.ok());
+
+  const ServeResult leader_result = std::move(leader).value().get();
+  ASSERT_TRUE(leader_result.status.ok());
+  EXPECT_TRUE(leader_result.degraded);
+
+  const ServeResult follower_result = std::move(follower).value().get();
+  ASSERT_TRUE(follower_result.status.ok());
+  EXPECT_FALSE(follower_result.coalesced) << "re-dispatched, not coalesced";
+  EXPECT_FALSE(follower_result.degraded) << "the follower had no deadline";
+  EXPECT_TRUE(follower_result.report.found_valid);
+
+  EXPECT_TRUE(std::move(blocker).value().get().status.ok());
+  service.Drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.coalesced, 0u);
+  EXPECT_EQ(stats.solves, 2u) << "blocker + the re-run follower";
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cache warm-up.
+
+TEST(ServeTest, WarmupRoundTripServesWarmHits) {
+  const std::string path = ::testing::TempDir() + "/qjo_warmup_keys.txt";
+  std::remove(path.c_str());
+  const std::vector<ServeRequest> workload = {QuickRequest("a", 7),
+                                              QuickRequest("b", 8)};
+  {
+    ServeOptions options;
+    options.workers = 2;
+    options.warmup_file = path;
+    OptimizerService service(options);
+    for (const auto& request : workload) {
+      auto future = service.Submit(request);
+      ASSERT_TRUE(future.ok());
+      ASSERT_TRUE(std::move(future).value().get().status.ok());
+    }
+    service.Drain();  // persists the key set
+  }
+  ASSERT_EQ(OptimizerService::LoadWarmupKeys(path).size(), 2u);
+
+  ServeOptions options;
+  options.workers = 2;
+  options.warmup_file = path;
+  OptimizerService service(options);
+  EXPECT_EQ(service.warmup_keys().size(), 2u);
+  EXPECT_EQ(service.WarmUp(workload), 2u) << "both templates match keys";
+  EXPECT_EQ(service.stats().warmed, 2u);
+
+  for (const auto& request : workload) {
+    auto future = service.Submit(request);
+    ASSERT_TRUE(future.ok());
+    const ServeResult result = std::move(future).value().get();
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_TRUE(result.cache_hit) << "warmed entries serve without a solve";
+  }
+  service.Drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.solves, 0u);
+  EXPECT_EQ(stats.warm_hits, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ServeTest, LoadWarmupKeysRejectsUnknownHeader) {
+  const std::string path = ::testing::TempDir() + "/qjo_bad_warmup.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("some-other-format v9\nkey1\n", f);
+    std::fclose(f);
+  }
+  EXPECT_TRUE(OptimizerService::LoadWarmupKeys(path).empty());
+  EXPECT_TRUE(OptimizerService::LoadWarmupKeys(path + ".missing").empty());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -78,6 +78,17 @@ REQUIRED_KEYS = {
         "open_goodput_rps",
         "open_rejected",
         "open_p99_ms",
+        # Single-flight coalescing (duplicate-heavy Zipf profile, baseline
+        # vs coalesced for both arrival processes).
+        "dup_closed_baseline_throughput_rps",
+        "dup_closed_coalesced_throughput_rps",
+        "dup_open_baseline_throughput_rps",
+        "dup_open_coalesced_throughput_rps",
+        "coalesced",
+        "solves_per_unique_key",
+        # Token-bucket rate limiting and plan-cache warm-up scenarios.
+        "ratelimited",
+        "cache_warm_hits",
         "silent_drops",
         "smoke_ok",
     ),
