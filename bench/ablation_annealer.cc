@@ -45,7 +45,7 @@ void ChainStrengthSweep() {
     config.embed_qubo.chain_strength_multiplier = multiplier;
     config.seed = 41;
     bench::ObsSession::Get().Apply(config);
-    config.parallelism = bench::Parallelism();
+    config.run.parallelism = bench::Parallelism();
     auto report = OptimizeJoinOrder(*query, config);
     if (!report.ok()) {
       std::printf("%12.2f | failed: %s\n", multiplier,

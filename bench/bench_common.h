@@ -85,11 +85,17 @@ class ObsSession {
   }
 
   /// Attaches the session's sinks to any config with `trace`/`metrics`
-  /// pointer members (QjoConfig, PortfolioOptions, SolverControl).
+  /// pointer members (SolverControl, RunContext) or an embedded
+  /// RunContext named `run` (QjoConfig, PortfolioOptions, DecompOptions).
   template <typename Config>
   void Apply(Config& config) {
-    config.trace = trace();
-    config.metrics = metrics();
+    if constexpr (requires { config.run.trace; }) {
+      config.run.trace = trace();
+      config.run.metrics = metrics();
+    } else {
+      config.trace = trace();
+      config.metrics = metrics();
+    }
   }
 
   /// Writes the configured output files; safe to call repeatedly (later

@@ -86,12 +86,12 @@ int RunSuite() {
 
       QuboBuildCache cache(256);
       DecompOptions options;
-      options.deadline_ms = deadline_ms;
-      options.parallelism = parallelism;
-      options.pool = &pool;
+      options.run.deadline_ms = deadline_ms;
+      options.run.parallelism = parallelism;
+      options.run.pool = &pool;
       options.cache = &cache;
-      options.trace = bench::ObsSession::Get().trace();
-      options.metrics = bench::ObsSession::Get().metrics();
+      options.run.trace = bench::ObsSession::Get().trace();
+      options.run.metrics = bench::ObsSession::Get().metrics();
       Rng rng(7);
       const auto t0 = std::chrono::steady_clock::now();
       auto report = OptimizeJoinOrderDecomposed(*query, options, rng);

@@ -153,7 +153,7 @@ SaOptions MakeSaReadOptions(int parallelism) {
   SaOptions options;
   options.num_reads = 1000;
   options.sweeps_per_read = 64;
-  options.parallelism = parallelism;
+  options.control.parallelism = parallelism;
   return options;
 }
 
@@ -195,7 +195,7 @@ void BM_TabuRestarts(benchmark::State& state) {
   TabuOptions options;
   options.num_restarts = 64;
   options.iterations_per_restart = 400;
-  options.parallelism = parallelism;
+  options.control.parallelism = parallelism;
   for (auto _ : state) {
     Rng rng(23);
     auto restarts = SolveQuboTabuSearch(qubo, options, rng);
@@ -214,7 +214,7 @@ void BM_SqaReadsParallel(benchmark::State& state) {
   options.sweeps_per_us = 3.0;
   options.trotter_slices = 8;
   options.ice_sigma = 0.015;
-  options.parallelism = parallelism;
+  options.control.parallelism = parallelism;
   for (auto _ : state) {
     Rng rng(27);
     auto samples = RunSqa(ising, options, rng);
@@ -487,7 +487,7 @@ int RunKernelBenchSuite() {
             SaOptions options;
             options.num_reads = reads;
             options.sweeps_per_read = fast ? 32 : 64;
-            options.parallelism = threads;
+            options.control.parallelism = threads;
             if (threads > 1) options.control.pool = &pool;
             Rng rng(61);
             sink += SolveQuboSimulatedAnnealing(qubo, options, rng)

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "core/postprocess.h"
+#include "core/strand_select.h"
 #include "jo/classical.h"
 #include "qubo/ising.h"
 #include "sim/qaoa_analytic.h"
@@ -19,24 +20,6 @@
 #include "util/strings.h"
 
 namespace qjo {
-
-const char* PortfolioStrandName(PortfolioStrand strand) {
-  switch (strand) {
-    case PortfolioStrand::kExact:
-      return "exact";
-    case PortfolioStrand::kSa:
-      return "sa";
-    case PortfolioStrand::kTabu:
-      return "tabu";
-    case PortfolioStrand::kSqa:
-      return "sqa";
-    case PortfolioStrand::kQaoa:
-      return "qaoa";
-    case PortfolioStrand::kDecomp:
-      return "decomp";
-  }
-  return "unknown";
-}
 
 namespace {
 
@@ -84,70 +67,345 @@ void AbsorbSample(const PortfolioOptions& options, Clock::time_point start,
     state.outcome.feasible = true;
     state.outcome.best_score = score;
     state.best_feasible_assignment = assignment;
-    if (material) state.outcome.time_to_incumbent_ms = MsSince(start);
+    if (material) {
+      state.outcome.time_to_incumbent_ms = MsSince(start);
+      // Round-granular (sweeps completed before the current round), and
+      // therefore deterministic in sweep-budget mode — unlike the
+      // wall-clock twin above.
+      state.outcome.sweeps_to_incumbent = state.outcome.sweeps_completed;
+    }
   }
+}
+
+/// Shared SolverControl wiring of the sweep-strand bodies.
+SolverControl StrandControl(const StrandRunEnv& env) {
+  SolverControl control;
+  control.parallelism = env.options->run.parallelism;
+  control.pool = env.pool;
+  control.stop = env.stop;
+  control.trace = env.options->run.trace;
+  control.metrics = env.options->run.metrics;
+  return control;
+}
+
+bool BudgetLeft(const StrandRunEnv& env) {
+  return env.budget.sweep_budget <= 0 ||
+         env.outcome->sweeps_completed < env.budget.sweep_budget;
+}
+
+// --- Built-in strand bodies. Each consumes its StrandBudget allocation
+// and keeps rounds_completed/sweeps_completed current; incumbents go
+// through env.absorb. ---
+
+void RunExactStrand(const StrandRunEnv& env, Rng& rng) {
+  (void)rng;  // deterministic enumeration; the stream stays untouched
+  if (env.stop_requested()) return;
+  auto best =
+      SolveQuboBruteForce(*env.qubo, env.options->max_exact_variables);
+  if (!best.ok()) return;
+  env.absorb(best->assignment, best->energy);
+  env.outcome->rounds_completed = 1;
+  env.outcome->sweeps_completed = int64_t{1} << env.qubo->num_variables();
+  // The exact minimum *is* a proven lower bound: nothing can beat it on
+  // energy, so in deadline mode the race ends here.
+  env.outcome->hit_lower_bound = true;
+  env.request_stop();
+}
+
+void RunSaStrand(const StrandRunEnv& env, Rng& rng) {
+  SaOptions sa;
+  sa.num_reads = env.budget.reads_per_round;
+  sa.sweeps_per_read = env.budget.sweeps_per_round;
+  sa.kernel = env.options->solver_kernel;
+  sa.control = StrandControl(env);
+  const int64_t round_sweeps =
+      static_cast<int64_t>(env.budget.reads_per_round) *
+      env.budget.sweeps_per_round;
+  while (!env.stop_requested() && BudgetLeft(env)) {
+    const auto reads = SolveQuboSimulatedAnnealing(*env.qubo, sa, rng);
+    for (const QuboSolution& read : reads) {
+      env.absorb(read.assignment, read.energy);
+    }
+    ++env.outcome->rounds_completed;
+    env.outcome->sweeps_completed += round_sweeps;
+  }
+}
+
+void RunTabuStrand(const StrandRunEnv& env, Rng& rng) {
+  TabuOptions tabu;
+  tabu.num_restarts = env.budget.reads_per_round;
+  tabu.iterations_per_restart = env.budget.sweeps_per_round;
+  tabu.kernel = env.options->solver_kernel;
+  tabu.control = StrandControl(env);
+  const int64_t round_sweeps =
+      static_cast<int64_t>(env.budget.reads_per_round) *
+      env.budget.sweeps_per_round;
+  while (!env.stop_requested() && BudgetLeft(env)) {
+    const auto restarts = SolveQuboTabuSearch(*env.qubo, tabu, rng);
+    for (const QuboSolution& restart : restarts) {
+      env.absorb(restart.assignment, restart.energy);
+    }
+    ++env.outcome->rounds_completed;
+    env.outcome->sweeps_completed += round_sweeps;
+  }
+}
+
+void RunSqaStrand(const StrandRunEnv& env, Rng& rng) {
+  const IsingModel ising = QuboToIsing(*env.qubo);
+  SqaOptions sqa = env.options->sqa;
+  sqa.num_reads = env.budget.reads_per_round;
+  // One Monte-Carlo sweep per "microsecond" maps the round budget
+  // directly onto SQA sweeps (RunSqa clamps to at least 8).
+  sqa.annealing_time_us = env.budget.sweeps_per_round;
+  sqa.sweeps_per_us = 1.0;
+  sqa.kernel = env.options->solver_kernel;
+  sqa.control = StrandControl(env);
+  const int64_t sqa_round_sweeps =
+      static_cast<int64_t>(env.budget.reads_per_round) *
+      std::max(8, env.budget.sweeps_per_round);
+  while (!env.stop_requested() && BudgetLeft(env)) {
+    auto samples = RunSqa(ising, sqa, rng);
+    if (!samples.ok()) break;
+    for (const SqaSample& sample : *samples) {
+      // ising.Energy(z) == qubo.Energy(SpinsToBits(z)): directly
+      // comparable with the other strands.
+      env.absorb(SpinsToBits(sample.spins), sample.energy);
+    }
+    ++env.outcome->rounds_completed;
+    env.outcome->sweeps_completed += sqa_round_sweeps;
+  }
+}
+
+void RunQaoaStrand(const StrandRunEnv& env, Rng& rng) {
+  if (env.stop_requested()) return;
+  const Qubo& qubo = *env.qubo;
+  const int n = qubo.num_variables();
+  const IsingModel ising = QuboToIsing(qubo);
+  auto sim = QaoaSimulator::Create(ising);
+  if (!sim.ok()) return;
+  sim->set_pool(env.pool);
+  const QaoaAngles angles =
+      OptimizeQaoaAngles(ising, env.options->qaoa_iterations, rng);
+  QaoaParameters params;
+  params.gammas = {angles.gamma};
+  params.betas = {angles.beta};
+  sim->Run(params);
+  const std::vector<uint64_t> raw =
+      sim->Sample(env.options->qaoa_shots, /*fidelity=*/1.0, rng);
+  std::vector<int> bits(n);
+  for (uint64_t basis : raw) {
+    for (int i = 0; i < n; ++i) {
+      bits[i] = static_cast<int>((basis >> i) & 1);
+    }
+    env.absorb(bits, qubo.Energy(bits));
+  }
+  env.outcome->rounds_completed = 1;
+  env.outcome->sweeps_completed = env.options->qaoa_shots;
+}
+
+void RunDecompStrand(const StrandRunEnv& env, Rng& rng) {
+  if (env.stop_requested()) return;
+  auto decomp = env.options->decomp_run(env.stop, env.pool, rng);
+  if (!decomp.ok()) return;
+  // The strand's incumbent is the join order itself; its C_out cost is
+  // directly comparable with the other strands' decoded scores. The
+  // QUBO energy stays +inf (there is no monolithic sample), so winner
+  // selection rests purely on the domain score.
+  StrandOutcome& outcome = *env.outcome;
+  outcome.feasible = true;
+  outcome.best_score = decomp->cost;
+  outcome.time_to_incumbent_ms = env.elapsed_ms();
+  outcome.rounds_completed = decomp->rounds;
+  outcome.sweeps_completed = decomp->windows_solved;
+  outcome.sweeps_to_incumbent = outcome.sweeps_completed;
+  env.publish_assignment(decomp->order.order());
 }
 
 }  // namespace
 
-StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
-                                           const PortfolioOptions& options,
-                                           Rng& rng) {
-  const int n = qubo.num_variables();
-  if (n == 0) return Status::InvalidArgument("empty QUBO");
-  if (options.deadline_ms < 0.0 && options.sweep_budget <= 0) {
+Status StrandRegistry::Register(StrandDesc desc) {
+  if (desc.name.empty()) {
+    return Status::InvalidArgument("strand name must not be empty");
+  }
+  if (desc.name.find_first_of(" \t\n") != std::string::npos) {
+    return Status::InvalidArgument(
+        "strand name must not contain whitespace: " + desc.name);
+  }
+  if (IndexOf(desc.name) >= 0) {
+    return Status::InvalidArgument("duplicate strand name: " + desc.name);
+  }
+  if (!desc.run) {
+    return Status::InvalidArgument("strand has no run hook: " + desc.name);
+  }
+  desc.rng_stream = strands_.size();
+  strands_.push_back(std::move(desc));
+  return Status::Ok();
+}
+
+int StrandRegistry::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < strands_.size(); ++i) {
+    if (strands_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> StrandRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(strands_.size());
+  for (const StrandDesc& desc : strands_) names.push_back(desc.name);
+  return names;
+}
+
+const StrandRegistry& StrandRegistry::Default() {
+  static const StrandRegistry* kDefault = [] {
+    auto* registry = new StrandRegistry();
+    const auto must_register = [registry](StrandDesc desc) {
+      const Status status = registry->Register(std::move(desc));
+      (void)status;  // built-in names are unique by construction
+    };
+
+    StrandDesc exact;
+    exact.name = "exact";
+    exact.eligible = [](const Qubo& qubo, const PortfolioOptions& options) {
+      return options.enable_exact &&
+             qubo.num_variables() <= std::min(options.max_exact_variables, 63);
+    };
+    exact.run = RunExactStrand;
+    must_register(std::move(exact));
+
+    StrandDesc sa;
+    sa.name = "sa";
+    sa.throttleable = true;
+    sa.eligible = [](const Qubo&, const PortfolioOptions& options) {
+      return options.enable_sa;
+    };
+    sa.run = RunSaStrand;
+    must_register(std::move(sa));
+
+    StrandDesc tabu;
+    tabu.name = "tabu";
+    tabu.throttleable = true;
+    tabu.eligible = [](const Qubo&, const PortfolioOptions& options) {
+      return options.enable_tabu;
+    };
+    tabu.run = RunTabuStrand;
+    must_register(std::move(tabu));
+
+    StrandDesc sqa;
+    sqa.name = "sqa";
+    sqa.throttleable = true;
+    sqa.eligible = [](const Qubo&, const PortfolioOptions& options) {
+      return options.enable_sqa;
+    };
+    sqa.run = RunSqaStrand;
+    must_register(std::move(sqa));
+
+    StrandDesc qaoa;
+    qaoa.name = "qaoa";
+    qaoa.eligible = [](const Qubo& qubo, const PortfolioOptions& options) {
+      // The simulator itself refuses above 27 qubits.
+      return options.enable_qaoa &&
+             qubo.num_variables() <= std::min(options.max_qaoa_variables, 27);
+    };
+    qaoa.run = RunQaoaStrand;
+    must_register(std::move(qaoa));
+
+    StrandDesc decomp;
+    decomp.name = "decomp";
+    // Query-level strand: only runnable through the hook the JO layer
+    // installs (the race itself has no Query to decompose). Runs first
+    // so a serial deadline race cannot starve the one strand that
+    // guarantees a valid large-query plan.
+    decomp.run_first = true;
+    decomp.publishes_order = true;
+    decomp.eligible = [](const Qubo&, const PortfolioOptions& options) {
+      return options.enable_decomp && options.decomp_run != nullptr;
+    };
+    decomp.run = RunDecompStrand;
+    must_register(std::move(decomp));
+
+    return registry;
+  }();
+  return *kDefault;
+}
+
+Status ValidatePortfolioOptions(const PortfolioOptions& options) {
+  QJO_RETURN_IF_ERROR(ValidateRunContext(options.run));
+  // The one budget error path: a race must be bounded by wall clock or
+  // by sweeps. (deadline_ms == 0 is the documented "skip the race"
+  // fast-path, not an unbounded run.)
+  if (options.run.deadline_ms < 0.0 && options.sweep_budget <= 0) {
     return Status::InvalidArgument(
         "unbounded portfolio: need a deadline or a sweep budget");
   }
   if (options.reads_per_round <= 0 || options.sweeps_per_round <= 0) {
     return Status::InvalidArgument("portfolio round sizes must be positive");
   }
+  if (options.adaptive.throttle_divisor < 1) {
+    return Status::InvalidArgument(
+        "adaptive throttle_divisor must be >= 1");
+  }
+  if (options.registry != nullptr && options.registry->size() == 0) {
+    return Status::InvalidArgument("portfolio strand registry is empty");
+  }
+  return Status::Ok();
+}
+
+StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
+                                           const PortfolioOptions& options,
+                                           Rng& rng) {
+  const int n = qubo.num_variables();
+  if (n == 0) return Status::InvalidArgument("empty QUBO");
+  QJO_RETURN_IF_ERROR(ValidatePortfolioOptions(options));
+
+  const StrandRegistry& registry =
+      options.registry != nullptr ? *options.registry
+                                  : StrandRegistry::Default();
 
   // Materialise the shared CSR before any fan-out (see Qubo::Csr()).
   qubo.Csr();
 
-  StageSpan race_span(options.trace, "portfolio.race");
+  StageSpan race_span(options.run.trace, "portfolio.race");
   QuboRaceResult result;
   const Clock::time_point start = Clock::now();
 
-  // Fixed strand universe: the vector index doubles as the deterministic
-  // winner tie-break and matches the enum (= RNG stream id).
-  const PortfolioStrand kStrands[] = {
-      PortfolioStrand::kExact, PortfolioStrand::kSa, PortfolioStrand::kTabu,
-      PortfolioStrand::kSqa, PortfolioStrand::kQaoa, PortfolioStrand::kDecomp};
-  std::vector<StrandState> states(std::size(kStrands));
-  for (size_t s = 0; s < std::size(kStrands); ++s) {
+  // Adaptive budget allocation, fixed before the fan-out: a pure
+  // function of (records snapshot, feature bucket), never of the live
+  // race, so strands stay independent and sweep-budget races keep the
+  // bit-reproducibility contract.
+  const bool records_attached = options.adaptive.records != nullptr;
+  std::string bucket;
+  if (records_attached || options.adaptive.enabled) {
+    bucket = options.feature_bucket.empty() ? FallbackBucketKey(n)
+                                            : options.feature_bucket;
+    result.feature_bucket = bucket;
+  }
+  const StrandSelector selector(options.adaptive.records, bucket,
+                                registry.Names(), options.adaptive);
+  result.adaptive_applied = !selector.cold_start();
+
+  std::vector<StrandState> states(registry.size());
+  for (int s = 0; s < registry.size(); ++s) {
+    const StrandDesc& desc = registry.strands()[s];
     StrandOutcome& outcome = states[s].outcome;
-    outcome.strand = kStrands[s];
-    switch (kStrands[s]) {
-      case PortfolioStrand::kExact:
-        outcome.eligible = options.enable_exact &&
-                           n <= std::min(options.max_exact_variables, 63);
-        break;
-      case PortfolioStrand::kSa:
-        outcome.eligible = options.enable_sa;
-        break;
-      case PortfolioStrand::kTabu:
-        outcome.eligible = options.enable_tabu;
-        break;
-      case PortfolioStrand::kSqa:
-        outcome.eligible = options.enable_sqa;
-        break;
-      case PortfolioStrand::kQaoa:
-        // The simulator itself refuses above 27 qubits.
-        outcome.eligible = options.enable_qaoa &&
-                           n <= std::min(options.max_qaoa_variables, 27);
-        break;
-      case PortfolioStrand::kDecomp:
-        // Query-level strand: only runnable through the hook the JO layer
-        // installs (the race itself has no Query to decompose).
-        outcome.eligible =
-            options.enable_decomp && options.decomp_run != nullptr;
-        break;
+    outcome.name = desc.name;
+    outcome.index = s;
+    outcome.eligible = !desc.eligible || desc.eligible(qubo, options);
+    outcome.allocation = selector.Allocate(
+        s, /*round=*/0, desc.throttleable, options.reads_per_round,
+        options.sweeps_per_round, options.sweep_budget);
+  }
+
+  if (options.run.metrics != nullptr && result.adaptive_applied) {
+    options.run.metrics->Count("portfolio.adaptive.races");
+    for (const StrandState& state : states) {
+      if (state.outcome.allocation.throttled) {
+        options.run.metrics->Count("portfolio.adaptive.throttled");
+      }
     }
   }
 
-  if (options.deadline_ms == 0.0) {
+  if (options.run.deadline_ms == 0.0) {
     // Zero budget: answer immediately with an empty race. The JO layer
     // degrades to the classical plan.
     result.deadline_expired = true;
@@ -158,9 +416,9 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   }
 
   std::optional<ThreadPool> local_pool;
-  ThreadPool* pool = options.pool;
-  if (pool == nullptr && options.parallelism > 1) {
-    local_pool.emplace(options.parallelism);
+  ThreadPool* pool = options.run.pool;
+  if (pool == nullptr && options.run.parallelism > 1) {
+    local_pool.emplace(options.run.parallelism);
     pool = &*local_pool;
   }
 
@@ -169,14 +427,14 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   // race in deadline mode: cancellation truncates other strands at a
   // wall-clock-dependent point, which would break the bit-reproducibility
   // contract of pure sweep-budget runs.
-  const bool deadline_mode = options.deadline_ms > 0.0;
+  const bool deadline_mode = options.run.deadline_ms > 0.0;
   const auto request_stop = [&] {
     if (deadline_mode) stop.store(true, std::memory_order_relaxed);
   };
   // External cancel token (serving-layer deadline, caller shutdown):
   // relayed onto the internal token in any budget mode — a fired token
   // is an unconditional cancel, unlike the opportunistic early exits.
-  const std::atomic<bool>* external = options.stop;
+  const std::atomic<bool>* external = options.run.stop;
 
   // Deadline watchdog: flips the internal stop token when the wall-clock
   // budget expires or the external cancel token fires, and exits silently
@@ -194,7 +452,7 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
           deadline_mode
               ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double, std::milli>(
-                                       options.deadline_ms))
+                                       options.run.deadline_ms))
               : Clock::time_point::max();
       std::unique_lock<std::mutex> lock(watchdog_mutex);
       for (;;) {
@@ -226,184 +484,69 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
             external->load(std::memory_order_relaxed));
   };
 
-  // Strand span names, indexed by the strand enum (= vector index).
-  static constexpr const char* kStrandSpanNames[] = {
-      "strand.exact", "strand.sa",   "strand.tabu",
-      "strand.sqa",   "strand.qaoa", "strand.decomp"};
-
   const auto run_strand = [&](int64_t s) {
     StrandState& state = states[s];
     StrandOutcome& outcome = state.outcome;
     if (!outcome.eligible) return;
-    StageSpan strand_span(options.trace, kStrandSpanNames[s]);
+    const StrandDesc& desc = registry.strands()[s];
+    const std::string span_name = "strand." + desc.name;
+    StageSpan strand_span(options.run.trace, span_name.c_str());
     const Clock::time_point strand_start = Clock::now();
-    Rng strand_rng = base.Fork(static_cast<uint64_t>(outcome.strand));
-    const int64_t round_sweeps = static_cast<int64_t>(options.reads_per_round) *
-                                 options.sweeps_per_round;
-    const auto budget_left = [&] {
-      return options.sweep_budget <= 0 ||
-             outcome.sweeps_completed < options.sweep_budget;
-    };
-    const auto absorb = [&](const std::vector<int>& assignment,
-                            double energy) {
+    Rng strand_rng = base.Fork(desc.rng_stream);
+
+    StrandRunEnv env;
+    env.qubo = &qubo;
+    env.options = &options;
+    env.pool = pool;
+    env.stop = &stop;
+    env.stop_requested = stop_requested;
+    env.request_stop = request_stop;
+    env.elapsed_ms = [&start] { return MsSince(start); };
+    env.budget = outcome.allocation;
+    env.outcome = &outcome;
+    env.absorb = [&](const std::vector<int>& assignment, double energy) {
       AbsorbSample(options, start, assignment, energy, state);
       if (MatchesBound(outcome.best_energy, options.lower_bound)) {
         outcome.hit_lower_bound = true;
         request_stop();
       }
     };
+    env.publish_assignment = [&state](const std::vector<int>& assignment) {
+      state.best_feasible_assignment = assignment;
+    };
 
-    switch (outcome.strand) {
-      case PortfolioStrand::kExact: {
-        if (stop_requested()) break;
-        auto best = SolveQuboBruteForce(qubo, options.max_exact_variables);
-        if (!best.ok()) break;
-        absorb(best->assignment, best->energy);
-        outcome.rounds_completed = 1;
-        outcome.sweeps_completed = int64_t{1} << n;  // states enumerated
-        // The exact minimum *is* a proven lower bound: nothing can beat
-        // it on energy, so in deadline mode the race ends here.
-        outcome.hit_lower_bound = true;
-        request_stop();
-        break;
-      }
-      case PortfolioStrand::kSa: {
-        SaOptions sa;
-        sa.num_reads = options.reads_per_round;
-        sa.sweeps_per_read = options.sweeps_per_round;
-        sa.kernel = options.solver_kernel;
-        sa.control.parallelism = options.parallelism;
-        sa.control.pool = pool;
-        sa.control.stop = &stop;
-        sa.control.trace = options.trace;
-        sa.control.metrics = options.metrics;
-        while (!stop_requested() && budget_left()) {
-          const auto reads = SolveQuboSimulatedAnnealing(qubo, sa, strand_rng);
-          for (const QuboSolution& read : reads) {
-            absorb(read.assignment, read.energy);
-          }
-          ++outcome.rounds_completed;
-          outcome.sweeps_completed += round_sweeps;
-        }
-        break;
-      }
-      case PortfolioStrand::kTabu: {
-        TabuOptions tabu;
-        tabu.num_restarts = options.reads_per_round;
-        tabu.iterations_per_restart = options.sweeps_per_round;
-        tabu.kernel = options.solver_kernel;
-        tabu.control.parallelism = options.parallelism;
-        tabu.control.pool = pool;
-        tabu.control.stop = &stop;
-        tabu.control.trace = options.trace;
-        tabu.control.metrics = options.metrics;
-        while (!stop_requested() && budget_left()) {
-          const auto restarts = SolveQuboTabuSearch(qubo, tabu, strand_rng);
-          for (const QuboSolution& restart : restarts) {
-            absorb(restart.assignment, restart.energy);
-          }
-          ++outcome.rounds_completed;
-          outcome.sweeps_completed += round_sweeps;
-        }
-        break;
-      }
-      case PortfolioStrand::kSqa: {
-        const IsingModel ising = QuboToIsing(qubo);
-        SqaOptions sqa = options.sqa;
-        sqa.num_reads = options.reads_per_round;
-        // One Monte-Carlo sweep per "microsecond" maps the round budget
-        // directly onto SQA sweeps (RunSqa clamps to at least 8).
-        sqa.annealing_time_us = options.sweeps_per_round;
-        sqa.sweeps_per_us = 1.0;
-        sqa.kernel = options.solver_kernel;
-        sqa.control.parallelism = options.parallelism;
-        sqa.control.pool = pool;
-        sqa.control.stop = &stop;
-        sqa.control.trace = options.trace;
-        sqa.control.metrics = options.metrics;
-        const int64_t sqa_round_sweeps =
-            static_cast<int64_t>(options.reads_per_round) *
-            std::max(8, options.sweeps_per_round);
-        while (!stop_requested() && budget_left()) {
-          auto samples = RunSqa(ising, sqa, strand_rng);
-          if (!samples.ok()) break;
-          for (const SqaSample& sample : *samples) {
-            // ising.Energy(z) == qubo.Energy(SpinsToBits(z)): directly
-            // comparable with the other strands.
-            absorb(SpinsToBits(sample.spins), sample.energy);
-          }
-          ++outcome.rounds_completed;
-          outcome.sweeps_completed += sqa_round_sweeps;
-        }
-        break;
-      }
-      case PortfolioStrand::kQaoa: {
-        if (stop_requested()) break;
-        const IsingModel ising = QuboToIsing(qubo);
-        auto sim = QaoaSimulator::Create(ising);
-        if (!sim.ok()) break;
-        sim->set_pool(pool);
-        const QaoaAngles angles =
-            OptimizeQaoaAngles(ising, options.qaoa_iterations, strand_rng);
-        QaoaParameters params;
-        params.gammas = {angles.gamma};
-        params.betas = {angles.beta};
-        sim->Run(params);
-        const std::vector<uint64_t> raw =
-            sim->Sample(options.qaoa_shots, /*fidelity=*/1.0, strand_rng);
-        std::vector<int> bits(n);
-        for (uint64_t basis : raw) {
-          for (int i = 0; i < n; ++i) {
-            bits[i] = static_cast<int>((basis >> i) & 1);
-          }
-          absorb(bits, qubo.Energy(bits));
-        }
-        outcome.rounds_completed = 1;
-        outcome.sweeps_completed = options.qaoa_shots;
-        break;
-      }
-      case PortfolioStrand::kDecomp: {
-        if (stop_requested()) break;
-        auto decomp = options.decomp_run(&stop, pool, strand_rng);
-        if (!decomp.ok()) break;
-        // The strand's incumbent is the join order itself; its C_out cost
-        // is directly comparable with the other strands' decoded scores.
-        // The QUBO energy stays +inf (there is no monolithic sample), so
-        // winner selection rests purely on the domain score.
-        outcome.feasible = true;
-        outcome.best_score = decomp->cost;
-        outcome.time_to_incumbent_ms = MsSince(start);
-        outcome.rounds_completed = decomp->rounds;
-        outcome.sweeps_completed = decomp->windows_solved;
-        state.best_feasible_assignment = decomp->order.order();
-        break;
-      }
-    }
+    desc.run(env, strand_rng);
     outcome.total_ms = MsSince(strand_start);
-    if (options.metrics != nullptr) {
+    if (options.run.metrics != nullptr) {
       // Mirrors StrandOutcome so exported metrics can be checked against
       // PortfolioReport; counter sums are deterministic in sweep-budget
       // mode at every parallelism level.
-      const std::string prefix =
-          std::string("portfolio.") + PortfolioStrandName(outcome.strand);
-      options.metrics->Count(
+      const std::string prefix = "portfolio." + desc.name;
+      options.run.metrics->Count(
           prefix + ".rounds", static_cast<uint64_t>(outcome.rounds_completed));
-      options.metrics->Count(
+      options.run.metrics->Count(
           prefix + ".sweeps", static_cast<uint64_t>(outcome.sweeps_completed));
-      options.metrics->Observe("portfolio.strand_ms", outcome.total_ms);
+      options.run.metrics->Observe("portfolio.strand_ms", outcome.total_ms);
     }
   };
 
-  // Execution order: decomp first, then the QUBO strands. With threads
-  // to spare the order is irrelevant; in a *serial* deadline run it is
-  // what keeps the one strand that guarantees a valid large-query plan
-  // from being starved by the sweep loops ahead of it. Winner selection
-  // below still ties-breaks in enum order, so this never affects results
-  // of sweep-budget-bounded races.
-  static constexpr int64_t kRunOrder[] = {5, 0, 1, 2, 3, 4};
-  static_assert(std::size(kRunOrder) == std::size(kStrandSpanNames));
-  ParallelFor(pool, 0, static_cast<int64_t>(states.size()),
-              [&](int64_t i) { run_strand(kRunOrder[i]); });
+  // Execution order: run_first strands (decomp) ahead of the QUBO sweep
+  // strands. With threads to spare the order is irrelevant; in a
+  // *serial* deadline run it is what keeps the one strand that
+  // guarantees a valid large-query plan from being starved by the sweep
+  // loops ahead of it. Winner selection below still tie-breaks in
+  // registration order, so this never affects results of
+  // sweep-budget-bounded races.
+  std::vector<int64_t> run_order;
+  run_order.reserve(states.size());
+  for (int s = 0; s < registry.size(); ++s) {
+    if (registry.strands()[s].run_first) run_order.push_back(s);
+  }
+  for (int s = 0; s < registry.size(); ++s) {
+    if (!registry.strands()[s].run_first) run_order.push_back(s);
+  }
+  ParallelFor(pool, 0, static_cast<int64_t>(run_order.size()),
+              [&](int64_t i) { run_strand(run_order[i]); });
 
   // Retire the watchdog before reading its verdict.
   if (watchdog.has_value()) {
@@ -434,6 +577,18 @@ StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
   for (StrandState& state : states) {
     result.strands.push_back(std::move(state.outcome));
   }
+  // Race epilogue: fold this race's outcomes into the learned records.
+  // Recording never influences *this* race (the selector snapshot was
+  // taken at entry), so determinism within a race is unaffected.
+  if (records_attached && options.adaptive.record) {
+    options.adaptive.records->Record(bucket, result.strands);
+    if (options.run.metrics != nullptr) {
+      options.run.metrics->GaugeMax(
+          "portfolio.adaptive.bucket_trials",
+          static_cast<double>(
+              options.adaptive.records->BucketTrials(bucket)));
+    }
+  }
   result.elapsed_ms = MsSince(start);
   return result;
 }
@@ -452,6 +607,13 @@ StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
     if (!order.ok()) return std::numeric_limits<double>::quiet_NaN();
     return Cost(query, *order);
   };
+  // The selector and the record store key on the query's feature bucket;
+  // computed here because only the JO layer sees the query graph.
+  if (race_options.feature_bucket.empty() &&
+      (options.adaptive.records != nullptr || options.adaptive.enabled)) {
+    race_options.feature_bucket = FeatureBucketKey(ExtractQueryFeatures(
+        query, encoding.encoding.qubo.num_variables()));
+  }
   // Give the QUBO-level race its query-level strand: past the gate size
   // the decomposition loop is the only strand with a realistic shot at a
   // valid plan (monolithic samples stop decoding), and below it the
@@ -463,15 +625,17 @@ StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
                                   ThreadPool* pool, Rng& strand_rng) {
       DecompOptions local = options.decomp;
       local.solver_kernel = options.solver_kernel;
-      local.stop = stop;
-      local.pool = pool;
-      local.parallelism = options.parallelism;
-      local.trace = options.trace;
-      local.metrics = options.metrics;
+      local.run.stop = stop;
+      local.run.pool = pool;
+      local.run.parallelism = options.run.parallelism;
+      local.run.trace = options.run.trace;
+      local.run.metrics = options.run.metrics;
       // In deadline mode the race budget caps the loop directly (the
       // internal check reacts between window solves, faster than the
       // watchdog's stop token).
-      if (options.deadline_ms > 0.0) local.deadline_ms = options.deadline_ms;
+      if (options.run.deadline_ms > 0.0) {
+        local.run.deadline_ms = options.run.deadline_ms;
+      }
       return OptimizeJoinOrderDecomposed(query, local, strand_rng);
     };
   }
@@ -479,18 +643,24 @@ StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
       report.race, RaceQuboPortfolio(encoding.encoding.qubo, race_options, rng));
 
   if (report.race.winner >= 0) {
-    const PortfolioStrand winner_strand =
-        report.race.strands[report.race.winner].strand;
-    // kDecomp publishes the join order itself; QUBO strands publish a bit
-    // assignment that decodes through the MILP metadata.
-    auto order = winner_strand == PortfolioStrand::kDecomp
+    const StrandRegistry& registry = options.registry != nullptr
+                                         ? *options.registry
+                                         : StrandRegistry::Default();
+    const StrandOutcome& winner = report.race.strands[report.race.winner];
+    const bool publishes_order =
+        winner.index >= 0 && winner.index < registry.size() &&
+        registry.strands()[winner.index].publishes_order;
+    // Order-publishing strands (decomp) hand back the join order itself;
+    // QUBO strands publish a bit assignment that decodes through the
+    // MILP metadata.
+    auto order = publishes_order
                      ? LeftDeepOrder::Create(report.race.best_assignment, query)
                      : DecodeSample(encoding.milp, report.race.best_assignment);
     if (order.ok()) {
       report.found_valid = true;
       report.best_order = *order;
       report.best_cost = report.race.best_score;
-      report.winner = PortfolioStrandName(winner_strand);
+      report.winner = winner.name;
     }
   }
 
@@ -517,12 +687,15 @@ std::string PortfolioReport::Summary() const {
      << (used_classical_fallback ? " (fallback)" : "") << ", cost "
      << best_cost << ", " << FormatDouble(elapsed_ms, 2) << " ms";
   if (race.deadline_expired) os << ", deadline expired";
+  if (race.adaptive_applied) {
+    os << ", adaptive (" << race.feature_bucket << ")";
+  }
   if (cache_hits + cache_misses > 0) {
     os << ", cache hit rate " << FormatPercent(cache_hit_rate);
   }
   os << "\n";
   for (const StrandOutcome& s : race.strands) {
-    os << "  " << PortfolioStrandName(s.strand) << ": ";
+    os << "  " << s.name << ": ";
     if (!s.eligible) {
       os << "not eligible\n";
       continue;
@@ -536,6 +709,7 @@ std::string PortfolioReport::Summary() const {
       os << ", no valid plan";
     }
     os << ", total " << FormatDouble(s.total_ms, 2) << " ms";
+    if (s.allocation.throttled) os << ", throttled";
     if (s.hit_lower_bound) os << ", hit lower bound";
     if (s.won) os << " [winner]";
     os << "\n";

@@ -6,6 +6,7 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/qubo_cache.h"
@@ -17,37 +18,187 @@
 #include "qubo/solvers.h"
 #include "sim/sqa.h"
 #include "util/random.h"
+#include "util/run_context.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
 namespace qjo {
 
-/// Solver strands a portfolio can race. Strand order is fixed (it is the
-/// deterministic tie-break for winner selection and the RNG stream id of
-/// each strand); kDecomp is appended last so the existing stream ids stay
-/// stable.
-enum class PortfolioStrand { kExact, kSa, kTabu, kSqa, kQaoa, kDecomp };
+class RunRecordStore;  // core/strand_select.h
+struct PortfolioOptions;
+struct StrandOutcome;
 
-const char* PortfolioStrandName(PortfolioStrand strand);
+/// Budget granted to one strand for one race. In a fixed (non-adaptive
+/// or cold-start) race every strand receives the race-wide base budgets;
+/// in an adaptive race the selector throttles deprioritised round-based
+/// strands by dividing their restarts and total sweep budget — strands
+/// are throttled, never removed, so the classical-fallback guarantee and
+/// every eligibility rule are untouched.
+struct StrandBudget {
+  int reads_per_round = 0;
+  int sweeps_per_round = 0;
+  /// Total sweeps the strand may spend; 0 = unlimited (deadline-bounded).
+  int64_t sweep_budget = 0;
+  /// The selector deprioritised this strand (budgets above are divided).
+  bool throttled = false;
+};
+
+/// Adaptive strand selection (see core/strand_select.h). The selector is
+/// a per-feature-bucket UCB1 bandit over the registered strands, fed by
+/// a persistent RunRecordStore of per-strand win/time-to-incumbent
+/// events. Decisions are a pure function of (records snapshot, feature
+/// bucket, round index) — never wall clock — so adaptive sweep-budget
+/// races keep the bit-reproducibility contract at any parallelism.
+struct AdaptiveOptions {
+  /// Master switch for budget shaping. Off (default): every strand runs
+  /// at full budget — byte-for-byte today's fixed race.
+  bool enabled = false;
+  /// Learned per-bucket run records the selector consults and (when
+  /// `record` is set) updates at race epilogue. Externally owned,
+  /// thread-safe. Null = permanent cold start: full budgets everywhere,
+  /// nothing recorded.
+  RunRecordStore* records = nullptr;
+  /// Record this race's strand outcomes into `records` at epilogue.
+  /// Learning can stay on while `enabled` is off, to warm a records
+  /// store from fixed races.
+  bool record = true;
+  /// Cold-start prior: a bucket needs at least this many recorded races
+  /// before the selector shapes budgets; below the threshold the race is
+  /// bit-identical to the fixed-order race.
+  uint64_t min_bucket_trials = 8;
+  /// Divisor applied to a deprioritised strand's reads_per_round and
+  /// total sweep budget (clamped so at least one round always runs).
+  int throttle_divisor = 4;
+};
+
+/// Everything a strand's run hook sees during a race. Hooks run
+/// concurrently with each other; a hook may only touch its own
+/// `outcome`, must report every sample through `absorb`, and should
+/// check `stop_requested` between units of work.
+struct StrandRunEnv {
+  const Qubo* qubo = nullptr;
+  const PortfolioOptions* options = nullptr;
+  /// Shared pool for the strand's inner loops (null = serial).
+  ThreadPool* pool = nullptr;
+  /// The race's internal stop token (armed by the deadline watchdog and
+  /// the early-exit paths); wire into SolverControl::stop.
+  const std::atomic<bool>* stop = nullptr;
+  /// True once the strand should wind down (the internal token or the
+  /// caller's external cancel token fired).
+  std::function<bool()> stop_requested;
+  /// Requests the race-wide early exit (a proven optimum / lower-bound
+  /// hit). Honoured in deadline mode only: cancelling sweep-budget races
+  /// on a wall-clock event would break bit-reproducibility.
+  std::function<void()> request_stop;
+  /// Milliseconds since race start (for one-shot strands that stamp
+  /// their own time_to_incumbent; `absorb` stamps it for the others).
+  std::function<double()> elapsed_ms;
+  /// Folds one sample into the strand's incumbents; `energy` must be the
+  /// sample's QUBO energy (offset included) so strands stay comparable.
+  /// Call only from the hook's own thread.
+  std::function<void(const std::vector<int>& assignment, double energy)>
+      absorb;
+  /// Publishes the strand's incumbent verbatim, bypassing the domain
+  /// scorer — for `publishes_order` strands whose incumbent is a join
+  /// order, not a QUBO sample (the hook must set the outcome's
+  /// feasible/best_score fields itself).
+  std::function<void(const std::vector<int>& assignment)> publish_assignment;
+  /// The budget granted to this strand (full budgets in a fixed race).
+  StrandBudget budget;
+  /// The outcome slot the hook must keep current
+  /// (rounds_completed/sweeps_completed); `absorb` maintains the
+  /// incumbent fields.
+  StrandOutcome* outcome = nullptr;
+};
+
+/// One registered solver strand. The registration index doubles as the
+/// strand's RNG stream id and the deterministic winner tie-break, so
+/// registration order is part of the reproducibility contract.
+struct StrandDesc {
+  /// Unique lowercase identifier; also the metrics prefix
+  /// ("portfolio.<name>.*"), the trace span suffix ("strand.<name>")
+  /// and the records-store key.
+  std::string name;
+  /// RNG stream forked off the race seed; assigned by
+  /// StrandRegistry::Register as the registration index — the built-in
+  /// strands keep the stream ids of the pre-registry enum (exact=0,
+  /// sa=1, tabu=2, sqa=3, qaoa=4, decomp=5).
+  uint64_t rng_stream = 0;
+  /// Round-based strands accept selector throttling; one-shot strands
+  /// (exact, qaoa, decomp) always run at full budget.
+  bool throttleable = false;
+  /// Runs before the other strands in the serial fan-out. Set for the
+  /// decomp strand: in a serial deadline race it is what keeps the one
+  /// strand that guarantees a valid large-query plan from being starved
+  /// by the sweep loops ahead of it. Never affects sweep-budget results.
+  bool run_first = false;
+  /// The strand publishes a join-order permutation instead of a QUBO bit
+  /// assignment (the decomp strand); RunJoPortfolio decodes accordingly.
+  bool publishes_order = false;
+  /// Eligibility for one race; ineligible strands report zero rounds and
+  /// never win. Null = always eligible.
+  std::function<bool(const Qubo& qubo, const PortfolioOptions& options)>
+      eligible;
+  /// The strand body. `rng` is the strand's private forked stream.
+  std::function<void(const StrandRunEnv& env, Rng& rng)> run;
+};
+
+/// The strand universe of a race. Replaces the hard-coded PortfolioStrand
+/// enum fan-out: built-in and external strands (the decomp strand, future
+/// backends) register into one table that fixes names, RNG streams, the
+/// execution order and the winner tie-break.
+class StrandRegistry {
+ public:
+  /// The built-in strand set in canonical order: exact, sa, tabu, sqa,
+  /// qaoa, decomp. Indices — and hence RNG streams, tie-breaks and every
+  /// sweep-budget race result — are identical to the pre-registry enum.
+  static const StrandRegistry& Default();
+
+  StrandRegistry() = default;
+
+  /// Appends a strand. `desc.rng_stream` is overwritten with the
+  /// registration index so streams stay disjoint and stable. Fails on an
+  /// empty, duplicate, or whitespace-bearing name.
+  Status Register(StrandDesc desc);
+
+  const std::vector<StrandDesc>& strands() const { return strands_; }
+  int size() const { return static_cast<int>(strands_.size()); }
+  /// Index of `name`; -1 when absent.
+  int IndexOf(std::string_view name) const;
+  /// Names in registration order (the selector's arm universe).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<StrandDesc> strands_;
+};
 
 /// Configuration of a portfolio race. Two budget dimensions compose:
 ///
-///  * `deadline_ms` — wall-clock budget. A watchdog flips a shared stop
-///    token on expiry; every strand winds down cooperatively (the solvers'
-///    new `stop` hooks) and the best incumbent wins. Wall-clock cut-offs
-///    are inherently scheduling-dependent, so deadline-bounded runs are
-///    *not* bit-reproducible.
+///  * `run.deadline_ms` — wall-clock budget. A watchdog flips a shared
+///    stop token on expiry; every strand winds down cooperatively (the
+///    solvers' `stop` hooks) and the best incumbent wins. Wall-clock
+///    cut-offs are inherently scheduling-dependent, so deadline-bounded
+///    runs are *not* bit-reproducible.
 ///  * `sweep_budget` — total sweeps per strand (SA sweeps summed over
 ///    reads, tabu iterations summed over restarts, SQA Monte-Carlo sweeps
 ///    summed over reads). A run bounded only by sweeps (deadline_ms < 0)
 ///    is bit-identical at every parallelism level: strands fork disjoint
 ///    RNG streams and never communicate except through the stop token,
 ///    which stays unset.
+///
+/// An unbounded configuration — `sweep_budget == 0` (or negative) with
+/// `run.deadline_ms < 0` — is rejected with InvalidArgument by the one
+/// entry validation (ValidatePortfolioOptions); no strand ever performs
+/// its own ad-hoc budget checks.
 struct PortfolioOptions {
-  /// > 0: wall-clock budget in milliseconds. 0: zero budget — the race is
-  /// skipped entirely (the JO layer answers with the classical fallback).
-  /// < 0: no deadline; `sweep_budget` must then be positive.
-  double deadline_ms = -1.0;
+  /// Deadline, threads/pool, cancel token and observability sinks shared
+  /// with the other orchestration layers (see util/run_context.h for the
+  /// per-field contracts). `run.deadline_ms` keeps the historical race
+  /// semantics: > 0 wall-clock budget, 0 = skip the race entirely (the
+  /// JO layer answers with the classical fallback), < 0 = no deadline
+  /// (`sweep_budget` must then be positive).
+  RunContext run;
+
   /// Total sweeps each strand may spend; 0 = unlimited (requires a
   /// positive deadline). The budget is checked between rounds, so the
   /// last round may run to completion past it.
@@ -56,32 +207,22 @@ struct PortfolioOptions {
   /// Work per round: every stochastic strand alternates solver rounds of
   /// `reads_per_round` restarts x `sweeps_per_round` sweeps with
   /// incumbent/budget/stop checks. Smaller rounds react faster to the
-  /// deadline; larger rounds amortise dispatch overhead.
+  /// deadline; larger rounds amortise dispatch overhead. Must be
+  /// positive (ValidatePortfolioOptions).
   int reads_per_round = 4;
   int sweeps_per_round = 64;
 
-  /// Threads shared by the strand fan-out and the solvers' inner read
-  /// loops (nested ParallelFor on one pool); results never depend on it.
-  int parallelism = 1;
-  ThreadPool* pool = nullptr;  ///< optional externally-owned pool
+  /// The strand universe; null = StrandRegistry::Default(). Externally
+  /// owned and immutable for the duration of the race.
+  const StrandRegistry* registry = nullptr;
 
-  /// Optional externally-owned cancel token (e.g. a per-request deadline
-  /// token armed with the serving layer's DeadlineMonitor). When it
-  /// fires, the race relays it onto its internal stop token — in *any*
-  /// budget mode — and every strand winds down exactly as on deadline
-  /// expiry (the incumbent so far wins; the JO layer still guarantees a
-  /// plan). While the token stays unset it never influences the race, so
-  /// sweep-budget runs remain bit-reproducible; once it fires, results
-  /// are truncation-dependent like any wall-clock cut-off.
-  const std::atomic<bool>* stop = nullptr;
-
-  /// Observability sinks (null-sink default, not owned). When attached,
-  /// the race records one span per strand (plus the nested solver-call
-  /// and per-read spans via SolverControl) and publishes per-strand
-  /// round/sweep counters that mirror StrandOutcome. Never affects
-  /// results: recorded races are bit-identical to unrecorded ones.
-  TraceRecorder* trace = nullptr;
-  MetricsRegistry* metrics = nullptr;
+  /// Adaptive budget shaping (off by default) and the feature-bucket key
+  /// the selector learns under. RunJoPortfolio fills `feature_bucket`
+  /// from the query graph (core/strand_select.h); direct
+  /// RaceQuboPortfolio callers may set it themselves — when left empty a
+  /// QUBO-size-only fallback bucket is used.
+  AdaptiveOptions adaptive;
+  std::string feature_bucket;
 
   // --- Strand selection. ---
   bool enable_exact = true;
@@ -114,7 +255,7 @@ struct PortfolioOptions {
   /// as ineligible unless `decomp_run` is installed.
   bool enable_decomp = true;
   int min_decomp_relations = 10;
-  /// Template for the strand's decomposition loop. pool/stop/trace/
+  /// Template for the strand's decomposition loop. run.pool/stop/trace/
   /// metrics and (in deadline mode) the deadline are overridden by the
   /// race; `cache` should point at the pipeline's shared build cache.
   DecompOptions decomp;
@@ -140,12 +281,26 @@ struct PortfolioOptions {
   std::function<double(const std::vector<int>&)> score;
 };
 
+/// The single entry validation of a race configuration: RunContext
+/// invariants, positive round sizes, and the budget rule (`sweep_budget
+/// <= 0` together with `run.deadline_ms < 0` is an unbounded race and is
+/// rejected here — not ad-hoc per strand). RaceQuboPortfolio calls this
+/// first; exposed so config builders can validate early.
+Status ValidatePortfolioOptions(const PortfolioOptions& options);
+
 /// Per-strand outcome statistics of one race.
 struct StrandOutcome {
-  PortfolioStrand strand = PortfolioStrand::kSa;
+  /// Registry name ("exact", "sa", "tabu", "sqa", "qaoa", "decomp", or a
+  /// custom strand's name) and registration index (= RNG stream id and
+  /// winner tie-break rank).
+  std::string name;
+  int index = -1;
   /// False when the strand was disabled or the instance exceeded its size
   /// gate; such strands report zero rounds and never win.
   bool eligible = false;
+  /// The budget the selector granted this strand (full budgets whenever
+  /// adaptive shaping was off or cold).
+  StrandBudget allocation;
   int rounds_completed = 0;
   int64_t sweeps_completed = 0;
   /// Best QUBO energy over every sample the strand produced.
@@ -158,6 +313,10 @@ struct StrandOutcome {
   /// feasible incumbent (relative 1e-9; float-level wiggles don't reset
   /// the clock).
   double time_to_incumbent_ms = 0.0;
+  /// Sweeps the strand had completed when that incumbent landed
+  /// (round-granular, hence deterministic in sweep-budget mode — the
+  /// wall-clock twin above is not).
+  int64_t sweeps_to_incumbent = 0;
   double total_ms = 0.0;
   /// The strand matched the known lower bound (or, for the exact strand,
   /// proved the optimum) and triggered the early exit.
@@ -169,24 +328,32 @@ struct StrandOutcome {
 struct QuboRaceResult {
   /// Feasible incumbent of the winning strand; empty when no strand
   /// produced a feasible sample (the JO layer then degrades to the
-  /// classical plan). For the QUBO strands this is a bit assignment; when
-  /// kDecomp wins it is the join-order permutation itself (the strand
-  /// never touches the monolithic QUBO).
+  /// classical plan). For the QUBO strands this is a bit assignment;
+  /// when a `publishes_order` strand (decomp) wins it is the join-order
+  /// permutation itself.
   std::vector<int> best_assignment;
   double best_energy = std::numeric_limits<double>::infinity();
   double best_score = std::numeric_limits<double>::quiet_NaN();
   int winner = -1;  ///< index into `strands`; -1 = no feasible strand
   std::vector<StrandOutcome> strands;
+  /// The feature bucket the race keyed its records under (empty when no
+  /// adaptive records were attached).
+  std::string feature_bucket;
+  /// The selector shaped budgets this race (false on cold start or when
+  /// adaptive mode was off).
+  bool adaptive_applied = false;
   double elapsed_ms = 0.0;
   bool deadline_expired = false;
 };
 
-/// Races the configured strands on one QUBO over the shared pool. Each
-/// strand runs on its own forked RNG stream (stream id = strand enum
-/// value), so a sweep-budget-bounded race is bit-identical at every
-/// parallelism level. The winner is the strand with the best (lowest)
-/// domain score, ties broken by strand order. Fails on an empty QUBO or
-/// when neither budget dimension bounds the run.
+/// Races the registered strands on one QUBO over the shared pool. Each
+/// strand runs on its own forked RNG stream (stream id = registration
+/// index), so a sweep-budget-bounded race is bit-identical at every
+/// parallelism level — with adaptive shaping on as well, since budget
+/// allocations are a pure function of the records snapshot taken at
+/// entry. The winner is the strand with the best (lowest) domain score,
+/// ties broken by registration order. Fails on an empty QUBO or an
+/// invalid configuration (ValidatePortfolioOptions).
 StatusOr<QuboRaceResult> RaceQuboPortfolio(const Qubo& qubo,
                                            const PortfolioOptions& options,
                                            Rng& rng);
@@ -219,7 +386,9 @@ struct PortfolioReport {
 /// through the MILP metadata, the winner is the valid join order with the
 /// lowest C_out cost, and when the race yields no valid plan (or
 /// deadline_ms == 0) the classical DP baseline (greedy beyond the DP size
-/// limit) supplies one — a valid join tree is always returned.
+/// limit) supplies one — a valid join tree is always returned. When
+/// adaptive records are attached, the query's feature bucket is computed
+/// here and the race outcomes are recorded at epilogue.
 StatusOr<PortfolioReport> RunJoPortfolio(const Query& query,
                                          const JoQuboEncoding& encoding,
                                          const PortfolioOptions& options,

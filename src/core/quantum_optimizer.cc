@@ -100,6 +100,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   if (query.num_relations() < 2) {
     return Status::InvalidArgument("need at least 2 relations");
   }
+  QJO_RETURN_IF_ERROR(ValidateRunContext(config.run));
   Rng rng(config.seed);
   QjoReport report;
   // Spans that feed report.stage_timings close inside their own scope —
@@ -111,7 +112,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   // cache when one is attached (repeated fingerprints skip the rebuild).
   std::shared_ptr<const JoQuboEncoding> entry;
   {
-    StageSpan encode_span(config.trace, "encode", &report.stage_timings);
+    StageSpan encode_span(config.run.trace, "encode", &report.stage_timings);
     JoEncodingOptions encode_options;
     encode_options.thresholds = config.thresholds;
     encode_options.num_thresholds = config.num_thresholds;
@@ -134,26 +135,26 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   // which SIMD tier the dispatched kernels run on (host-resolved).
   report.solver_kernel = SolverKernelName(config.solver_kernel);
   report.simd_isa = Simd().name;
-  if (config.metrics != nullptr) {
-    config.metrics->Count("pipeline.runs");
-    config.metrics->GaugeMax(
+  if (config.run.metrics != nullptr) {
+    config.run.metrics->Count("pipeline.runs");
+    config.run.metrics->GaugeMax(
         "solver.kernel",
         static_cast<double>(static_cast<int>(config.solver_kernel)));
-    config.metrics->GaugeMax(
+    config.run.metrics->GaugeMax(
         "simd.isa", static_cast<double>(static_cast<int>(Simd().isa)));
-    config.metrics->GaugeMax("pipeline.bilp_variables",
+    config.run.metrics->GaugeMax("pipeline.bilp_variables",
                              report.encoding.bilp_variables);
-    config.metrics->GaugeMax("pipeline.qubo_quadratic_terms",
+    config.run.metrics->GaugeMax("pipeline.qubo_quadratic_terms",
                              report.encoding.qubo_quadratic_terms);
     if (config.qubo_cache != nullptr) {
       // Cache stats are cumulative, so max-merge across shards/runs
       // yields the latest totals.
       const QuboBuildCache::Stats cache = config.qubo_cache->stats();
-      config.metrics->GaugeMax("qubo_cache.hits",
+      config.run.metrics->GaugeMax("qubo_cache.hits",
                                static_cast<double>(cache.hits));
-      config.metrics->GaugeMax("qubo_cache.misses",
+      config.run.metrics->GaugeMax("qubo_cache.misses",
                                static_cast<double>(cache.misses));
-      config.metrics->GaugeMax("qubo_cache.evictions",
+      config.run.metrics->GaugeMax("qubo_cache.evictions",
                                static_cast<double>(cache.evictions));
     }
   }
@@ -164,7 +165,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   // pipeline keeps solving instead of failing the whole query.
   JoResult oracle;
   {
-    StageSpan oracle_span(config.trace, "oracle_dp", &report.stage_timings);
+    StageSpan oracle_span(config.run.trace, "oracle_dp", &report.stage_timings);
     auto exact = OptimizeDp(query);
     if (exact.ok()) {
       oracle = std::move(*exact);
@@ -182,7 +183,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   {
   const std::string solve_stage =
       std::string("solve.") + QjoBackendName(config.backend);
-  StageSpan solve_span(config.trace, solve_stage.c_str(),
+  StageSpan solve_span(config.run.trace, solve_stage.c_str(),
                        &report.stage_timings);
   switch (config.backend) {
     case QjoBackend::kExact: {
@@ -195,11 +196,11 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       SaOptions sa;
       sa.num_reads = std::max(1, config.shots / 8);
       sa.kernel = config.solver_kernel;
-      sa.control.parallelism = config.parallelism;
-      sa.control.pool = config.pool;
-      sa.control.stop = config.stop;
-      sa.control.trace = config.trace;
-      sa.control.metrics = config.metrics;
+      sa.control.parallelism = config.run.parallelism;
+      sa.control.pool = config.run.pool;
+      sa.control.stop = config.run.stop;
+      sa.control.trace = config.run.trace;
+      sa.control.metrics = config.run.metrics;
       const std::vector<QuboSolution> reads =
           SolveQuboSimulatedAnnealing(encoding.qubo, sa, rng);
       for (const auto& read : reads) samples.push_back(read.assignment);
@@ -221,23 +222,23 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       // transient one); chunking is thread-count-independent, so the
       // report does not depend on the parallelism setting.
       std::optional<ThreadPool> sim_pool;
-      ThreadPool* pool = config.pool;
-      if (pool == nullptr && config.parallelism > 1) {
-        sim_pool.emplace(config.parallelism);
+      ThreadPool* pool = config.run.pool;
+      if (pool == nullptr && config.run.parallelism > 1) {
+        sim_pool.emplace(config.run.parallelism);
         pool = &*sim_pool;
       }
       sim.set_pool(pool);
-      sim.set_metrics(config.metrics);
+      sim.set_metrics(config.run.metrics);
       QaoaAngles angles;
       {
-        StageSpan angles_span(config.trace, "qaoa_angles",
+        StageSpan angles_span(config.run.trace, "qaoa_angles",
                               &report.stage_timings);
         angles = OptimizeQaoaAngles(ising, config.qaoa_iterations, rng);
       }
       report.gate.gamma = angles.gamma;
       report.gate.beta = angles.beta;
       if (config.qaoa_grid > 1) {
-        StageSpan grid_span(config.trace, "qaoa_grid",
+        StageSpan grid_span(config.run.trace, "qaoa_grid",
                             &report.stage_timings);
         // Local grid refinement around the analytic angles: one batched
         // sweep over a gamma-major qaoa_grid^2 grid in [0.5, 1.5] x the
@@ -269,13 +270,13 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       params.gammas = {report.gate.gamma};
       params.betas = {report.gate.beta};
       {
-        StageSpan run_span(config.trace, "qaoa_run", &report.stage_timings);
+        StageSpan run_span(config.run.trace, "qaoa_run", &report.stage_timings);
         sim.Run(params);
       }
 
       // Transpile the circuit for the device to obtain depth and fidelity.
       {
-        StageSpan transpile_span(config.trace, "transpile",
+        StageSpan transpile_span(config.run.trace, "transpile",
                                  &report.stage_timings);
         QJO_ASSIGN_OR_RETURN(QuantumCircuit logical,
                              BuildQaoaCircuit(ising, params));
@@ -296,7 +297,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
             EstimateQpuTimings(physical.circuit, config.shots, config.device);
       }
 
-      StageSpan sample_span(config.trace, "sample", &report.stage_timings);
+      StageSpan sample_span(config.run.trace, "sample", &report.stage_timings);
       const std::vector<uint64_t> raw =
           sim.Sample(config.shots, report.gate.fidelity, rng);
       samples.reserve(raw.size());
@@ -315,7 +316,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       std::optional<Embedding> embedding;
       std::optional<EmbeddedQubo> embedded;
       {
-        StageSpan embed_span(config.trace, "embedding",
+        StageSpan embed_span(config.run.trace, "embedding",
                              &report.stage_timings);
         QJO_ASSIGN_OR_RETURN(
             embedding,
@@ -324,7 +325,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
                                config.embedding, rng));
       }
       {
-        StageSpan embed_qubo_span(config.trace, "embed_qubo",
+        StageSpan embed_qubo_span(config.run.trace, "embed_qubo",
                                   &report.stage_timings);
         QJO_ASSIGN_OR_RETURN(embedded,
                              EmbedQubo(encoding.qubo, *embedding, topology,
@@ -338,12 +339,12 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
       SqaOptions sqa = config.sqa;
       sqa.kernel = config.solver_kernel;
       if (sqa.control.parallelism <= 1) {
-        sqa.control.parallelism = config.parallelism;
+        sqa.control.parallelism = config.run.parallelism;
       }
-      if (sqa.control.pool == nullptr) sqa.control.pool = config.pool;
-      if (sqa.control.stop == nullptr) sqa.control.stop = config.stop;
-      sqa.control.trace = config.trace;
-      sqa.control.metrics = config.metrics;
+      if (sqa.control.pool == nullptr) sqa.control.pool = config.run.pool;
+      if (sqa.control.stop == nullptr) sqa.control.stop = config.run.stop;
+      sqa.control.trace = config.run.trace;
+      sqa.control.metrics = config.run.metrics;
       QJO_ASSIGN_OR_RETURN(std::vector<SqaSample> reads,
                            RunSqa(physical_ising, sqa, rng));
       double chain_breaks = 0.0;
@@ -362,11 +363,24 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     case QjoBackend::kPortfolio: {
       PortfolioOptions race = config.portfolio;
       race.solver_kernel = config.solver_kernel;
-      if (race.parallelism <= 1) race.parallelism = config.parallelism;
-      if (race.pool == nullptr) race.pool = config.pool;
-      if (race.stop == nullptr) race.stop = config.stop;
-      if (race.trace == nullptr) race.trace = config.trace;
-      if (race.metrics == nullptr) race.metrics = config.metrics;
+      if (race.run.parallelism <= 1) {
+        race.run.parallelism = config.run.parallelism;
+      }
+      if (race.run.pool == nullptr) race.run.pool = config.run.pool;
+      if (race.run.stop == nullptr) race.run.stop = config.run.stop;
+      if (race.run.trace == nullptr) race.run.trace = config.run.trace;
+      if (race.run.metrics == nullptr) race.run.metrics = config.run.metrics;
+      // Pipeline-level wall budget: forwarded when the race has none of
+      // its own.
+      if (race.run.deadline_ms < 0.0 && config.run.deadline_ms >= 0.0) {
+        race.run.deadline_ms = config.run.deadline_ms;
+      }
+      // Adaptive strand selection: the config-level switches are sugar
+      // for the portfolio's own adaptive block.
+      if (config.adaptive) race.adaptive.enabled = true;
+      if (race.adaptive.records == nullptr) {
+        race.adaptive.records = config.strand_records;
+      }
       // The decomposition strand re-encodes window subqueries constantly;
       // the pipeline's shared build cache absorbs the repeats.
       if (race.decomp.cache == nullptr) race.decomp.cache = config.qubo_cache;
@@ -387,7 +401,7 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
   }  // solve span
 
   {
-    StageSpan post_span(config.trace, "postprocess", &report.stage_timings);
+    StageSpan post_span(config.run.trace, "postprocess", &report.stage_timings);
     report.stats = EvaluateSamples(milp, samples, oracle.cost, &bilp);
   }
   report.found_valid = report.stats.found_valid;
@@ -400,22 +414,22 @@ StatusOr<QjoReport> OptimizeJoinOrder(const Query& query,
     report.best_order = report.portfolio.best_order;
     report.best_cost = report.portfolio.best_cost;
   }
-  if (config.metrics != nullptr) {
-    config.metrics->Count("pipeline.samples",
+  if (config.run.metrics != nullptr) {
+    config.run.metrics->Count("pipeline.samples",
                           static_cast<uint64_t>(report.stats.total));
-    if (config.pool != nullptr) {
+    if (config.run.pool != nullptr) {
       // Cumulative dispatch count of the shared pool; max-merge keeps the
       // latest value.
-      config.metrics->GaugeMax(
+      config.run.metrics->GaugeMax(
           "pool.tasks_dispatched",
-          static_cast<double>(config.pool->tasks_dispatched()));
+          static_cast<double>(config.run.pool->tasks_dispatched()));
     }
   }
   const auto pipeline_end = std::chrono::steady_clock::now();
-  if (config.trace != nullptr) {
+  if (config.run.trace != nullptr) {
     // Root span enclosing every stage; recorded directly (a StageSpan
     // would still be alive at the return, after the report moved out).
-    config.trace->Record("pipeline", pipeline_start, pipeline_end);
+    config.run.trace->Record("pipeline", pipeline_start, pipeline_end);
   }
   report.stage_timings.total_ms =
       std::chrono::duration<double, std::milli>(pipeline_end - pipeline_start)
@@ -431,7 +445,7 @@ std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
   if (queries.empty()) return reports;
 
   std::optional<ThreadPool> owned_pool;
-  ThreadPool* pool = config.pool;
+  ThreadPool* pool = config.run.pool;
   if (pool == nullptr && parallelism > 1) {
     owned_pool.emplace(parallelism);
     pool = &*owned_pool;
@@ -443,8 +457,8 @@ std::vector<StatusOr<QjoReport>> OptimizeJoinOrderBatch(
   // not depend on this sharing — seed-splitting makes them bit-identical
   // to a serial one-by-one run.
   QjoConfig per_query = config;
-  per_query.pool = pool;
-  per_query.parallelism = std::max(config.parallelism, parallelism);
+  per_query.run.pool = pool;
+  per_query.run.parallelism = std::max(config.run.parallelism, parallelism);
 
   // Batch-wide QUBO-build cache: repeated query shapes (same
   // cardinalities, predicates, thresholds, omega) encode once. Cached

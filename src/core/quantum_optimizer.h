@@ -61,14 +61,31 @@ struct QjoConfig {
 
   uint64_t seed = 7;
 
-  /// Threads for the per-read loops of the stochastic backends (SA reads,
-  /// SQA anneals). 1 = serial. Reports are bit-identical for every value:
-  /// each read forks its own RNG stream and fills its own result slot.
-  int parallelism = 1;
-  /// Optional externally-owned pool shared across pipeline runs (set by
-  /// OptimizeJoinOrderBatch; not owned). Null = solvers create transient
-  /// pools when `parallelism` > 1.
-  ThreadPool* pool = nullptr;
+  /// Deadline, threads, pool, cancel token and observability sinks
+  /// shared with the other orchestration layers (util/run_context.h):
+  ///
+  ///  * `run.parallelism`/`run.pool` — threads for the per-read loops of
+  ///    the stochastic backends (SA reads, SQA anneals) and the
+  ///    portfolio fan-out. 1 = serial; reports are bit-identical for
+  ///    every value. The pool (set by OptimizeJoinOrderBatch; not owned)
+  ///    is shared across pipeline runs; null = solvers create transient
+  ///    pools when parallelism > 1.
+  ///  * `run.deadline_ms` — pipeline-level wall budget, forwarded to the
+  ///    portfolio race when `portfolio.run.deadline_ms` is left at its
+  ///    default; ignored by the non-cooperative backends.
+  ///  * `run.stop` — cooperative cancel token (e.g. flipped by the
+  ///    serving layer's DeadlineMonitor), plumbed into the stochastic
+  ///    solvers' SolverControl::stop and the portfolio race. The exact
+  ///    and QAOA backends are not cooperative and run to completion.
+  ///    While the token stays unset, results are bit-identical to a run
+  ///    without one.
+  ///  * `run.trace`/`run.metrics` — when attached, every pipeline stage
+  ///    plus the nested solver spans record into the trace; solver
+  ///    counters and pipeline gauges land in the registry. Attaching
+  ///    sinks never changes a result. Lifetime must cover the
+  ///    optimisation call(s); one recorder/registry may be shared across
+  ///    a whole batch.
+  RunContext run;
 
   /// Inner-loop kernel for every stochastic solve this pipeline issues
   /// (SA reads, SQA anneals, portfolio strands, decomp sub-solves).
@@ -111,27 +128,17 @@ struct QjoConfig {
   /// supplies a batch-wide cache automatically.
   QuboBuildCache* qubo_cache = nullptr;
 
-  /// Optional externally-owned cooperative stop token (e.g. flipped by
-  /// the serving layer's DeadlineMonitor when a per-request deadline
-  /// expires). Plumbed into the stochastic solvers' SolverControl::stop
-  /// and the portfolio race: once it fires, running sweeps wind down and
-  /// the pipeline returns whatever state was reached (the portfolio
-  /// still guarantees a valid plan via its classical fallback). The
-  /// exact and QAOA backends are not cooperative and run to completion.
-  /// While the token stays unset, results are bit-identical to a run
-  /// without one.
-  const std::atomic<bool>* stop = nullptr;
-
-  // --- Observability sinks (null-sink default, not owned). ---
-  /// When attached, every pipeline stage (encode, oracle DP, solve,
-  /// embedding, transpilation, sampling, postprocess) plus the nested
-  /// solver spans record into the trace; solver counters and pipeline
-  /// gauges land in the registry. Attaching sinks never changes a result:
-  /// recorded runs are bit-identical to unrecorded ones. Lifetime must
-  /// cover the optimisation call(s); one recorder/registry may be shared
-  /// across a whole batch.
-  TraceRecorder* trace = nullptr;
-  MetricsRegistry* metrics = nullptr;
+  // --- Adaptive strand selection (kPortfolio backend; see
+  // core/strand_select.h). ---
+  /// Let the per-bucket bandit shape strand budgets from the learned
+  /// records. Off (default): fixed-order race. Equivalent to setting
+  /// `portfolio.adaptive.enabled`.
+  bool adaptive = false;
+  /// Learned run records consulted and updated across runs (not owned,
+  /// thread-safe). Null = cold start every run; also reachable via
+  /// `portfolio.adaptive.records`. The serving layer persists its store
+  /// through ServeOptions::strand_records_file.
+  RunRecordStore* strand_records = nullptr;
 
   QjoConfig();
 };

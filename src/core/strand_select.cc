@@ -1,0 +1,309 @@
+#include "core/strand_select.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace qjo {
+
+namespace {
+
+constexpr char kRecordsHeader[] = "qjo-strand-records v1";
+
+/// Power-of-two range label: 1, 2-3, 4-7, 8-15, ... Deterministic and
+/// stable under small instance perturbations, so buckets aggregate.
+std::string PowerRange(int value) {
+  if (value <= 1) return "1";
+  int lo = 2;
+  while (lo * 2 <= value) lo *= 2;
+  return std::to_string(lo) + "-" + std::to_string(2 * lo - 1);
+}
+
+/// %.17g survives a text round-trip bit-exactly for every finite double,
+/// which is what makes Serialize -> Deserialize -> Serialize byte-stable.
+std::string FormatExact(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+QueryFeatures ExtractQueryFeatures(const Query& query, int qubo_variables) {
+  QueryFeatures f;
+  const int n = query.num_relations();
+  const int m = query.num_predicates();
+  f.relations = n;
+  f.qubo_variables = qubo_variables;
+  const double pairs = n >= 2 ? 0.5 * n * (n - 1) : 1.0;
+  f.predicate_density = static_cast<double>(m) / pairs;
+
+  // Degree profile of the join graph (parallel predicates between the
+  // same pair count once — the shape, not the multiplicity, is what
+  // separates the paper's chain/star/cycle/clique workloads).
+  std::vector<std::vector<bool>> seen(n, std::vector<bool>(n, false));
+  std::vector<int> degree(n, 0);
+  int edges = 0;
+  for (const Predicate& p : query.predicates()) {
+    if (p.left < 0 || p.left >= n || p.right < 0 || p.right >= n) continue;
+    if (p.left == p.right || seen[p.left][p.right]) continue;
+    seen[p.left][p.right] = seen[p.right][p.left] = true;
+    ++degree[p.left];
+    ++degree[p.right];
+    ++edges;
+  }
+  int deg1 = 0, deg2 = 0, max_degree = 0;
+  for (int d : degree) {
+    if (d == 1) ++deg1;
+    if (d == 2) ++deg2;
+    max_degree = std::max(max_degree, d);
+  }
+  if (n < 3) {
+    f.graph_class = "chain";
+  } else if (edges == n * (n - 1) / 2) {
+    f.graph_class = "clique";
+  } else if (edges == n - 1 && max_degree == n - 1) {
+    f.graph_class = "star";
+  } else if (edges == n - 1 && deg1 == 2 && deg2 == n - 2) {
+    f.graph_class = "chain";
+  } else if (edges == n && deg2 == n) {
+    f.graph_class = "cycle";
+  } else {
+    f.graph_class = f.predicate_density < 0.5 ? "sparse" : "dense";
+  }
+  return f;
+}
+
+std::string FeatureBucketKey(const QueryFeatures& features) {
+  // Density quartile d0..d3 (clique saturates at d3).
+  int quartile = static_cast<int>(features.predicate_density * 4.0);
+  quartile = std::clamp(quartile, 0, 3);
+  return "r" + PowerRange(features.relations) + "|" + features.graph_class +
+         "|d" + std::to_string(quartile) + "|q" +
+         PowerRange(features.qubo_variables);
+}
+
+std::string FallbackBucketKey(int qubo_variables) {
+  return "q" + PowerRange(qubo_variables);
+}
+
+void RunRecordStore::Record(const std::string& bucket,
+                            const std::vector<StrandOutcome>& strands) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++races_[bucket];
+  std::map<std::string, StrandRecord>& per_strand = records_[bucket];
+  for (const StrandOutcome& outcome : strands) {
+    if (!outcome.eligible) continue;
+    StrandRecord& record = per_strand[outcome.name];
+    ++record.trials;
+    if (outcome.won) ++record.wins;
+    if (outcome.feasible) {
+      ++record.feasible;
+      record.time_to_incumbent_ms += outcome.time_to_incumbent_ms;
+      record.sweeps_to_incumbent +=
+          static_cast<double>(outcome.sweeps_to_incumbent);
+    }
+  }
+}
+
+StrandRecord RunRecordStore::Get(const std::string& bucket,
+                                 const std::string& strand) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto bucket_it = records_.find(bucket);
+  if (bucket_it == records_.end()) return {};
+  auto strand_it = bucket_it->second.find(strand);
+  if (strand_it == bucket_it->second.end()) return {};
+  return strand_it->second;
+}
+
+uint64_t RunRecordStore::BucketTrials(const std::string& bucket) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = races_.find(bucket);
+  return it == races_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> RunRecordStore::Buckets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> buckets;
+  buckets.reserve(races_.size());
+  for (const auto& [bucket, unused] : races_) buckets.push_back(bucket);
+  return buckets;
+}
+
+size_t RunRecordStore::NumBuckets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return races_.size();
+}
+
+std::string RunRecordStore::Serialize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << kRecordsHeader << "\n";
+  for (const auto& [bucket, races] : races_) {
+    os << bucket << " " << races << "\n";
+    auto bucket_it = records_.find(bucket);
+    if (bucket_it == records_.end()) continue;
+    for (const auto& [strand, r] : bucket_it->second) {
+      os << bucket << " " << strand << " " << r.trials << " " << r.wins << " "
+         << r.feasible << " " << FormatExact(r.time_to_incumbent_ms) << " "
+         << FormatExact(r.sweeps_to_incumbent) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Status RunRecordStore::Deserialize(const std::string& text) {
+  std::map<std::string, uint64_t> races;
+  std::map<std::string, std::map<std::string, StrandRecord>> records;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != kRecordsHeader) {
+    return Status::InvalidArgument(
+        "strand records: bad header (expected \"" +
+        std::string(kRecordsHeader) + "\")");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string bucket, second;
+    if (!(fields >> bucket >> second)) {
+      return Status::InvalidArgument("strand records: malformed line: " +
+                                     line);
+    }
+    StrandRecord r;
+    if (fields >> r.trials >> r.wins >> r.feasible >> r.time_to_incumbent_ms >>
+        r.sweeps_to_incumbent) {
+      // Seven fields: a strand record line; `second` is the strand name.
+      records[bucket][second] = r;
+    } else {
+      // Two fields: the bucket's race count; `second` is the counter.
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(second.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("strand records: malformed line: " +
+                                       line);
+      }
+      races[bucket] = value;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  races_ = std::move(races);
+  records_ = std::move(records);
+  return Status::Ok();
+}
+
+Status RunRecordStore::SaveRecords(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("strand records: cannot open for write: " +
+                                   path);
+  }
+  out << Serialize();
+  out.flush();
+  if (!out) {
+    return Status::Internal("strand records: write failed: " + path);
+  }
+  return Status::Ok();
+}
+
+Status RunRecordStore::LoadRecords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("strand records: no such file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+StrandSelector::StrandSelector(const RunRecordStore* records,
+                               const std::string& bucket,
+                               std::vector<std::string> strand_names,
+                               const AdaptiveOptions& options)
+    : names_(std::move(strand_names)),
+      throttle_divisor_(std::max(1, options.throttle_divisor)) {
+  snapshot_.resize(names_.size());
+  throttled_.assign(names_.size(), false);
+  if (records == nullptr || !options.enabled) return;
+  bucket_trials_ = records->BucketTrials(bucket);
+  if (bucket_trials_ < options.min_bucket_trials) return;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    snapshot_[i] = records->Get(bucket, names_[i]);
+  }
+  cold_start_ = false;
+
+  // Rank the *tried* arms by UCB score, ties broken by registration
+  // index: the ordering — hence the throttle verdict — is a
+  // deterministic function of the snapshot alone. Untried arms stay out
+  // of the ranking entirely (and are never throttled — optimism under
+  // uncertainty): the registry's one-shot strands are ineligible in most
+  // buckets, so their infinite scores would otherwise fill the keep-half
+  // and throttle every arm that actually competes, including the best.
+  std::vector<int> order;
+  order.reserve(names_.size());
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (snapshot_[i].trials > 0) order.push_back(static_cast<int>(i));
+  }
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const double sa = UcbScore(a), sb = UcbScore(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  // The upper half keeps its full budget; the lower half is throttled.
+  // Applied to throttleable arms only by Throttled()/Allocate().
+  const size_t keep = (order.size() + 1) / 2;
+  for (size_t rank = keep; rank < order.size(); ++rank) {
+    throttled_[order[rank]] = true;
+  }
+}
+
+double StrandSelector::UcbScore(int strand) const {
+  if (strand < 0 || strand >= static_cast<int>(snapshot_.size())) return 0.0;
+  const StrandRecord& r = snapshot_[strand];
+  if (r.trials == 0) {
+    // Optimism under uncertainty: untried arms run at full budget.
+    return std::numeric_limits<double>::infinity();
+  }
+  const double mean =
+      static_cast<double>(r.wins) / static_cast<double>(r.trials);
+  const double n = static_cast<double>(std::max<uint64_t>(bucket_trials_, 2));
+  const double bonus =
+      std::sqrt(2.0 * std::log(n) / static_cast<double>(r.trials));
+  return mean + bonus;
+}
+
+bool StrandSelector::Throttled(int strand, bool throttleable) const {
+  if (cold_start_ || !throttleable) return false;
+  if (strand < 0 || strand >= static_cast<int>(throttled_.size())) {
+    return false;
+  }
+  return throttled_[strand];
+}
+
+StrandBudget StrandSelector::Allocate(int strand, int round, bool throttleable,
+                                      int reads_per_round,
+                                      int sweeps_per_round,
+                                      int64_t sweep_budget) const {
+  (void)round;  // reserved for per-round schedules; constant today
+  StrandBudget budget;
+  budget.reads_per_round = reads_per_round;
+  budget.sweeps_per_round = sweeps_per_round;
+  budget.sweep_budget = sweep_budget;
+  if (!Throttled(strand, throttleable)) return budget;
+  budget.throttled = true;
+  budget.reads_per_round = std::max(1, reads_per_round / throttle_divisor_);
+  if (sweep_budget > 0) {
+    // Never below one (reduced) round: throttled strands still race.
+    const int64_t round_sweeps =
+        static_cast<int64_t>(budget.reads_per_round) * sweeps_per_round;
+    budget.sweep_budget =
+        std::max(round_sweeps, sweep_budget / throttle_divisor_);
+  }
+  return budget;
+}
+
+}  // namespace qjo

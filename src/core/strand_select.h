@@ -1,0 +1,171 @@
+#ifndef QJO_CORE_STRAND_SELECT_H_
+#define QJO_CORE_STRAND_SELECT_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/portfolio.h"
+#include "jo/query.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace qjo {
+
+/// Adaptive strand selection for the portfolio race (ROADMAP:
+/// "observability-driven adaptive portfolio"). Three pieces compose:
+///
+///  1. A *feature extractor* maps a query graph to a deterministic
+///     feature bucket: relation count, graph class (degree profile),
+///     predicate density, QUBO variable count.
+///  2. A *RunRecordStore* accumulates per-strand win /
+///     time-to-incumbent / sweeps-to-incumbent events keyed by feature
+///     bucket, fed from StrandOutcome at race epilogue and persisted to
+///     a versioned text format so knowledge survives restarts.
+///  3. A *StrandSelector* — a per-bucket UCB1 bandit over the registered
+///     strands — allocates each strand's reads/sweeps budget share:
+///     deprioritised strands are throttled, never removed.
+///
+/// Replay determinism: every selector decision is a pure function of
+/// (records snapshot, feature bucket, round index) — never wall clock —
+/// so a sweep-budget race with a fixed records file is bit-identical at
+/// any parallelism.
+
+// --- Feature extraction. ---
+
+/// Deterministic features of one join-ordering instance.
+struct QueryFeatures {
+  int relations = 0;
+  /// Degree-profile classification of the join graph: "chain", "star",
+  /// "cycle", "clique", or the density fallbacks "sparse" / "dense".
+  std::string graph_class;
+  /// Join predicates relative to the complete graph: m / C(n, 2).
+  double predicate_density = 0.0;
+  /// Logical QUBO variables of the instance's encoding.
+  int qubo_variables = 0;
+};
+
+QueryFeatures ExtractQueryFeatures(const Query& query, int qubo_variables);
+
+/// Collapses features into the bucket key the record store and selector
+/// operate on, e.g. "r8-15|star|d1|q64-127". Relation and variable
+/// counts land in power-of-two ranges, density in quartiles, so one
+/// bucket aggregates instances the portfolio treats alike. Keys never
+/// contain whitespace (the records file is token-separated).
+std::string FeatureBucketKey(const QueryFeatures& features);
+
+/// Bucket for a bare QUBO when no query-level features are available
+/// (direct RaceQuboPortfolio callers): variable-count range only.
+std::string FallbackBucketKey(int qubo_variables);
+
+// --- Run records. ---
+
+/// Accumulated outcomes of one strand within one feature bucket.
+struct StrandRecord {
+  uint64_t trials = 0;    ///< races in which the strand was eligible
+  uint64_t wins = 0;      ///< races the strand won
+  uint64_t feasible = 0;  ///< trials that produced a feasible plan
+  /// Summed over feasible trials (averages = sum / feasible).
+  double time_to_incumbent_ms = 0.0;
+  double sweeps_to_incumbent = 0.0;
+};
+
+/// Thread-safe per-bucket, per-strand record store. The portfolio race
+/// feeds it at epilogue (AdaptiveOptions::records); the serving layer
+/// persists it across restarts next to the plan-cache warm-up file.
+class RunRecordStore {
+ public:
+  /// Folds one race's outcomes into `bucket` (ineligible strands are
+  /// skipped; they carry no signal).
+  void Record(const std::string& bucket,
+              const std::vector<StrandOutcome>& strands);
+
+  /// Record of (bucket, strand); zeroes when never seen.
+  StrandRecord Get(const std::string& bucket,
+                   const std::string& strand) const;
+  /// Races recorded into `bucket` (the bandit's total trial count).
+  uint64_t BucketTrials(const std::string& bucket) const;
+  std::vector<std::string> Buckets() const;
+  size_t NumBuckets() const;
+
+  /// Versioned text round-trip. Serialize() is deterministic (sorted
+  /// buckets/strands, fixed float formatting), so
+  /// Serialize -> Deserialize -> Serialize is byte-stable.
+  ///
+  /// Format, one record per line after the header:
+  ///   qjo-strand-records v1
+  ///   <bucket> <races>
+  ///   <bucket> <strand> <trials> <wins> <feasible> <tti_ms> <sweeps>
+  std::string Serialize() const;
+  /// Replaces the store's contents; fails on a bad header or a malformed
+  /// line (the store is left empty in that case).
+  Status Deserialize(const std::string& text);
+
+  /// File round-trip (analogous to the serving layer's plan-cache
+  /// warm-up file). SaveRecords writes Serialize() atomically enough for
+  /// single-writer use; LoadRecords fails with NotFound on a missing
+  /// file so callers can treat first runs as a cold start.
+  Status SaveRecords(const std::string& path) const;
+  Status LoadRecords(const std::string& path);
+
+ private:
+  mutable std::mutex mutex_;
+  /// bucket -> races recorded.
+  std::map<std::string, uint64_t> races_;
+  /// bucket -> strand -> record. std::map keeps serialization sorted.
+  std::map<std::string, std::map<std::string, StrandRecord>> records_;
+};
+
+// --- Selection. ---
+
+/// Per-bucket UCB1 bandit over the registered strands. Construction
+/// takes an immutable snapshot of the records for one bucket; every
+/// later call is const and wall-clock-free, which is what makes adaptive
+/// races replayable and bit-identical at any parallelism.
+class StrandSelector {
+ public:
+  /// `strand_names` is the registry's arm universe in registration
+  /// order. A null store, an unknown bucket, or fewer than
+  /// `options.min_bucket_trials` recorded races put the selector in
+  /// cold-start mode: Allocate() then returns the full base budget for
+  /// every strand — the fixed-order race.
+  StrandSelector(const RunRecordStore* records, const std::string& bucket,
+                 std::vector<std::string> strand_names,
+                 const AdaptiveOptions& options);
+
+  bool cold_start() const { return cold_start_; }
+
+  /// UCB1 score of arm `strand`: win-rate mean + sqrt(2 ln N / n_i)
+  /// exploration bonus; +inf for an arm the bucket never tried (optimism
+  /// under uncertainty). Meaningless (0) in cold-start mode.
+  double UcbScore(int strand) const;
+
+  /// True when the bandit deprioritises `strand`: the arm ranks in the
+  /// lower half of the throttleable arms by UCB score (ties broken by
+  /// index, so the ranking is deterministic). Non-throttleable strands
+  /// are never throttled.
+  bool Throttled(int strand, bool throttleable) const;
+
+  /// The budget granted to `strand` for `round`, given the race-wide
+  /// base budgets. Pure function of the construction-time snapshot and
+  /// its arguments: full budgets in cold start, divided reads and total
+  /// sweep budget (never below one round) for throttled strands.
+  StrandBudget Allocate(int strand, int round, bool throttleable,
+                        int reads_per_round, int sweeps_per_round,
+                        int64_t sweep_budget) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<StrandRecord> snapshot_;
+  uint64_t bucket_trials_ = 0;
+  bool cold_start_ = true;
+  int throttle_divisor_ = 4;
+  std::vector<bool> throttled_;  ///< rank verdict per arm (throttleable)
+};
+
+}  // namespace qjo
+
+#endif  // QJO_CORE_STRAND_SELECT_H_

@@ -175,7 +175,8 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
         "decomposition cost model indexes relations through uint64_t masks "
         "(at most 63 relations)");
   }
-  if (options.max_rounds <= 0 && options.deadline_ms <= 0.0) {
+  QJO_RETURN_IF_ERROR(ValidateRunContext(options.run));
+  if (options.max_rounds <= 0 && options.run.deadline_ms <= 0.0) {
     return Status::InvalidArgument(
         "unbounded decomposition: need max_rounds or a deadline");
   }
@@ -209,9 +210,9 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
   }
 
   std::optional<ThreadPool> local_pool;
-  ThreadPool* pool = options.pool;
-  if (pool == nullptr && options.parallelism > 1) {
-    local_pool.emplace(options.parallelism);
+  ThreadPool* pool = options.run.pool;
+  if (pool == nullptr && options.run.parallelism > 1) {
+    local_pool.emplace(options.run.parallelism);
     pool = &*local_pool;
   }
 
@@ -219,11 +220,11 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
   // an atomic and is folded into the report once the fan-outs are done.
   std::atomic<bool> deadline_hit{false};
   const auto expired = [&] {
-    if (options.stop != nullptr &&
-        options.stop->load(std::memory_order_relaxed)) {
+    if (options.run.stop != nullptr &&
+        options.run.stop->load(std::memory_order_relaxed)) {
       return true;
     }
-    if (options.deadline_ms > 0.0 && MsSince(start) >= options.deadline_ms) {
+    if (options.run.deadline_ms > 0.0 && MsSince(start) >= options.run.deadline_ms) {
       deadline_hit.store(true, std::memory_order_relaxed);
       return true;
     }
@@ -242,7 +243,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
     // positions split by this round's cuts share a window in the next.
     std::vector<DecompWindow> windows;
     {
-      StageSpan span(options.trace, "decomp.partition");
+      StageSpan span(options.run.trace, "decomp.partition");
       windows = PartitionWindows(t, window, (round % 2) * (window / 2));
       // Worst window first: rank by the window's share of the incumbent
       // cost (the intermediate results produced at its positions), ties
@@ -278,7 +279,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
     ParallelFor(pool, 0, static_cast<int64_t>(windows.size()), [&](int64_t w) {
       if (expired()) return;
       const std::string span_name = "decomp.subsolve." + std::to_string(w);
-      StageSpan span(options.trace, span_name.c_str());
+      StageSpan span(options.run.trace, span_name.c_str());
       WindowProposal& proposal = proposals[w];
       Rng window_rng = round_rng.Fork(static_cast<uint64_t>(w));
 
@@ -293,9 +294,9 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
         const Qubo& qubo = (*encoded)->encoding.qubo;
         SolverControl control;
         control.parallelism = 1;  // the fan-out above owns the threads
-        control.stop = options.stop;
-        control.trace = options.trace;
-        control.metrics = options.metrics;
+        control.stop = options.run.stop;
+        control.trace = options.run.trace;
+        control.metrics = options.run.metrics;
         switch (PickSubSolver(round, static_cast<int>(w))) {
           case SubSolver::kSa: {
             SaOptions sa;
@@ -368,7 +369,7 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
     // only global improvements are accepted.
     int round_improvements = 0;
     {
-      StageSpan span(options.trace, "decomp.stitch");
+      StageSpan span(options.run.trace, "decomp.stitch");
       for (size_t w = 0; w < windows.size(); ++w) {
         const WindowProposal& proposal = proposals[w];
         if (!proposal.solved) continue;
@@ -390,14 +391,14 @@ StatusOr<DecompReport> OptimizeJoinOrderDecomposed(const Query& query,
     ++report.rounds;
   }
 
-  if (options.metrics != nullptr) {
-    options.metrics->Count("decomp.rounds",
+  if (options.run.metrics != nullptr) {
+    options.run.metrics->Count("decomp.rounds",
                            static_cast<uint64_t>(report.rounds));
-    options.metrics->Count("decomp.windows_solved",
+    options.run.metrics->Count("decomp.windows_solved",
                            static_cast<uint64_t>(report.windows_solved));
-    options.metrics->Count("decomp.improvements",
+    options.run.metrics->Count("decomp.improvements",
                            static_cast<uint64_t>(report.improvements));
-    options.metrics->Count("decomp.repairs",
+    options.run.metrics->Count("decomp.repairs",
                            static_cast<uint64_t>(report.repairs));
   }
 

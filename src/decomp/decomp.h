@@ -11,6 +11,7 @@
 #include "obs/obs.h"
 #include "qubo/solvers.h"
 #include "util/random.h"
+#include "util/run_context.h"
 #include "util/statusor.h"
 
 namespace qjo {
@@ -65,10 +66,6 @@ struct DecompOptions {
   /// guarantees both partition phases were retried since the last
   /// improvement.
   int stall_rounds = 2;
-  /// Wall-clock budget in ms; <= 0 = none (bounded by max_rounds). The
-  /// deadline is checked between window solves, and `stop` (when set) is
-  /// honoured the same way.
-  double deadline_ms = -1.0;
 
   /// Sub-solver effort per window: reads/restarts x sweeps/iterations.
   int subsolver_reads = 4;
@@ -90,13 +87,13 @@ struct DecompOptions {
   /// protects. Null = the call creates a private cache for its duration.
   QuboBuildCache* cache = nullptr;
 
-  /// Parallelism for the per-round window fan-out (results never depend
-  /// on it) plus the usual non-owned pool/stop/observability wiring.
-  int parallelism = 1;
-  ThreadPool* pool = nullptr;
-  const std::atomic<bool>* stop = nullptr;
-  TraceRecorder* trace = nullptr;
-  MetricsRegistry* metrics = nullptr;
+  /// Deadline, parallelism for the per-round window fan-out (results
+  /// never depend on it) and the usual non-owned pool/stop/observability
+  /// wiring, shared with the other orchestration layers (see
+  /// util/run_context.h). `run.deadline_ms` <= 0 = no deadline (bounded
+  /// by max_rounds); when positive it is checked between window solves,
+  /// and `run.stop` (when set) is honoured the same way.
+  RunContext run;
 };
 
 /// One window of consecutive incumbent-order positions, [start, start+length).

@@ -13,9 +13,9 @@ class MetricsRegistry;
 /// tabu, SQA). Extracted from the formerly duplicated
 /// parallelism/pool/stop fields of SaOptions/TabuOptions/SqaOptions so
 /// the portfolio orchestrator and the observability layer wire through
-/// one struct instead of three copies; the old field names remain
-/// available on each options struct as reference aliases for one
-/// release.
+/// one struct instead of three copies. (The orchestration layers above
+/// the solvers consolidate the same knobs, plus a wall-clock deadline,
+/// into util/run_context.h's RunContext.)
 ///
 /// Nothing here is owned: pool, stop, trace, and metrics must outlive
 /// the solver call they are passed to.

@@ -67,24 +67,6 @@ struct SaOptions {
   /// Inner-loop implementation; kBatched (the default) is bit-identical
   /// to kIncremental; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kBatched;
-
-  /// Deprecated aliases into `control`, kept for one release so existing
-  /// call sites keep compiling; address `control` directly in new code.
-  int& parallelism = control.parallelism;
-  ThreadPool*& pool = control.pool;
-  const std::atomic<bool>*& stop = control.stop;
-
-  SaOptions() = default;
-  SaOptions(const SaOptions& other) { *this = other; }
-  SaOptions& operator=(const SaOptions& other) {
-    num_reads = other.num_reads;
-    sweeps_per_read = other.sweeps_per_read;
-    initial_temperature = other.initial_temperature;
-    final_temperature = other.final_temperature;
-    control = other.control;
-    kernel = other.kernel;
-    return *this;  // the aliases stay bound to this->control
-  }
 };
 
 /// The resolved geometric cooling schedule: sweep k of a read runs at
@@ -122,22 +104,6 @@ struct TabuOptions {
   SolverControl control;
   /// Inner-loop implementation; kReference is for tests and benches.
   SolverKernel kernel = SolverKernel::kIncremental;
-
-  /// Deprecated aliases into `control` (see SaOptions).
-  int& parallelism = control.parallelism;
-  ThreadPool*& pool = control.pool;
-  const std::atomic<bool>*& stop = control.stop;
-
-  TabuOptions() = default;
-  TabuOptions(const TabuOptions& other) { *this = other; }
-  TabuOptions& operator=(const TabuOptions& other) {
-    num_restarts = other.num_restarts;
-    iterations_per_restart = other.iterations_per_restart;
-    tenure = other.tenure;
-    control = other.control;
-    kernel = other.kernel;
-    return *this;
-  }
 };
 
 /// Tabu search: steepest-descent single-bit flips with a recency-based

@@ -73,6 +73,16 @@ OptimizerService::OptimizerService(const ServeOptions& options)
                               pending_warmup_keys_.size());
     }
   }
+  if (!options_.strand_records_file.empty()) {
+    // A missing or unreadable file is a cold start, not an error: the
+    // store fills as races complete and is persisted on Drain/shutdown.
+    const Status loaded =
+        strand_records_.LoadRecords(options_.strand_records_file);
+    if (loaded.ok() && options_.metrics != nullptr) {
+      options_.metrics->Count("serve.adaptive.buckets_loaded",
+                              strand_records_.NumBuckets());
+    }
+  }
   reaper_ = std::jthread(
       [this](std::stop_token stop) { ReaperLoop(std::move(stop)); });
   const int workers = std::max(1, options_.workers);
@@ -117,6 +127,9 @@ OptimizerService::~OptimizerService() {
   }
   drained_.notify_all();
   if (!options_.warmup_file.empty()) SaveWarmupKeys(options_.warmup_file);
+  if (!options_.strand_records_file.empty()) {
+    (void)strand_records_.SaveRecords(options_.strand_records_file);
+  }
 }
 
 StatusOr<std::future<ServeResult>> OptimizerService::Submit(
@@ -453,9 +466,16 @@ void OptimizerService::Process(Pending& pending) {
     result.solve_ms = MsBetween(solve_start, Clock::now());
   } else {
     QjoConfig config = request.config;
-    if (config.pool == nullptr) config.pool = options_.pool;
-    if (config.trace == nullptr) config.trace = options_.trace;
-    if (config.metrics == nullptr) config.metrics = options_.metrics;
+    if (config.run.pool == nullptr) config.run.pool = options_.pool;
+    if (config.run.trace == nullptr) config.run.trace = options_.trace;
+    if (config.run.metrics == nullptr) config.run.metrics = options_.metrics;
+    // Adaptive strand selection: the service-owned record store backs
+    // every request unless the caller brought their own (caller wins).
+    if (options_.adaptive) config.adaptive = true;
+    if (config.strand_records == nullptr &&
+        (options_.adaptive || !options_.strand_records_file.empty())) {
+      config.strand_records = &strand_records_;
+    }
     // Shared build cache: even when the plan cache misses, the encode
     // stage reuses any prior request's CSR build for this fingerprint. A
     // request carrying its own cache keeps it (caller wins).
@@ -469,8 +489,8 @@ void OptimizerService::Process(Pending& pending) {
     std::atomic<bool> token{false};
     uint64_t arm_id = 0;
     bool armed = false;
-    if (std::isfinite(remaining_ms) && config.stop == nullptr) {
-      config.stop = &token;
+    if (std::isfinite(remaining_ms) && config.run.stop == nullptr) {
+      config.run.stop = &token;
       arm_id = monitor_.Arm(&token, pending.deadline);
       armed = true;
     }
@@ -609,6 +629,9 @@ void OptimizerService::Drain() {
     });
   }
   if (!options_.warmup_file.empty()) SaveWarmupKeys(options_.warmup_file);
+  if (!options_.strand_records_file.empty()) {
+    (void)strand_records_.SaveRecords(options_.strand_records_file);
+  }
 }
 
 size_t OptimizerService::WarmUp(const std::vector<std::string>& keys,
@@ -624,9 +647,9 @@ size_t OptimizerService::WarmUp(const std::vector<std::string>& keys,
     if (wanted.find(key) == wanted.end() || done.count(key) != 0) continue;
     done.insert(key);
     QjoConfig config = request.config;
-    if (config.pool == nullptr) config.pool = options_.pool;
-    if (config.trace == nullptr) config.trace = options_.trace;
-    if (config.metrics == nullptr) config.metrics = options_.metrics;
+    if (config.run.pool == nullptr) config.run.pool = options_.pool;
+    if (config.run.trace == nullptr) config.run.trace = options_.trace;
+    if (config.run.metrics == nullptr) config.run.metrics = options_.metrics;
     if (config.qubo_cache == nullptr && build_cache_ != nullptr) {
       config.qubo_cache = build_cache_.get();
     }
@@ -689,8 +712,12 @@ std::string OptimizerService::PlanKey(const Query& query,
   AppendI64(&key, "qg", config.qaoa_grid);
   AppendI64(&key, "noiseless", config.noiseless ? 1 : 0);
   AppendI64(&key, "sqa_reads", config.sqa.num_reads);
+  // Adaptive runs are keyed separately from fixed-order runs: the learned
+  // budgets change which strand wins, so the two must not share entries.
+  AppendI64(&key, "adaptive",
+            (config.adaptive || config.portfolio.adaptive.enabled) ? 1 : 0);
   const PortfolioOptions& p = config.portfolio;
-  AppendDouble(&key, "p_dl", p.deadline_ms);
+  AppendDouble(&key, "p_dl", p.run.deadline_ms);
   AppendI64(&key, "p_sb", p.sweep_budget);
   AppendI64(&key, "p_rpr", p.reads_per_round);
   AppendI64(&key, "p_spr", p.sweeps_per_round);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/quantum_optimizer.h"
+#include "core/strand_select.h"
 #include "qubo/deadline_monitor.h"
 #include "serve/plan_cache.h"
 #include "serve/token_bucket.h"
@@ -99,6 +100,24 @@ struct ServeOptions {
   /// into warmup_keys() for a WarmUp(workload) call to replay. Empty =
   /// no persistence.
   std::string warmup_file;
+
+  /// Adaptive strand selection across requests (core/strand_select.h):
+  /// when on, every portfolio-backend request runs with the
+  /// service-owned RunRecordStore attached and `adaptive` enabled, so
+  /// the per-bucket bandit learns from each race and throttles strands
+  /// that never win a request's problem shape. A request carrying its
+  /// own `config.strand_records` keeps it (caller wins). Note the plan
+  /// cache still serves hits recorded under an older records state —
+  /// stale-but-valid by the cache's never-changing-plan-validity
+  /// argument; set `bypass_cache` per request to force re-selection.
+  bool adaptive = false;
+  /// Strand-records persistence (versioned text, next to `warmup_file`):
+  /// when non-empty, the store is loaded at construction (a missing file
+  /// is a cold start, not an error) and written by Drain() and at
+  /// shutdown, so strand knowledge survives restarts. Setting only this
+  /// — with `adaptive` off — records outcomes without shaping budgets
+  /// (warm-up mode).
+  std::string strand_records_file;
 
   /// Optional externally-owned solve pool shared by every request (the
   /// OptimizeJoinOrderBatch ownership rule applies: the service never
@@ -286,6 +305,9 @@ class OptimizerService {
   /// Service-owned shared build cache; null when share_build_cache is
   /// off.
   QuboBuildCache* build_cache() { return build_cache_.get(); }
+  /// Service-owned strand run records (attached to portfolio requests
+  /// when `adaptive` is on or `strand_records_file` is set).
+  RunRecordStore* strand_records() { return &strand_records_; }
   size_t queued() const;
   /// Followers currently attached to in-flight leaders.
   size_t coalesced_waiting() const;
@@ -339,6 +361,9 @@ class OptimizerService {
   std::unique_ptr<QuboBuildCache> build_cache_;  ///< null when sharing off
   DeadlineMonitor monitor_;
   std::vector<std::string> pending_warmup_keys_;
+  /// Cross-request strand run records (thread-safe; loaded from and
+  /// persisted to strand_records_file when configured).
+  RunRecordStore strand_records_;
 
   mutable std::mutex mutex_;
   std::condition_variable_any work_ready_;

@@ -46,26 +46,6 @@ struct SqaOptions {
   /// persistent per-slice local fields (kIncremental), or the O(degree)
   /// scan per proposal (kReference, for parity tests and benches).
   SolverKernel kernel = SolverKernel::kBatched;
-
-  /// Deprecated aliases into `control` (see SaOptions).
-  int& parallelism = control.parallelism;
-  ThreadPool*& pool = control.pool;
-  const std::atomic<bool>*& stop = control.stop;
-
-  SqaOptions() = default;
-  SqaOptions(const SqaOptions& other) { *this = other; }
-  SqaOptions& operator=(const SqaOptions& other) {
-    num_reads = other.num_reads;
-    annealing_time_us = other.annealing_time_us;
-    sweeps_per_us = other.sweeps_per_us;
-    trotter_slices = other.trotter_slices;
-    relative_temperature = other.relative_temperature;
-    relative_initial_field = other.relative_initial_field;
-    ice_sigma = other.ice_sigma;
-    control = other.control;
-    kernel = other.kernel;
-    return *this;
-  }
 };
 
 /// One annealing read: the sampled spin configuration (+1/-1 per site)

@@ -1,0 +1,78 @@
+#ifndef QJO_UTIL_RUN_CONTEXT_H_
+#define QJO_UTIL_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace qjo {
+
+class ThreadPool;
+class TraceRecorder;
+class MetricsRegistry;
+
+/// Shared execution context of the orchestration layers (portfolio race,
+/// decomposition loop, end-to-end pipeline). Consolidates the
+/// deadline/parallelism/pool/stop/observability knobs that used to be
+/// duplicated across PortfolioOptions, DecompOptions and QjoConfig into
+/// one struct each of them embeds by value as `run`.
+///
+/// Nothing here is owned: pool, stop, trace and metrics must outlive the
+/// call they are passed to. The per-field contracts mirror SolverControl
+/// (the equivalent surface of the inner QUBO solvers), plus the
+/// wall-clock deadline the solvers themselves never take — they are
+/// bounded by sweeps and the cooperative stop token only.
+struct RunContext {
+  /// Wall-clock budget in milliseconds. > 0: the layer winds down
+  /// cooperatively on expiry (watchdog token or between-rounds checks)
+  /// and answers with its incumbent. 0: zero budget — orchestrators
+  /// answer immediately with their cheap fallback. < 0: no deadline; the
+  /// run must then be bounded another way (sweep budget, round budget),
+  /// which each layer's validation enforces at entry. Wall-clock
+  /// cut-offs are inherently scheduling-dependent, so deadline-bounded
+  /// runs are *not* bit-reproducible; budget-bounded runs are.
+  double deadline_ms = -1.0;
+
+  /// Threads for the layer's fan-out (strands, windows, queries) and the
+  /// solvers' inner read loops (nested ParallelFor on one pool); 1 =
+  /// serial. Results never depend on it.
+  int parallelism = 1;
+
+  /// Optional externally-owned pool shared across calls. Null = a
+  /// transient pool is created on demand when parallelism > 1.
+  ThreadPool* pool = nullptr;
+
+  /// Optional externally-owned cooperative cancel token (e.g. a
+  /// per-request token armed by the serving layer's DeadlineMonitor).
+  /// Once it fires, the layer winds down exactly as on deadline expiry
+  /// (the incumbent so far wins; the JO layer still guarantees a plan).
+  /// While the token stays unset it never influences results, so
+  /// budget-bounded runs remain bit-reproducible.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Observability sinks (null-sink default, not owned). Attaching them
+  /// never changes a result: recorded runs are bit-identical to
+  /// unrecorded ones.
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// Validates the layer-independent RunContext invariants. Each layer's
+/// entry point composes this with its own budget checks (e.g. the
+/// portfolio's round sizes, the decomposition's round budget) so every
+/// misconfiguration is one InvalidArgument at entry instead of silent
+/// misbehaviour downstream.
+inline Status ValidateRunContext(const RunContext& run) {
+  if (run.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (std::isnan(run.deadline_ms)) {
+    return Status::InvalidArgument("deadline_ms must not be NaN");
+  }
+  return Status::Ok();
+}
+
+}  // namespace qjo
+
+#endif  // QJO_UTIL_RUN_CONTEXT_H_

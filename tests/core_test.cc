@@ -295,7 +295,7 @@ TEST(BatchTest, FailedSlotsDoNotPoisonOthers) {
 }
 
 TEST(BatchTest, RespectsCallerPool) {
-  // Pool ownership rule: with config.pool set, the batch fans out on the
+  // Pool ownership rule: with config.run.pool set, the batch fans out on the
   // caller's pool instead of creating its own, and results stay
   // bit-identical to the pool-less run.
   std::vector<Query> queries;
@@ -309,7 +309,7 @@ TEST(BatchTest, RespectsCallerPool) {
 
   ThreadPool pool(4);
   const uint64_t dispatched_before = pool.tasks_dispatched();
-  config.pool = &pool;
+  config.run.pool = &pool;
   const auto with_pool = OptimizeJoinOrderBatch(queries, config, 4);
   EXPECT_GT(pool.tasks_dispatched(), dispatched_before)
       << "batch did not dispatch onto the caller-supplied pool";
@@ -528,7 +528,7 @@ TEST(PortfolioTest, ZeroDeadlineReturnsClassicalFallback) {
   const Query q = MakeChainQuery(4);
   QjoConfig config;
   config.backend = QjoBackend::kPortfolio;
-  config.portfolio.deadline_ms = 0.0;
+  config.portfolio.run.deadline_ms = 0.0;
   auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok());
   // Zero budget: no strand ran, yet a valid plan (the DP fallback, which
@@ -547,7 +547,7 @@ TEST(PortfolioTest, RejectsUnboundedConfiguration) {
   const Query q = MakeChainQuery(3);
   QjoConfig config;
   config.backend = QjoBackend::kPortfolio;
-  config.portfolio.deadline_ms = -1.0;
+  config.portfolio.run.deadline_ms = -1.0;
   config.portfolio.sweep_budget = 0;  // no deadline and no sweep bound
   EXPECT_FALSE(OptimizeJoinOrder(q, config).ok());
 }
@@ -564,7 +564,7 @@ TEST(PortfolioTest, ExactStrandWinsSmallInstances) {
   EXPECT_FALSE(report->portfolio.used_classical_fallback);
   ASSERT_FALSE(report->portfolio.race.strands.empty());
   const StrandOutcome& exact = report->portfolio.race.strands[0];
-  EXPECT_EQ(exact.strand, PortfolioStrand::kExact);
+  EXPECT_EQ(exact.name, "exact");
   ASSERT_TRUE(exact.eligible);
   // The exact strand proves the optimum; no strand can beat its score and
   // ties break in its favour.
@@ -578,9 +578,9 @@ TEST(PortfolioTest, DeadlineExpiryStillReturnsValidPlan) {
   const Query q = MakeChainQuery(5);
   QjoConfig config;
   config.backend = QjoBackend::kPortfolio;
-  config.portfolio.deadline_ms = 30.0;
+  config.portfolio.run.deadline_ms = 30.0;
   config.portfolio.sweep_budget = 0;  // unlimited: only the deadline stops it
-  config.parallelism = 4;             // race strands concurrently
+  config.run.parallelism = 4;             // race strands concurrently
   auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->found_valid);
@@ -595,7 +595,7 @@ TEST(PortfolioTest, DeterministicAcrossParallelism) {
   config.portfolio.sweep_budget = 512;  // pure sweep-budget mode
   std::optional<QjoReport> baseline;
   for (int parallelism : {1, 4, 16}) {
-    config.parallelism = parallelism;
+    config.run.parallelism = parallelism;
     auto report = OptimizeJoinOrder(q, config);
     ASSERT_TRUE(report.ok()) << "parallelism " << parallelism;
     ASSERT_TRUE(report->found_valid);
@@ -641,7 +641,7 @@ TEST(PortfolioTest, DecompStrandIneligibleForSmallQueries) {
   // strands own small instances.
   ASSERT_EQ(report->portfolio.race.strands.size(), 6u);
   const StrandOutcome& decomp = report->portfolio.race.strands[5];
-  EXPECT_EQ(decomp.strand, PortfolioStrand::kDecomp);
+  EXPECT_EQ(decomp.name, "decomp");
   EXPECT_FALSE(decomp.eligible);
 }
 

@@ -136,7 +136,7 @@ TEST(DecompTest, RejectsDegenerateInputs) {
   Query q = MakeGraphQuery(QueryGraphType::kChain, 5, 11);
   DecompOptions unbounded;
   unbounded.max_rounds = 0;
-  unbounded.deadline_ms = -1.0;
+  unbounded.run.deadline_ms = -1.0;
   EXPECT_FALSE(OptimizeJoinOrderDecomposed(q, unbounded, rng).ok());
 }
 
@@ -180,7 +180,7 @@ TEST(DecompTest, DeterministicAcrossParallelism) {
   std::optional<DecompReport> baseline;
   for (int parallelism : {1, 4, 8}) {
     DecompOptions options = FastOptions();
-    options.parallelism = parallelism;
+    options.run.parallelism = parallelism;
     Rng rng(99);
     auto report = OptimizeJoinOrderDecomposed(q, options, rng);
     ASSERT_TRUE(report.ok()) << "parallelism " << parallelism;
@@ -219,7 +219,7 @@ TEST(DecompTest, StopTokenShortCircuits) {
   const Query q = MakeGraphQuery(QueryGraphType::kChain, 30, 17);
   DecompOptions options = FastOptions();
   std::atomic<bool> stop{true};  // pre-cancelled
-  options.stop = &stop;
+  options.run.stop = &stop;
   Rng rng(3);
   auto report = OptimizeJoinOrderDecomposed(q, options, rng);
   ASSERT_TRUE(report.ok());
@@ -235,8 +235,8 @@ TEST(DecompTest, ObservabilityRecordsSpansAndCounters) {
   TraceRecorder trace;
   MetricsRegistry metrics;
   DecompOptions options = FastOptions();
-  options.trace = &trace;
-  options.metrics = &metrics;
+  options.run.trace = &trace;
+  options.run.metrics = &metrics;
   Rng rng(7);
   auto report = OptimizeJoinOrderDecomposed(q, options, rng);
   ASSERT_TRUE(report.ok());

@@ -328,16 +328,16 @@ TEST_P(ObsBackendBitIdenticalTest, TracedRunMatchesUntracedRun) {
                                                       : MakePaperInstance(1);
   for (int parallelism : {1, 4}) {
     QjoConfig plain_config = MakeBackendConfig(c.backend);
-    plain_config.parallelism = parallelism;
+    plain_config.run.parallelism = parallelism;
     const auto plain = OptimizeJoinOrder(q, plain_config);
     ASSERT_TRUE(plain.ok()) << plain.status().ToString();
 
     TraceRecorder trace;
     MetricsRegistry metrics;
     QjoConfig traced_config = MakeBackendConfig(c.backend);
-    traced_config.parallelism = parallelism;
-    traced_config.trace = &trace;
-    traced_config.metrics = &metrics;
+    traced_config.run.parallelism = parallelism;
+    traced_config.run.trace = &trace;
+    traced_config.run.metrics = &metrics;
     const auto traced = OptimizeJoinOrder(q, traced_config);
     ASSERT_TRUE(traced.ok()) << traced.status().ToString();
 
@@ -395,8 +395,8 @@ TEST(ObsPipelineTest, PipelineMetricsDeterministicMergeAcrossParallelism) {
   for (int parallelism : {1, 4, 8}) {
     MetricsRegistry registry;
     QjoConfig config = MakeBackendConfig(QjoBackend::kPortfolio);
-    config.parallelism = parallelism;
-    config.metrics = &registry;
+    config.run.parallelism = parallelism;
+    config.run.metrics = &registry;
     const auto report = OptimizeJoinOrder(q, config);
     ASSERT_TRUE(report.ok()) << report.status().ToString();
     const MetricsSnapshot snapshot = registry.Snapshot();
@@ -418,16 +418,16 @@ TEST(ObsPipelineTest, PortfolioCountersMatchReportAndTraceCoversRun) {
   TraceRecorder trace;
   MetricsRegistry metrics;
   QjoConfig config = MakeBackendConfig(QjoBackend::kPortfolio);
-  config.parallelism = 4;
-  config.trace = &trace;
-  config.metrics = &metrics;
+  config.run.parallelism = 4;
+  config.run.trace = &trace;
+  config.run.metrics = &metrics;
   const auto report = OptimizeJoinOrder(q, config);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
   const MetricsSnapshot snapshot = metrics.Snapshot();
   for (const StrandOutcome& strand : report->portfolio.race.strands) {
     const std::string prefix =
-        std::string("portfolio.") + PortfolioStrandName(strand.strand);
+        std::string("portfolio.") + strand.name;
     const auto counter = [&](const std::string& name) -> uint64_t {
       const auto it = snapshot.counters.find(name);
       return it == snapshot.counters.end() ? 0 : it->second;

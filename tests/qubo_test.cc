@@ -329,7 +329,7 @@ TEST(SimulatedAnnealingTest, DeterministicAcrossParallelism) {
   options.sweeps_per_read = 120;
   std::vector<std::vector<QuboSolution>> runs;
   for (int parallelism : {1, 2, 8}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     Rng rng(31);
     runs.push_back(SolveQuboSimulatedAnnealing(qubo, options, rng));
     // The solver consumes exactly one draw from the caller's RNG no
@@ -356,7 +356,7 @@ TEST(TabuSearchTest, DeterministicAcrossParallelism) {
   options.iterations_per_restart = 300;
   std::vector<std::vector<QuboSolution>> runs;
   for (int parallelism : {1, 2, 8}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     Rng rng(41);
     runs.push_back(SolveQuboTabuSearch(qubo, options, rng));
   }
@@ -476,7 +476,7 @@ TEST(SimulatedAnnealingTest, KernelsBitIdenticalOnDyadicProblems) {
   options.num_reads = 8;
   options.sweeps_per_read = 100;
   for (int parallelism : {1, 4}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     options.kernel = SolverKernel::kIncremental;
     Rng rng_inc(19);
     const auto incremental = SolveQuboSimulatedAnnealing(qubo, options, rng_inc);
@@ -506,7 +506,7 @@ TEST(SimulatedAnnealingTest, BatchedKernelsBitIdenticalToScalarReads) {
     for (int num_reads : {1, 4, 17}) {
       options.num_reads = num_reads;
       for (int parallelism : {1, 4, 8}) {
-        options.parallelism = parallelism;
+        options.control.parallelism = parallelism;
         options.kernel = SolverKernel::kIncremental;
         Rng rng_inc(19);
         const auto scalar = SolveQuboSimulatedAnnealing(qubo, options, rng_inc);
@@ -532,7 +532,7 @@ TEST(TabuSearchTest, KernelsBitIdenticalOnDyadicProblems) {
   options.num_restarts = 6;
   options.iterations_per_restart = 250;
   for (int parallelism : {1, 4}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     options.kernel = SolverKernel::kIncremental;
     Rng rng_inc(23);
     const auto incremental = SolveQuboTabuSearch(qubo, options, rng_inc);
@@ -576,7 +576,7 @@ TEST(SimulatedAnnealingTest, StopTokenCancelsLongRun) {
   options.num_reads = 4;
   options.sweeps_per_read = 50'000'000;  // hours of work if uncancelled
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   std::thread canceller([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stop.store(true, std::memory_order_relaxed);
@@ -603,7 +603,7 @@ TEST(SimulatedAnnealingTest, PreSetStopTokenReturnsImmediately) {
   options.num_reads = 2;
   options.sweeps_per_read = 50'000'000;
   std::atomic<bool> stop{true};
-  options.stop = &stop;
+  options.control.stop = &stop;
   Rng rng(37);
   const auto reads = SolveQuboSimulatedAnnealing(qubo, options, rng);
   ASSERT_EQ(reads.size(), 2u);
@@ -621,7 +621,7 @@ TEST(SimulatedAnnealingTest, UnsetStopTokenMatchesNoToken) {
   Rng rng_plain(41);
   const auto plain = SolveQuboSimulatedAnnealing(qubo, options, rng_plain);
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   Rng rng_token(41);
   const auto with_token = SolveQuboSimulatedAnnealing(qubo, options, rng_token);
   ASSERT_EQ(plain.size(), with_token.size());
@@ -638,7 +638,7 @@ TEST(TabuSearchTest, StopTokenCancelsLongRun) {
   options.num_restarts = 4;
   options.iterations_per_restart = 50'000'000;
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   std::thread canceller([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stop.store(true, std::memory_order_relaxed);
@@ -663,7 +663,7 @@ TEST(TabuSearchTest, UnsetStopTokenMatchesNoToken) {
   Rng rng_plain(47);
   const auto plain = SolveQuboTabuSearch(qubo, options, rng_plain);
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   Rng rng_token(47);
   const auto with_token = SolveQuboTabuSearch(qubo, options, rng_token);
   ASSERT_EQ(plain.size(), with_token.size());

@@ -418,7 +418,7 @@ TEST(ServeTest, PreFiredCallerTokenShortCircuitsSolve) {
   request.config = FastConfig();
   request.config.backend = QjoBackend::kPortfolio;
   request.config.portfolio.sweep_budget = int64_t{1} << 40;
-  request.config.stop = &stop;
+  request.config.run.stop = &stop;
   request.bypass_cache = true;
 
   auto future = service.Submit(std::move(request));
@@ -469,7 +469,7 @@ TEST(ServeTest, PlanKeySeparatesResultDeterminingFields) {
   QjoConfig other_backend = base;
   other_backend.backend = QjoBackend::kExact;
   QjoConfig other_parallelism = base;
-  other_parallelism.parallelism = 8;
+  other_parallelism.run.parallelism = 8;
 
   const std::string key = OptimizerService::PlanKey(query, base);
   EXPECT_NE(key, OptimizerService::PlanKey(query, other_seed));
@@ -690,11 +690,11 @@ TEST(ServeTest, CoalescesIdenticalSubmitsToOneSolve) {
   // — at any worker count, and every response is bit-identical to the
   // direct OptimizeJoinOrder call.
   ServeRequest base = SlowCoalescible("default", /*shots=*/600);
-  base.config.parallelism = 4;
+  base.config.run.parallelism = 4;
 
   ThreadPool pool(4);
   QjoConfig direct_config = base.config;
-  direct_config.pool = &pool;
+  direct_config.run.pool = &pool;
   const uint64_t direct_before = pool.tasks_dispatched();
   auto direct = OptimizeJoinOrder(base.query, direct_config);
   ASSERT_TRUE(direct.ok());

@@ -449,7 +449,7 @@ TEST(SqaTest, DeterministicAcrossParallelism) {
   options.ice_sigma = 0.02;  // per-read noise draws must fork too
   std::vector<std::vector<SqaSample>> runs;
   for (int parallelism : {1, 2, 8}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     Rng rng(61);
     auto samples = RunSqa(ising, options, rng);
     ASSERT_TRUE(samples.ok());
@@ -510,7 +510,7 @@ TEST(SqaTest, KernelsBitIdenticalOnDyadicProblems) {
   options.trotter_slices = 8;
   options.ice_sigma = 0.0;  // noise would perturb the dyadic coefficients
   for (int parallelism : {1, 4}) {
-    options.parallelism = parallelism;
+    options.control.parallelism = parallelism;
     options.kernel = SolverKernel::kIncremental;
     Rng rng_inc(71);
     auto incremental = RunSqa(ising, options, rng_inc);
@@ -544,7 +544,7 @@ TEST(SqaTest, BatchedKernelsBitIdenticalToScalarReads) {
   for (int num_reads : {1, 4, 17}) {
     options.num_reads = num_reads;
     for (int parallelism : {1, 4, 8}) {
-      options.parallelism = parallelism;
+      options.control.parallelism = parallelism;
       options.kernel = SolverKernel::kIncremental;
       Rng rng_inc(71);
       auto scalar = RunSqa(ising, options, rng_inc);
@@ -824,7 +824,7 @@ TEST(SqaTest, StopTokenCancelsLongRun) {
   options.num_reads = 2;
   options.annealing_time_us = 1e7;  // ~1e7 sweeps: hours if uncancelled
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   std::thread canceller([&stop] {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     stop.store(true, std::memory_order_relaxed);
@@ -852,7 +852,7 @@ TEST(SqaTest, UnsetStopTokenMatchesNoToken) {
   const auto plain = RunSqa(ising, options, rng_plain);
   ASSERT_TRUE(plain.ok());
   std::atomic<bool> stop{false};
-  options.stop = &stop;
+  options.control.stop = &stop;
   Rng rng_token(59);
   const auto with_token = RunSqa(ising, options, rng_token);
   ASSERT_TRUE(with_token.ok());
